@@ -1,0 +1,23 @@
+# Convenience targets for the Cactis reproduction.
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done
+
+results: ## regenerate test_output.txt and bench_output.txt
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

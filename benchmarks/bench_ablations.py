@@ -1,0 +1,156 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not claims from the paper, but knobs the paper's design fixes implicitly;
+these sweeps show each choice earning its keep:
+
+* **decay factor** of the self-adaptive averages (0 = trust only the last
+  observation, 1 = never adapt away from the worst-case seed);
+* **buffer-pool size** (the machinery only matters when the working set
+  exceeds it);
+* **eager cycle detection** at connect time (what does the safety check
+  cost on realistic build patterns?).
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.workloads import (
+    build_chain,
+    build_software_project,
+    skewed_access_pattern,
+    sum_node_schema,
+)
+
+
+def project_world(pool: int, decay: float | None = None):
+    db = Database(
+        sum_node_schema(), block_capacity=512, pool_capacity=pool
+    )
+    if decay is not None:
+        db.usage.decay = decay
+    project = build_software_project(
+        db, n_components=10, modules_per_component=12, cross_links=4, seed=0
+    )
+    accesses = skewed_access_pattern(project, 300, seed=1)
+    return db, accesses
+
+
+def run_epoch(db, accesses) -> int:
+    db.storage.buffer.clear()
+    before = db.storage.disk.stats.snapshot()
+    value = 1000
+    for i, iid in enumerate(accesses):
+        if i % 5 == 4:
+            value += 1
+            db.set_attr(iid, "weight", value)
+        else:
+            db.get_attr(iid, "total")
+    return db.storage.disk.stats.delta_since(before).reads
+
+
+@pytest.mark.parametrize("decay", [0.0, 0.5, 0.9])
+def test_decay_factor(benchmark, decay):
+    def setup():
+        return project_world(pool=6, decay=decay), {}
+
+    def run(db, accesses):
+        run_epoch(db, accesses)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+
+    rows = []
+    for d in (0.0, 0.5, 0.9):
+        db, accesses = project_world(pool=6, decay=d)
+        first = run_epoch(db, accesses)
+        second = run_epoch(db, accesses)
+        third = run_epoch(db, accesses)
+        rows.append([d, first, second, third])
+    report(
+        "ablations",
+        "decaying-average factor vs disk reads per epoch",
+        ["decay", "epoch 1", "epoch 2", "epoch 3"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("pool", [2, 8, 32])
+def test_pool_size(benchmark, pool):
+    def setup():
+        return project_world(pool=pool), {}
+
+    def run(db, accesses):
+        run_epoch(db, accesses)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+
+    rows = []
+    for p in (2, 4, 8, 16, 32):
+        db, accesses = project_world(pool=p)
+        rows.append([p, run_epoch(db, accesses)])
+    report(
+        "ablations",
+        "buffer-pool size vs disk reads per epoch",
+        ["pool (blocks)", "disk reads"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("detect", [True, False])
+def test_cycle_check_cost(benchmark, detect):
+    """Eager cycle detection on chain construction (the common pattern
+    where the downstream region is empty, so the check is O(1))."""
+
+    def setup():
+        db = Database(
+            sum_node_schema(), pool_capacity=4096, detect_cycles=detect
+        )
+        return (db,), {}
+
+    def run(db):
+        build_chain(db, 1_000)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_laziness_ablation(benchmark):
+    """Lazy (paper) vs eager evaluation of unimportant attributes: with a
+    low demanded fraction, deferring pays for itself."""
+    from repro.workloads import build_fan
+
+    WIDTH = 200
+
+    def prepared(eager: bool):
+        db = Database(sum_node_schema(), pool_capacity=4096, eager=eager)
+        fan = build_fan(db, WIDTH)
+        for consumer in fan["consumers"]:
+            db.get_attr(consumer, "total")
+        return db, fan
+
+    def setup():
+        db, fan = prepared(eager=False)
+        db._bench_value = [100]
+        return (db, fan), {}
+
+    def run(db, fan):
+        db._bench_value[0] += 1
+        db.set_attr(fan["hub"], "weight", db._bench_value[0])
+        db.get_attr(fan["consumers"][0], "total")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for label, eager in (("lazy (paper)", False), ("eager (ablation)", True)):
+        db, fan = prepared(eager)
+        before = db.engine.counters.snapshot()
+        for step in range(5):
+            db.set_attr(fan["hub"], "weight", 100 + step)
+            db.get_attr(fan["consumers"][0], "total")
+        delta = db.engine.counters.delta_since(before)
+        rows.append([label, delta.rule_evaluations])
+    report(
+        "ablations",
+        f"laziness: 5 updates, 1 of {200} consumers demanded",
+        ["mode", "rule evaluations"],
+        rows,
+    )

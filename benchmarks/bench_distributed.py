@@ -1,0 +1,69 @@
+"""Extension benchmark -- distributed synchronisation (Section 5).
+
+Not a paper table (the paper only announces the direction); measures the
+property the design targets: message traffic proportional to what changed,
+with per-site incremental evaluation taking over after delivery.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.distributed import Federation
+from repro.workloads import build_chain, sum_node_schema
+
+N_LINKS = 50
+
+
+def build_federation():
+    fed = Federation()
+    a = Database(sum_node_schema(), pool_capacity=4096)
+    b = Database(sum_node_schema(), pool_capacity=4096)
+    fed.add_site("A", a)
+    fed.add_site("B", b)
+    producers = [a.create("node", weight=i) for i in range(N_LINKS)]
+    consumers = []
+    for producer in producers:
+        entry = b.create("node")
+        chain = build_chain(b, 5)
+        b.connect(chain[0], "inputs", entry, "outputs")
+        fed.link("B", entry, "inputs", "A", producer, "outputs")
+        consumers.append(chain[-1])
+    fed.sync()
+    for consumer in consumers:
+        b.get_attr(consumer, "total")
+    return fed, a, b, producers, consumers
+
+
+@pytest.mark.parametrize("changed", [1, 10, 50])
+def test_sync_cost_scales_with_changes(benchmark, changed):
+    def setup():
+        fed, a, b, producers, consumers = build_federation()
+        for i in range(changed):
+            a.set_attr(producers[i], "weight", 1000 + i)
+        return (fed,), {}
+
+    def run(fed):
+        return fed.sync()
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for n in (0, 1, 10, 50):
+        fed, a, b, producers, consumers = build_federation()
+        for i in range(n):
+            a.set_attr(producers[i], "weight", 1000 + i)
+        rep = fed.sync()
+        before = b.engine.counters.snapshot()
+        for consumer in consumers:
+            b.get_attr(consumer, "total")
+        local = b.engine.counters.delta_since(before)
+        rows.append(
+            [n, rep.values_checked, rep.messages_sent, local.rule_evaluations]
+        )
+    report(
+        "distributed",
+        f"sync traffic vs producers changed ({N_LINKS} cross-links)",
+        ["producers changed", "values checked", "messages", "local evals after"],
+        rows,
+    )

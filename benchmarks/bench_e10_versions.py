@@ -1,0 +1,89 @@
+"""E10 -- the delta-based version facility (Section 3).
+
+Claim: versions are recovered from deltas whose cost is proportional to the
+changes between versions, "rather than the total change in the database".
+Workload: version streams over a sizeable database with small per-version
+edits; checkout cost across version distance; branch switching.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.versions import VersionStream
+from repro.workloads import build_chain, sum_node_schema
+
+DB_NODES = 400
+EDITS_PER_VERSION = 3
+N_VERSIONS = 10
+
+
+def build_history():
+    db = Database(sum_node_schema(), pool_capacity=4096)
+    stream = VersionStream(db)
+    nodes = build_chain(db, DB_NODES)
+    db.get_attr(nodes[-1], "total")
+    stream.tag("v0")
+    for v in range(1, N_VERSIONS + 1):
+        for e in range(EDITS_PER_VERSION):
+            db.set_attr(nodes[(v * 7 + e) % DB_NODES], "weight", v * 10 + e)
+        stream.tag(f"v{v}")
+    return db, stream, nodes
+
+
+def test_checkout_neighbouring_version(benchmark):
+    def setup():
+        db, stream, nodes = build_history()
+        return (stream,), {}
+
+    def run(stream):
+        stream.checkout(f"v{N_VERSIONS - 1}")
+        stream.checkout(f"v{N_VERSIONS}")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_checkout_across_full_history(benchmark):
+    def setup():
+        db, stream, nodes = build_history()
+        return (stream,), {}
+
+    def run(stream):
+        stream.checkout("v0")
+        stream.checkout(f"v{N_VERSIONS}")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    db, stream, nodes = build_history()
+    rows = []
+    for target in ("v9", "v5", "v0"):
+        records = stream.distance(f"v{N_VERSIONS}", target)
+        stream.checkout(target)
+        value = db.get_attr(nodes[-1], "total")
+        stream.checkout(f"v{N_VERSIONS}")
+        rows.append([f"v{N_VERSIONS} -> {target}", records, value])
+    total_versions_size = sum(
+        v.change_size() for v in stream.versions.values()
+    )
+    rows.append(["whole history stored", f"{total_versions_size} bytes", ""])
+    report(
+        "E10",
+        f"checkout cost over {DB_NODES}-node db, {EDITS_PER_VERSION} edits/version",
+        ["movement", "log records replayed", "chain total at target"],
+        rows,
+    )
+
+
+def test_branch_switching(benchmark):
+    def setup():
+        db, stream, nodes = build_history()
+        stream.checkout("v5")
+        db.set_attr(nodes[0], "weight", 999)
+        stream.tag("branch")
+        return (stream,), {}
+
+    def run(stream):
+        stream.checkout(f"v{N_VERSIONS}")
+        stream.checkout("branch")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

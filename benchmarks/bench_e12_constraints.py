@@ -1,0 +1,90 @@
+"""E12 -- constraint predicates as derived attributes (Section 2.2).
+
+"Since constraint predicates are handled in the same manner as normal
+derived attribute values", their cost is one extra important slot per
+wave; violation forces rollback.  Measured: update cost with increasing
+numbers of standing constraints, and the price of a vetoed transaction.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.core.rules import Constraint, Local
+from repro.errors import TransactionAborted
+from repro.workloads import build_chain
+from repro.workloads.topologies import sum_node_schema
+
+N_CONSTRAINTS = [0, 1, 4]
+
+
+def constrained_schema(n_constraints: int):
+    schema = sum_node_schema()
+    schema.unfreeze()
+    node = schema.extend_class("node")
+    for i in range(n_constraints):
+        node.add_constraint(
+            Constraint(
+                f"cap{i}",
+                {"t": Local("total")},
+                lambda t, limit=10_000 * (i + 1): t <= limit,
+            )
+        )
+    return schema.freeze()
+
+
+@pytest.mark.parametrize("n", N_CONSTRAINTS)
+def test_update_cost_with_constraints(benchmark, n):
+    def setup():
+        db = Database(constrained_schema(n), pool_capacity=4096)
+        nodes = build_chain(db, 50)
+        db.get_attr(nodes[-1], "total")
+        db._bench_value = [100]
+        return (db, nodes), {}
+
+    def run(db, nodes):
+        db._bench_value[0] += 1
+        db.set_attr(nodes[0], "weight", db._bench_value[0])
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for count in N_CONSTRAINTS:
+        db = Database(constrained_schema(count), pool_capacity=4096)
+        nodes = build_chain(db, 50)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 55)
+        delta = db.engine.counters.delta_since(before)
+        rows.append([count, delta.slots_marked, delta.rule_evaluations])
+    report(
+        "E12",
+        "update over a 50-node chain vs number of standing constraints",
+        ["constraints/node", "slots marked", "evaluations (eager: constraints)"],
+        rows,
+    )
+
+
+def test_veto_roundtrip(benchmark):
+    """A violating update: evaluate, veto, roll back, restore."""
+
+    def setup():
+        schema = sum_node_schema()
+        schema.unfreeze()
+        schema.extend_class("node").add_constraint(
+            Constraint("cap", {"t": Local("total")}, lambda t: t <= 100)
+        )
+        db = Database(schema.freeze(), pool_capacity=4096)
+        nodes = build_chain(db, 20)
+        db.get_attr(nodes[-1], "total")
+        return (db, nodes), {}
+
+    def run(db, nodes):
+        try:
+            db.set_attr(nodes[0], "weight", 10_000)
+        except TransactionAborted:
+            pass
+        return db.get_attr(nodes[0], "weight")
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert result == 1  # the veto restored the original weight

@@ -1,0 +1,164 @@
+"""E1 -- incremental evaluation vs trigger baselines (Section 2.2).
+
+Claim: naive trigger orderings "can recompute an exponential number of
+values" while the incremental algorithm "will not evaluate any attribute
+that is not actually needed, and will not evaluate any given attribute more
+than once".  Workload: diamond ladders (2^depth paths) and a localised
+change in a larger database (full-recompute anchor).
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.baselines import (
+    breadth_first_factory,
+    depth_first_factory,
+    full_recompute_factory,
+)
+from repro.core.database import Database
+from repro.workloads import build_chain, build_diamond_ladder, sum_node_schema
+
+ENGINES = {
+    "incremental": None,
+    "trigger-dfs": depth_first_factory,
+    "trigger-bfs": breadth_first_factory,
+    "full-recompute": full_recompute_factory,
+}
+
+
+def make_db(engine: str) -> Database:
+    factory = ENGINES[engine]
+    return Database(
+        sum_node_schema(),
+        engine_factory=factory() if factory else None,
+        pool_capacity=4096,
+    )
+
+
+def ladder_update_work(engine: str, depth: int) -> dict:
+    db = make_db(engine)
+    ladder = build_diamond_ladder(db, depth=depth)
+    db.get_attr(ladder["bottom"], "total")
+    before = db.engine.counters.snapshot()
+    db.set_attr(ladder["top"], "weight", 5)
+    value = db.get_attr(ladder["bottom"], "total")
+    delta = db.engine.counters.delta_since(before)
+    return {
+        "engine": engine,
+        "depth": depth,
+        "paths": 2**depth,
+        "evaluations": delta.rule_evaluations,
+        "marked": delta.slots_marked,
+        "value": value,
+    }
+
+
+@pytest.mark.parametrize("engine", ["incremental", "trigger-dfs", "trigger-bfs"])
+@pytest.mark.parametrize("depth", [4, 6, 8])
+def test_ladder_update(benchmark, engine, depth):
+    """Time one top-of-ladder update + bottom query."""
+    if engine != "incremental" and depth > 8:
+        pytest.skip("eager triggers are exponential; keep runtimes sane")
+
+    def setup():
+        db = make_db(engine)
+        ladder = build_diamond_ladder(db, depth=depth)
+        db.get_attr(ladder["bottom"], "total")
+        db._bench_value = [100]
+        return (db, ladder), {}
+
+    def run(db, ladder):
+        db._bench_value[0] += 1
+        db.set_attr(ladder["top"], "weight", db._bench_value[0])
+        return db.get_attr(ladder["bottom"], "total")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    rows = [
+        list(ladder_update_work(e, d).values())
+        for e in ("incremental", "trigger-dfs", "trigger-bfs")
+        for d in (4, 6, 8)
+        if not (e != "incremental" and d > 8)
+    ]
+    report(
+        "E1",
+        "evaluations per update, diamond ladder",
+        ["engine", "depth", "paths", "evaluations", "marked", "value"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("engine", ["incremental", "full-recompute"])
+def test_localised_change_in_large_db(benchmark, engine):
+    """A 10-node ripple inside a 1010-node database: incremental work is
+    change-local, full recompute scales with the whole database."""
+
+    def setup():
+        db = make_db(engine)
+        hot = build_chain(db, 10)
+        build_chain(db, 1000)  # unrelated bulk
+        db.get_attr(hot[-1], "total")
+        db._bench_value = [100]
+        return (db, hot), {}
+
+    def run(db, hot):
+        db._bench_value[0] += 1
+        db.set_attr(hot[0], "weight", db._bench_value[0])
+        return db.get_attr(hot[-1], "total")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for e in ("incremental", "full-recompute"):
+        db = make_db(e)
+        hot = build_chain(db, 10)
+        build_chain(db, 1000)
+        db.get_attr(hot[-1], "total")
+        before = db.engine.counters.snapshot()
+        db.set_attr(hot[0], "weight", 123)
+        db.get_attr(hot[-1], "total")
+        delta = db.engine.counters.delta_since(before)
+        rows.append([e, 1010, delta.rule_evaluations])
+    report(
+        "E1",
+        "localised change in a 1010-node database",
+        ["engine", "db nodes", "evaluations"],
+        rows,
+    )
+
+
+def test_random_dag_comparison(benchmark):
+    """The same comparison on irregular random DAGs (DESIGN's E1 workload)."""
+    from repro.workloads import build_random_dag
+
+    def setup():
+        db = make_db("incremental")
+        nodes = build_random_dag(db, 120, edge_prob=0.25, seed=11)
+        db.get_attr(nodes[-1], "total")
+        db._bench_value = [100]
+        return (db, nodes), {}
+
+    def run(db, nodes):
+        db._bench_value[0] += 1
+        db.set_attr(nodes[0], "weight", db._bench_value[0])
+        return db.get_attr(nodes[-1], "total")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for engine in ("incremental", "trigger-dfs", "full-recompute"):
+        db = make_db(engine)
+        nodes = __import__("repro.workloads", fromlist=["build_random_dag"]).build_random_dag(
+            db, 120, edge_prob=0.25, seed=11
+        )
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 999)
+        value = db.get_attr(nodes[-1], "total")
+        delta = db.engine.counters.delta_since(before)
+        rows.append([engine, 120, delta.rule_evaluations, value])
+    report(
+        "E1",
+        "random DAG (120 nodes, p=0.25), update at a root",
+        ["engine", "nodes", "evaluations", "value"],
+        rows,
+    )

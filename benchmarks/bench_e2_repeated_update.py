@@ -1,0 +1,84 @@
+"""E2 -- marking cut short on repeated updates (Section 2.2).
+
+Claim: "if an attribute A were assigned 2 different values in a row before
+updating the system, the second assignment would only update A and not
+visit any other attributes and hence incur only O(1) overhead."  Workload:
+chains of increasing length; the first assignment pays the full marking
+sweep, the second is constant-time.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.workloads import build_chain, sum_node_schema
+
+LENGTHS = [100, 1_000, 10_000]
+
+
+def prepared_chain(length: int):
+    db = Database(sum_node_schema(), pool_capacity=4096)
+    nodes = build_chain(db, length)
+    db.get_attr(nodes[-1], "total")
+    return db, nodes
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_first_assignment_marks_chain(benchmark, length):
+    """First assignment: marks the whole downstream region (O(chain))."""
+
+    def setup():
+        return prepared_chain(length), {}
+
+    def run(db, nodes):
+        db.set_attr(nodes[0], "weight", 5)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_second_assignment_constant(benchmark, length):
+    """Second assignment before any demand: cut short immediately."""
+
+    def setup():
+        db, nodes = prepared_chain(length)
+        db.set_attr(nodes[0], "weight", 5)  # pay the marking sweep
+        db._bench_value = [100]
+        return (db, nodes), {}
+
+    def run(db, nodes):
+        db._bench_value[0] += 1
+        db.set_attr(nodes[0], "weight", db._bench_value[0])
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+    rows = []
+    for n in LENGTHS:
+        db, nodes = prepared_chain(n)
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 5)
+        first = db.engine.counters.delta_since(before)
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 6)
+        second = db.engine.counters.delta_since(before)
+        rows.append(
+            [
+                n,
+                first.slots_marked,
+                first.mark_edge_visits,
+                second.slots_marked,
+                second.mark_edge_visits,
+            ]
+        )
+    report(
+        "E2",
+        "marking work: first vs second assignment (no demand between)",
+        [
+            "chain length",
+            "1st marked",
+            "1st edge visits",
+            "2nd marked",
+            "2nd edge visits",
+        ],
+        rows,
+    )

@@ -1,0 +1,95 @@
+"""E3 -- lazy evaluation of unimportant attributes (Section 2.2).
+
+Claim: "The calculation of attribute values which are not important may be
+deferred, as they have no immediate affect on the database."  Workload: a
+hub feeding many consumers; after a hub update, evaluation work scales with
+the *demanded* fraction of consumers, not the fan-out.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.workloads import build_fan, sum_node_schema
+
+WIDTH = 200
+FRACTIONS = [0.0, 0.1, 0.5, 1.0]
+
+
+def prepared_fan():
+    db = Database(sum_node_schema(), pool_capacity=4096)
+    fan = build_fan(db, WIDTH)
+    for consumer in fan["consumers"]:
+        db.get_attr(consumer, "total")
+    return db, fan
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_update_then_demand_fraction(benchmark, fraction):
+    """Hub update followed by queries on a fraction of consumers."""
+    demanded = int(WIDTH * fraction)
+
+    def setup():
+        db, fan = prepared_fan()
+        db._bench_value = [100]
+        return (db, fan), {}
+
+    def run(db, fan):
+        db._bench_value[0] += 1
+        db.set_attr(fan["hub"], "weight", db._bench_value[0])
+        for consumer in fan["consumers"][:demanded]:
+            db.get_attr(consumer, "total")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for frac in FRACTIONS:
+        db, fan = prepared_fan()
+        n = int(WIDTH * frac)
+        before = db.engine.counters.snapshot()
+        db.set_attr(fan["hub"], "weight", 77)
+        for consumer in fan["consumers"][:n]:
+            db.get_attr(consumer, "total")
+        delta = db.engine.counters.delta_since(before)
+        still_stale = sum(
+            1
+            for consumer in fan["consumers"]
+            if db.engine.is_out_of_date((consumer, "total"))
+        )
+        rows.append([f"{frac:.0%}", n, delta.rule_evaluations, still_stale])
+    report(
+        "E3",
+        f"work vs demanded fraction (fan-out {WIDTH})",
+        ["demanded", "queries", "evaluations", "left out-of-date"],
+        rows,
+    )
+
+
+def test_watched_attributes_evaluated_eagerly(benchmark):
+    """Standing demands (constraints/watches) are maintained per wave."""
+
+    def setup():
+        db, fan = prepared_fan()
+        for consumer in fan["consumers"][:10]:
+            db.watch(consumer, "total")
+        db._bench_value = [100]
+        return (db, fan), {}
+
+    def run(db, fan):
+        db._bench_value[0] += 1
+        db.set_attr(fan["hub"], "weight", db._bench_value[0])
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    db, fan = prepared_fan()
+    for consumer in fan["consumers"][:10]:
+        db.watch(consumer, "total")
+    before = db.engine.counters.snapshot()
+    db.set_attr(fan["hub"], "weight", 55)
+    delta = db.engine.counters.delta_since(before)
+    report(
+        "E3",
+        "10 watched consumers out of 200: update evaluates watched only",
+        ["evaluations after update", "watched", "fan-out"],
+        [[delta.rule_evaluations, 10, WIDTH]],
+    )

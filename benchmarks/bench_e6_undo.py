@@ -1,0 +1,104 @@
+"""E6 -- space- and time-efficient undo (Sections 2.2, 3).
+
+Claim: "the information needed to remember a delta is proportional in size
+to the initial changes made to the database rather than the total change in
+the database which may result because of derived data", and undo itself
+"may be performed with the same algorithmic techniques used to support
+attribute evaluation".  Workload: one primitive change whose derived ripple
+covers chains of increasing length.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.core.database import Database
+from repro.workloads import build_chain, sum_node_schema
+
+RIPPLES = [10, 100, 1_000]
+
+
+def prepared(ripple: int):
+    db = Database(sum_node_schema(), pool_capacity=4096)
+    nodes = build_chain(db, ripple)
+    db.get_attr(nodes[-1], "total")
+    return db, nodes
+
+
+@pytest.mark.parametrize("ripple", RIPPLES)
+def test_undo_after_rippling_change(benchmark, ripple):
+    """Undo of a one-record transaction, whatever the ripple size."""
+
+    def setup():
+        db, nodes = prepared(ripple)
+        db.set_attr(nodes[0], "weight", 500)
+        db.get_attr(nodes[-1], "total")  # realise the full ripple
+        return (db,), {}
+
+    def run(db):
+        db.undo()
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for n in RIPPLES:
+        db, nodes = prepared(n)
+        db.set_attr(nodes[0], "weight", 500)
+        db.get_attr(nodes[-1], "total")
+        delta = db.txn.history[-1]
+        before = db.engine.counters.snapshot()
+        db.undo()
+        undo_work = db.engine.counters.delta_since(before)
+        correct = db.get_attr(nodes[-1], "total") == n
+        rows.append(
+            [
+                n,
+                len(delta.records),
+                delta.size_estimate(),
+                undo_work.rule_evaluations,
+                correct,
+            ]
+        )
+    report(
+        "E6",
+        "delta economy: log size vs derived ripple",
+        [
+            "ripple (derived slots affected >=)",
+            "log records",
+            "delta bytes",
+            "evals during undo",
+            "state restored",
+        ],
+        rows,
+    )
+
+
+def test_undo_chain_of_transactions(benchmark):
+    """Walking history backwards restores successive states exactly."""
+
+    def setup():
+        db, nodes = prepared(100)
+        for i in range(10):
+            db.set_attr(nodes[i], "weight", 50 + i)
+        return (db,), {}
+
+    def run(db):
+        for __ in range(10):
+            db.undo()
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    db, nodes = prepared(100)
+    states = [db.get_attr(nodes[-1], "total")]
+    for i in range(10):
+        db.set_attr(nodes[i], "weight", 50 + i)
+        states.append(db.get_attr(nodes[-1], "total"))
+    restored = []
+    for __ in range(10):
+        db.undo()
+        restored.append(db.get_attr(nodes[-1], "total"))
+    report(
+        "E6",
+        "10-level undo walk",
+        ["levels", "all states restored exactly"],
+        [[10, restored == states[-2::-1]]],
+    )

@@ -1,0 +1,116 @@
+"""E8 -- the milestone manager (Figure 1, Section 4).
+
+Claim: "changing the expected completion date for one milestone may have
+effects that ripple throughout the expected completion dates for other
+milestones in the system", maintained automatically and efficiently.
+Workload: layered project plans of increasing size; one slip at the root,
+then a schedule query.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.env.milestones import MilestoneManager
+
+LAYERS = [4, 8, 16]
+WIDTH = 6
+
+
+def build_plan(layers: int) -> MilestoneManager:
+    """A layered plan: each milestone depends on two in the layer above."""
+    mm = MilestoneManager()
+    mm.add_milestone("root", scheduled=10, work=5)
+    previous = ["root"]
+    for layer in range(layers):
+        current = []
+        for i in range(WIDTH):
+            name = f"m{layer}_{i}"
+            mm.add_milestone(name, scheduled=10 * (layer + 2), work=3)
+            mm.depends(name, previous[i % len(previous)])
+            if len(previous) > 1:
+                mm.depends(name, previous[(i + 1) % len(previous)])
+            current.append(name)
+        previous = current
+    return mm
+
+
+@pytest.mark.parametrize("layers", LAYERS)
+def test_slip_and_query(benchmark, layers):
+    def setup():
+        mm = build_plan(layers)
+        for name in mm.names():
+            mm.expected(name)  # plan fully evaluated
+        return (mm,), {}
+
+    def run(mm):
+        mm.slip("root", 1)
+        return mm.expected(f"m{layers - 1}_0")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for n in LAYERS:
+        mm = build_plan(n)
+        for name in mm.names():
+            mm.expected(name)
+        before = mm.db.engine.counters.snapshot()
+        mm.slip("root", 7)
+        late = mm.late_milestones()
+        delta = mm.db.engine.counters.delta_since(before)
+        rows.append(
+            [n, 1 + n * WIDTH, delta.slots_marked, delta.rule_evaluations, len(late)]
+        )
+    report(
+        "E8",
+        "root slip ripple through layered plans",
+        ["layers", "milestones", "slots marked", "evals (late query)", "late count"],
+        rows,
+    )
+
+
+def test_very_late_extension_overhead(benchmark):
+    """Adding the very_late subtype must not slow existing tools: compare
+    slip cost before and after the dynamic extension."""
+
+    def setup():
+        mm = build_plan(8)
+        for name in mm.names():
+            mm.expected(name)
+        mm.add_very_late_support(limit=3)
+        mm._counter = [0]
+        return (mm,), {}
+
+    def run(mm):
+        mm._counter[0] += 1
+        mm.slip("root", 1)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    mm_plain = build_plan(8)
+    for name in mm_plain.names():
+        mm_plain.expected(name)
+    before = mm_plain.db.engine.counters.snapshot()
+    mm_plain.slip("root", 7)
+    plain = mm_plain.db.engine.counters.delta_since(before)
+
+    mm_ext = build_plan(8)
+    for name in mm_ext.names():
+        mm_ext.expected(name)
+    mm_ext.add_very_late_support(limit=3)
+    before = mm_ext.db.engine.counters.snapshot()
+    mm_ext.slip("root", 7)
+    ext = mm_ext.db.engine.counters.delta_since(before)
+    report(
+        "E8",
+        "slip cost before/after the very_late extension (8 layers)",
+        ["schema", "slots marked", "rule evaluations", "very_late members"],
+        [
+            ["base", plain.slots_marked, plain.rule_evaluations, "n/a"],
+            [
+                "with very_late",
+                ext.slots_marked,
+                ext.rule_evaluations,
+                len(mm_ext.very_late_milestones()),
+            ],
+        ],
+    )

@@ -1,0 +1,88 @@
+"""E9 -- the make facility (Figures 2-4, Section 4).
+
+Claim: "use dependencies and modification times to determine exactly those
+modules or files which could need recompilation and to automatically issue
+the commands necessary to do those recompilations."  Workload: layered
+source trees; measure commands issued after touching one leaf vs a shared
+header, plus the no-op rebuild cost.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.env.files import SimulatedFileSystem, make_default_runner
+from repro.env.make import MakeFacility
+
+MODULES = [10, 40]
+
+
+def build_tree(n_modules: int):
+    """n C files + one shared header -> n objects -> one binary."""
+    fs = SimulatedFileSystem()
+    runner = make_default_runner(fs)
+    mk = MakeFacility(fs, runner)
+    fs.write("shared.h", "header v1")
+    mk.add_rule("shared.h")
+    objects = []
+    for i in range(n_modules):
+        src = f"m{i}.c"
+        obj = f"m{i}.o"
+        fs.write(src, f"src {i}")
+        mk.add_rule(src)
+        mk.add_rule(obj, f"cc -o {obj} {src} shared.h", depends_on=[src, "shared.h"])
+        objects.append(obj)
+    mk.add_rule("app", "ld -o app " + " ".join(objects), depends_on=objects)
+    return fs, runner, mk
+
+
+@pytest.mark.parametrize("n_modules", MODULES)
+def test_incremental_rebuild_one_leaf(benchmark, n_modules):
+    def setup():
+        fs, runner, mk = build_tree(n_modules)
+        mk.build("app")
+        fs.write("m0.c", f"src 0 edited {fs.now}")
+        mk.note_file_changed("m0.c")
+        return (mk,), {}
+
+    def run(mk):
+        return mk.build("app")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n_modules", MODULES)
+def test_noop_rebuild(benchmark, n_modules):
+    def setup():
+        fs, runner, mk = build_tree(n_modules)
+        mk.build("app")
+        return (mk,), {}
+
+    def run(mk):
+        return mk.build("app")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for n in MODULES:
+        fs, runner, mk = build_tree(n)
+        full = len(mk.build("app"))
+        noop = len(mk.build("app"))
+        fs.write("m0.c", "edited")
+        mk.note_file_changed("m0.c")
+        one_leaf = len(mk.build("app"))
+        fs.write("shared.h", "header v2")
+        mk.note_file_changed("shared.h")
+        header = len(mk.build("app"))
+        rows.append([n, full, noop, one_leaf, header])
+    report(
+        "E9",
+        "commands issued per build scenario",
+        [
+            "modules",
+            "cold build",
+            "no-op",
+            "one leaf edited",
+            "shared header edited",
+        ],
+        rows,
+    )

@@ -1,0 +1,61 @@
+"""Extension benchmark -- syntax-directed editing response time.
+
+The incremental-attribute-evaluation literature the paper builds on
+([Rep82], [DRT81]) is about editor response time: after an edit, update
+work should be proportional to the *spine* above the edit, not the tree.
+Measured here over balanced expression trees of growing size.
+"""
+
+import pytest
+
+from benchmarks.common import report
+from repro.env.syntree import ExpressionTree
+
+DEPTHS = [4, 6, 8]  # 2^d leaves
+
+
+def balanced_tree(depth: int) -> tuple[ExpressionTree, int, list[int]]:
+    tree = ExpressionTree()
+
+    def build(level: int) -> int:
+        if level == 0:
+            return tree.literal(1)
+        return tree.operation("+", build(level - 1), build(level - 1))
+
+    root = build(depth)
+    leaves = tree.db.instances_of("literal")
+    tree.value(root)
+    tree.text(root)
+    return tree, root, leaves
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_leaf_edit_latency(benchmark, depth):
+    def setup():
+        tree, root, leaves = balanced_tree(depth)
+        tree._bench = [100]
+        return (tree, root, leaves[0]), {}
+
+    def run(tree, root, leaf):
+        tree._bench[0] += 1
+        tree.set_literal(leaf, tree._bench[0])
+        return tree.value(root)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    rows = []
+    for d in DEPTHS:
+        tree, root, leaves = balanced_tree(d)
+        before = tree.db.engine.counters.snapshot()
+        tree.set_literal(leaves[0], 42)
+        tree.value(root)
+        tree.text(root)
+        delta = tree.db.engine.counters.delta_since(before)
+        n_nodes = 2 ** (d + 1) - 1
+        rows.append([d, 2**d, n_nodes, delta.rule_evaluations])
+    report(
+        "syntree",
+        "leaf edit: evaluations vs tree size (spine-proportional)",
+        ["depth", "leaves", "tree nodes", "evaluations after edit"],
+        rows,
+    )

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file reproduces one experiment from DESIGN.md's index
+(E1-E11).  pytest-benchmark provides wall-clock timing; the paper's claims,
+however, are stated in *counts* (rule evaluations, slots marked, disk
+reads), so every experiment also emits a count table via :func:`report`,
+which prints it and appends it to ``benchmarks/results/<experiment>.txt``
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_emitted: set[str] = set()
+
+
+def report(experiment: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render, print, and persist one count table.
+
+    Repeated calls for the same (experiment, title) pair within a pytest
+    session are collapsed to one emission, since pytest-benchmark replays
+    benchmark bodies many times.
+    """
+    key = f"{experiment}:{title}"
+    widths = [len(h) for h in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    if key not in _emitted:
+        _emitted.add(key)
+        print("\n" + text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+        with open(path, "a") as fh:
+            fh.write(text + "\n\n")
+    return text
+
+
+def fresh_results(experiment: str) -> None:
+    """Truncate a result file at the start of an experiment module."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w"):
+        pass

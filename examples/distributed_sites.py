@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Distributed operation across private sites (Section 5's direction).
+
+Two teams run *private* milestone databases on their own "machines"; one
+cross-site dependency links team B's integration milestone to team A's
+design milestone.  Changes stay private until the federation synchronises,
+and synchronisation ships only the values that actually changed.
+
+Run:  python examples/distributed_sites.py
+"""
+
+from repro.core.database import Database
+from repro.distributed import Federation
+from repro.env.milestones import MilestoneManager, milestone_schema
+
+
+def show(team: str, mm: MilestoneManager) -> None:
+    print(f"  [{team}]")
+    for name, sched, expect, late in mm.report():
+        flag = "LATE" if late else "ok"
+        print(f"    {name:<12} sched={sched:<4} expect={expect:<4} {flag}")
+
+
+def main() -> None:
+    fed = Federation()
+    team_a = MilestoneManager(Database(milestone_schema(), pool_capacity=64))
+    team_b = MilestoneManager(Database(milestone_schema(), pool_capacity=64))
+    fed.add_site("team-a", team_a.db)
+    fed.add_site("team-b", team_b.db)
+
+    # Team A's private plan.
+    design = team_a.add_milestone("design", scheduled=12, work=10)
+    team_a.add_milestone("a-impl", scheduled=25, work=8)
+    team_a.depends("a-impl", "design")
+
+    # Team B's private plan, with one milestone waiting on team A.
+    b_impl = team_b.add_milestone("b-impl", scheduled=30, work=9)
+    team_b.add_milestone("b-test", scheduled=40, work=4)
+    team_b.depends("b-test", "b-impl")
+    fed.link("team-b", b_impl, "depends_on", "team-a", design, "consists_of")
+
+    passes = fed.sync_until_quiescent()
+    print(f"initial sync ({passes} pass(es), "
+          f"{fed.total_messages} message(s) so far)")
+    show("team-a", team_a)
+    show("team-b", team_b)
+
+    print("\n* team A slips design by 9 units -- privately *")
+    team_a.slip("design", 9)
+    show("team-a", team_a)
+    print("  team B still sees the old date:")
+    show("team-b", team_b)
+
+    report = fed.sync()
+    print(f"\nafter sync (+{report.messages_sent} message(s)):")
+    show("team-b", team_b)
+
+    report = fed.sync()
+    print(f"\nanother sync ships nothing (quiescent={report.quiescent}, "
+          f"checked {report.values_checked} value(s))")
+
+    print(f"\nfederation totals: {fed.sync_passes} passes, "
+          f"{fed.total_messages} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Program flow analysis as (fixed-point) attribute evaluation (Section 4).
+
+Parses a mini-language program, builds its control-flow graph, and runs
+reaching-definitions and live-variables analyses expressed as attribute
+equations.  The ``while`` loop makes the flow graph cyclic, which is
+exactly the case the paper says needs Farrow-style fixed-point evaluation.
+
+Run:  python examples/flow_analysis.py
+"""
+
+from repro.env.flow import (
+    build_cfg,
+    dead_stores,
+    live_variables,
+    parse_program,
+    reaching_definitions,
+    uninitialized_uses,
+)
+
+PROGRAM = """
+n = 10;
+fib_a = 0;
+fib_b = 1;
+i = 0;
+scratch = 99;
+while (i < n) {
+    tmp = fib_a + fib_b;
+    fib_a = fib_b;
+    fib_b = tmp;
+    i = i + 1;
+}
+print(fib_a);
+print(checksum);
+final = fib_b;
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    cfg = build_cfg(program)
+    print(f"control-flow graph: {len(cfg.nodes)} nodes, "
+          f"cyclic={cfg.has_cycle()}")
+    print("\nnodes:")
+    for node in cfg.statement_nodes():
+        defines = node.defines or "-"
+        uses = ",".join(sorted(node.uses)) or "-"
+        print(f"   [{node.node_id:>2}] {node.label:<22} "
+              f"def={defines:<8} use={uses}")
+
+    reaching = reaching_definitions(cfg)
+    liveness = live_variables(cfg)
+    print(f"\nreaching definitions stabilised in {reaching.iterations} "
+          f"rounds; liveness in {liveness.iterations}")
+
+    loop_head = next(
+        n for n in cfg.statement_nodes() if n.label.startswith("while")
+    )
+    fib_b_defs = reaching.definitions_reaching(loop_head.node_id, "fib_b")
+    print(f"definitions of fib_b reaching the loop head: "
+          f"{sorted(fib_b_defs)} (initialisation + loop body)")
+    print(f"live into the loop head: "
+          f"{', '.join(sorted(liveness.live_in[loop_head.node_id]))}")
+
+    print("\ndiagnostics a software environment would surface:")
+    for finding in uninitialized_uses(cfg):
+        print(f"   warning: [{finding.node_id}] {finding.label}: "
+              f"{finding.message}")
+    for finding in dead_stores(cfg):
+        print(f"   note:    [{finding.node_id}] {finding.label}: "
+              f"{finding.message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A project master database with multi-user sessions (Sections 1 and 3).
+
+Combines the inventory Section 3 sketches -- components, bug reports,
+derived cost and health rollups -- with multi-user operation: two engineers
+and a manager work the same database through timestamped sessions, and the
+dashboard re-renders from derived attributes after every round.
+
+Run:  python examples/project_dashboard.py
+"""
+
+from repro.env.project import ProjectDatabase
+from repro.txn.manager import MultiUserScheduler
+
+
+def render(project: ProjectDatabase, heading: str) -> None:
+    print(f"\n=== {heading} ===")
+    print(f"{'component':<12}{'cost':>6}{'bugweight':>10}  health")
+    for name, cost, bugs, health in project.status_report():
+        print(f"{name:<12}{cost:>6}{bugs:>10}  {health}")
+
+
+def main() -> None:
+    project = ProjectDatabase()
+    project.add_component("suite", cost=10)
+    project.add_component("editor", cost=30, parent="suite")
+    project.add_component("compiler", cost=55, parent="suite")
+    project.add_component("debugger", cost=22, parent="suite")
+    leak = project.file_bug("compiler", "register leak", severity=8)
+    project.file_bug("editor", "cursor flicker", severity=2)
+
+    render(project, "initial state")
+
+    # Three users hit the database concurrently.  The timestamp-ordering
+    # protocol interleaves their primitive operations and restarts losers.
+    compiler_id = project._cid("compiler")
+    editor_id = project._cid("editor")
+    leak_bug_id = project._bugs[leak]
+
+    def engineer_fixing_leak(session):
+        session.get_attr(compiler_id, "open_bug_weight")
+        yield
+        session.set_attr(leak_bug_id, "open", False)  # the fix lands
+        yield
+
+    def engineer_growing_editor(session):
+        session.set_attr(editor_id, "local_cost", 38)  # new feature work
+        yield
+        session.get_attr(editor_id, "total_cost")
+        yield
+
+    def manager_reading_dashboard(session):
+        yield
+        suite = project._cid("suite")
+        session.get_attr(suite, "total_cost")
+        session.get_attr(suite, "health")
+        yield
+
+    scheduler = MultiUserScheduler(project.db, seed=7)
+    result = scheduler.run(
+        [
+            ("fix-leak", engineer_fixing_leak),
+            ("editor-work", engineer_growing_editor),
+            ("dashboard", manager_reading_dashboard),
+        ]
+    )
+    print(f"\nmulti-user round: committed={result.committed}, "
+          f"restarts={result.restarts}, steps={result.steps}")
+
+    render(project, "after the concurrent session")
+
+    # The Undo meta-action still applies to the committed work.  Read-only
+    # transactions have empty deltas; walk back to the last real change.
+    while not project.db.undo().records:
+        pass
+    render(project, "after undoing the last committed change")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Quickstart: define a schema, create objects, watch derived data ripple.
+
+Builds a tiny parts-costing database directly against the Python API:
+``assembly`` objects contain other assemblies; each assembly's
+``total_cost`` derives from its own ``local_cost`` plus the total costs
+received from its parts.  Demonstrates the Cactis primitives -- create,
+connect, set, get -- plus transactions, constraint rollback, and the Undo
+meta-action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AttrKind,
+    AttributeDef,
+    AttributeTarget,
+    Constraint,
+    Database,
+    End,
+    FlowDecl,
+    Local,
+    ObjectClass,
+    PortDef,
+    Received,
+    RelationshipType,
+    Rule,
+    Schema,
+    TransactionAborted,
+    TransmitTarget,
+)
+
+
+def build_schema() -> Schema:
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType(
+            "containment", [FlowDecl("cost", "integer", End.PLUG, default=0)]
+        )
+    )
+    schema.add_class(
+        ObjectClass(
+            "assembly",
+            attributes=[
+                AttributeDef("name", "string"),
+                AttributeDef("local_cost", "integer"),
+                AttributeDef("total_cost", "integer", AttrKind.DERIVED),
+            ],
+            ports=[
+                PortDef("parts", "containment", End.SOCKET, multi=True),
+                PortDef("part_of", "containment", End.PLUG),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("total_cost"),
+                    {
+                        "local": Local("local_cost"),
+                        "parts": Received("parts", "cost"),
+                    },
+                    lambda local, parts: local + sum(parts),
+                ),
+                Rule(
+                    TransmitTarget("part_of", "cost"),
+                    {"total": Local("total_cost")},
+                    lambda total: total,
+                ),
+            ],
+            constraints=[
+                Constraint(
+                    "affordable",
+                    {"total": Local("total_cost")},
+                    lambda total: total <= 10_000,
+                )
+            ],
+        )
+    )
+    return schema
+
+
+def main() -> None:
+    db = Database(build_schema())
+
+    # -- create and connect ------------------------------------------------
+    rocket = db.create("assembly", name="rocket", local_cost=100)
+    engine = db.create("assembly", name="engine", local_cost=2_000)
+    tank = db.create("assembly", name="tank", local_cost=800)
+    pump = db.create("assembly", name="pump", local_cost=350)
+    db.connect(engine, "part_of", rocket, "parts")
+    db.connect(tank, "part_of", rocket, "parts")
+    db.connect(pump, "part_of", engine, "parts")
+
+    print("rocket total:", db.get_attr(rocket, "total_cost"))  # 3250
+
+    # -- one primitive update ripples transitively ---------------------------
+    db.set_attr(pump, "local_cost", 500)
+    print("after pump redesign:", db.get_attr(rocket, "total_cost"))  # 3400
+
+    # -- the Undo meta-action ------------------------------------------------
+    db.undo()
+    print("after Undo:", db.get_attr(rocket, "total_cost"))  # 3250
+
+    # -- transactions + constraint rollback ----------------------------------
+    try:
+        with db.transaction("gold-plated upgrade"):
+            db.set_attr(tank, "local_cost", 4_000)
+            db.set_attr(engine, "local_cost", 9_000)  # busts the budget
+    except TransactionAborted as aborted:
+        print("vetoed:", aborted)
+    print("after veto, rocket total:", db.get_attr(rocket, "total_cost"))
+
+    # -- structural change ---------------------------------------------------
+    db.disconnect(pump, "part_of", engine, "parts")
+    print("without the pump:", db.get_attr(rocket, "total_cost"))  # 2900
+
+    # -- instrumentation ------------------------------------------------------
+    counters = db.engine.counters
+    print(
+        f"work so far: {counters.rule_evaluations} rule evaluations, "
+        f"{counters.slots_marked} slots marked, "
+        f"{db.storage.disk.stats.reads} disk reads"
+    )
+
+
+if __name__ == "__main__":
+    main()

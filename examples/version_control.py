@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Delta-based versions and configurations (Section 3).
+
+A project database evolves through tagged versions; an urgent fix branches
+off an old release; configurations bind components to versions the way a
+release manifest would.  Note the delta economy: each version stores only
+the primitive changes, however far their derived effects reached.
+
+Run:  python examples/version_control.py
+"""
+
+from repro.env.project import ProjectDatabase
+from repro.versions import ConfigurationManager, VersionStream
+
+
+def main() -> None:
+    project = ProjectDatabase()
+    stream = VersionStream(project.db, name="product")
+
+    # -- version 1.0 ------------------------------------------------------
+    project.add_component("product", cost=5)
+    project.add_component("server", cost=40, parent="product")
+    project.add_component("client", cost=25, parent="product")
+    v1 = stream.tag("1.0")
+    print(f"1.0 tagged: {v1.record_count()} log records, "
+          f"~{v1.change_size()} bytes")
+    print("   product cost:", project.total_cost("product"))
+
+    # -- development toward 2.0 ---------------------------------------------
+    project.add_component("cache", cost=12, parent="server")
+    bug = project.file_bug("client", "scroll glitch", severity=3)
+    v2 = stream.tag("2.0")
+    print(f"2.0 tagged: {v2.record_count()} records")
+    print("   product cost:", project.total_cost("product"),
+          "health:", project.health("product"))
+
+    # -- hotfix branch off 1.0 ------------------------------------------------
+    stream.checkout("1.0")
+    print("\nchecked out 1.0 ->", "cost:", project.total_cost("product"))
+    project.set_cost("server", 45)  # the emergency patch
+    stream.tag("1.0.1")
+    print("tagged 1.0.1 with the patch; tips:",
+          ", ".join(sorted(v.name for v in stream.tips())))
+
+    # -- back to the mainline ---------------------------------------------------
+    stream.checkout("2.0")
+    print("\nback on 2.0 -> cost:", project.total_cost("product"),
+          "health:", project.health("product"))
+    project.close_bug(bug)
+    stream.tag("2.0.1")
+    print("closed the bug, tagged 2.0.1 -> health:",
+          project.health("product"))
+
+    # -- configurations ------------------------------------------------------
+    manager = ConfigurationManager()
+    manager.add_component("product", stream)
+    manager.define("lts", {"product": "1.0.1"},
+                   description="long-term support line")
+    manager.define("stable", {"product": "2.0.1"},
+                   description="current stable")
+    print("\nconfigurations differ in:",
+          manager.diff("lts", "stable"))
+
+    manager.materialize("lts")
+    print("materialized lts  -> cost:", project.total_cost("product"))
+    manager.materialize("stable")
+    print("materialized stable -> cost:", project.total_cost("product"),
+          "health:", project.health("product"))
+
+    print("\nversion tree:")
+    for version in stream.versions.values():
+        parent = (
+            stream.versions[version.parent].name
+            if version.parent is not None
+            else "-"
+        )
+        print(f"   {version.name:<7} parent={parent:<7} "
+              f"records={version.record_count()}")
+
+
+if __name__ == "__main__":
+    main()

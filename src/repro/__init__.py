@@ -1,0 +1,142 @@
+"""repro -- a reproduction of Cactis (Hudson & King, SIGMOD 1987).
+
+"Object-Oriented Database Support for Software Environments" describes
+Cactis: an object-oriented DBMS built around *functionally-defined data*
+maintained by incremental attribute evaluation over an attributed graph,
+with disk-conscious chunk scheduling, usage-based clustering, space-
+efficient undo/rollback, predicate subtyping, and software-environment
+applications (a make facility and a milestone manager).
+
+Quickstart::
+
+    from repro import (
+        AttributeDef, AttrKind, Database, End, FlowDecl, Local, ObjectClass,
+        PortDef, Received, RelationshipType, Rule, AttributeTarget,
+        TransmitTarget, Schema,
+    )
+
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("dep", [FlowDecl("total", "integer", End.PLUG)])
+    )
+    schema.add_class(ObjectClass(
+        "node",
+        attributes=[
+            AttributeDef("weight", "integer"),
+            AttributeDef("total", "integer", AttrKind.DERIVED),
+        ],
+        ports=[
+            PortDef("inputs", "dep", End.SOCKET, multi=True),
+            PortDef("outputs", "dep", End.PLUG, multi=True),
+        ],
+        rules=[
+            Rule(AttributeTarget("total"),
+                 {"w": Local("weight"), "ins": Received("inputs", "total")},
+                 lambda w, ins: w + sum(ins)),
+            Rule(TransmitTarget("outputs", "total"),
+                 {"t": Local("total")}, lambda t: t),
+        ],
+    ))
+    db = Database(schema)
+    a, b = db.create("node", weight=1), db.create("node", weight=2)
+    db.connect(b, "inputs", a, "outputs")
+    assert db.get_attr(b, "total") == 3
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced claim.
+"""
+
+from repro.core import (
+    TIME0,
+    Predicate,
+    attr_between,
+    attr_eq,
+    attr_ge,
+    attr_gt,
+    attr_in,
+    attr_le,
+    attr_lt,
+    attr_ne,
+    attr_satisfies,
+    count_connections,
+    more_connections_than,
+    received_sum,
+    TIME_FUTURE,
+    AtomRegistry,
+    AtomType,
+    AttrKind,
+    AttributeDef,
+    AttributeTarget,
+    Constraint,
+    Database,
+    End,
+    FlowDecl,
+    InstanceView,
+    Local,
+    ObjectClass,
+    PortDef,
+    Received,
+    RelationshipType,
+    Rule,
+    Schema,
+    SelfRef,
+    SubtypePredicate,
+    TransmitTarget,
+    later_of,
+    later_than,
+)
+from repro.errors import (
+    CactisError,
+    ConstraintViolation,
+    CycleError,
+    SchemaError,
+    TransactionAborted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomRegistry",
+    "AtomType",
+    "AttrKind",
+    "AttributeDef",
+    "AttributeTarget",
+    "CactisError",
+    "Constraint",
+    "ConstraintViolation",
+    "CycleError",
+    "Database",
+    "End",
+    "FlowDecl",
+    "InstanceView",
+    "Local",
+    "ObjectClass",
+    "PortDef",
+    "Predicate",
+    "Received",
+    "attr_between",
+    "attr_eq",
+    "attr_ge",
+    "attr_gt",
+    "attr_in",
+    "attr_le",
+    "attr_lt",
+    "attr_ne",
+    "attr_satisfies",
+    "count_connections",
+    "more_connections_than",
+    "received_sum",
+    "RelationshipType",
+    "Rule",
+    "Schema",
+    "SchemaError",
+    "SelfRef",
+    "SubtypePredicate",
+    "TIME0",
+    "TIME_FUTURE",
+    "TransactionAborted",
+    "TransmitTarget",
+    "later_of",
+    "later_than",
+    "__version__",
+]

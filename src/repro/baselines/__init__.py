@@ -1,0 +1,33 @@
+"""Baseline propagation strategies from the paper's Section 2.2 comparison.
+
+* :mod:`repro.baselines.triggers` -- eager recursive trigger firing in
+  depth-first and breadth-first fixed orders (recomputes once per path;
+  exponential in the worst case).
+* :mod:`repro.baselines.full_recompute` -- recompute every derived value on
+  any change ("clearly too expensive").
+
+Use them through :class:`repro.core.database.Database`'s ``engine_factory``::
+
+    db = Database(schema, engine_factory=depth_first_factory())
+"""
+
+from repro.baselines.full_recompute import FullRecomputeEngine, full_recompute_factory
+from repro.baselines.triggers import (
+    BreadthFirstTriggerEngine,
+    DepthFirstTriggerEngine,
+    EagerTriggerEngine,
+    TriggerBudgetExceeded,
+    breadth_first_factory,
+    depth_first_factory,
+)
+
+__all__ = [
+    "BreadthFirstTriggerEngine",
+    "DepthFirstTriggerEngine",
+    "EagerTriggerEngine",
+    "FullRecomputeEngine",
+    "TriggerBudgetExceeded",
+    "breadth_first_factory",
+    "depth_first_factory",
+    "full_recompute_factory",
+]

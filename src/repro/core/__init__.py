@@ -1,0 +1,101 @@
+"""The Cactis data model: schema, instances, rules, and the database facade.
+
+* :mod:`repro.core.atoms` -- atomic value types (+ ``later_of`` /
+  ``later_than`` / ``TIME0`` from the paper's figures).
+* :mod:`repro.core.schema` -- object classes, relationship types, ports,
+  predicate subtypes, schema freezing and validation.
+* :mod:`repro.core.rules` -- attribute evaluation rules with declared
+  dependencies; constraints; subtype predicates.
+* :mod:`repro.core.slots` -- the (instance, name) dependency unit.
+* :mod:`repro.core.instance` -- runtime instance records.
+* :mod:`repro.core.subtypes` -- dynamic predicate-subtype membership.
+* :mod:`repro.core.database` -- the facade exposing the Cactis primitives.
+"""
+
+from repro.core.atoms import (
+    TIME0,
+    TIME_FUTURE,
+    AtomRegistry,
+    AtomType,
+    later_of,
+    later_than,
+)
+from repro.core.database import Database, InstanceView
+from repro.core.instance import Connection, Instance
+from repro.core.predicates import (
+    Predicate,
+    attr_between,
+    attr_eq,
+    attr_ge,
+    attr_gt,
+    attr_in,
+    attr_le,
+    attr_lt,
+    attr_ne,
+    attr_satisfies,
+    count_connections,
+    more_connections_than,
+    received_sum,
+)
+from repro.core.rules import (
+    AttributeTarget,
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    SelfRef,
+    SubtypePredicate,
+    TransmitTarget,
+)
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+
+__all__ = [
+    "AtomRegistry",
+    "AtomType",
+    "AttrKind",
+    "AttributeDef",
+    "AttributeTarget",
+    "Connection",
+    "Constraint",
+    "Database",
+    "End",
+    "FlowDecl",
+    "Instance",
+    "InstanceView",
+    "Local",
+    "ObjectClass",
+    "PortDef",
+    "Predicate",
+    "Received",
+    "attr_between",
+    "attr_eq",
+    "attr_ge",
+    "attr_gt",
+    "attr_in",
+    "attr_le",
+    "attr_lt",
+    "attr_ne",
+    "attr_satisfies",
+    "count_connections",
+    "more_connections_than",
+    "received_sum",
+    "RelationshipType",
+    "Rule",
+    "Schema",
+    "SelfRef",
+    "SubtypePredicate",
+    "TIME0",
+    "TIME_FUTURE",
+    "TransmitTarget",
+    "later_of",
+    "later_than",
+]

@@ -1,0 +1,152 @@
+"""Atomic value types.
+
+A Cactis database is built from *abstract objects* and *atomic objects*:
+"strings, reals, integers, booleans, arrays, and records".  Attributes "may
+be of any C data type, except pointer".  This module provides the registry of
+atomic types, value validation/coercion, and the ``time`` type used by the
+milestone and make examples (the paper manipulates modification times with
+``later_of`` / ``later_than`` and the distinguished constant ``TIME0``).
+
+Atomic types are intentionally simple: each is a named checker with a default
+value.  Schemas refer to them by name (``"integer"``, ``"time"`` ...) so the
+DSL can resolve type names textually, and applications may register their own
+atom types (the paper stresses that "the Cactis data model can support
+arbitrary types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import AtomTypeError, SchemaError
+
+# The distinguished "beginning of time" constant from Figure 1, and the
+# "time in the distant future" that file_mod_time returns for missing files.
+TIME0 = 0
+TIME_FUTURE = 2**62
+
+
+@dataclass(frozen=True)
+class AtomType:
+    """A named atomic value type.
+
+    Parameters
+    ----------
+    name:
+        The name schemas use to refer to the type (e.g. ``"integer"``).
+    check:
+        Predicate returning True when a value conforms to the type.
+    default:
+        Value given to intrinsic attributes that are not initialised
+        explicitly, and to transmitted values across unconnected (dangling)
+        relationships -- the paper's "dummy instances" provide exactly this.
+    coerce:
+        Optional normalising conversion applied before storage (e.g. ``int``
+        for booleans written as 0/1).  When absent, values are stored as-is.
+    """
+
+    name: str
+    check: Callable[[Any], bool]
+    default: Any
+    coerce: Callable[[Any], Any] | None = None
+
+    def validate(self, value: Any) -> Any:
+        """Return the (possibly coerced) value, or raise :class:`AtomTypeError`."""
+        if self.coerce is not None:
+            try:
+                value = self.coerce(value)
+            except (TypeError, ValueError) as exc:
+                raise AtomTypeError(
+                    f"value {value!r} is not coercible to atom type {self.name!r}"
+                ) from exc
+        if not self.check(value):
+            raise AtomTypeError(
+                f"value {value!r} does not conform to atom type {self.name!r}"
+            )
+        return value
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_real(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_array(value: Any) -> bool:
+    return isinstance(value, (list, tuple))
+
+
+def _is_record(value: Any) -> bool:
+    return isinstance(value, dict)
+
+
+def _to_real(value: Any) -> float:
+    """Normalise numbers to float; rejects strings and booleans."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"not a real number: {value!r}")
+    return float(value)
+
+
+class AtomRegistry:
+    """Registry mapping atom type names to :class:`AtomType` objects.
+
+    Every schema owns a registry pre-populated with the built-in types; user
+    code may add new types with :meth:`register`, reflecting the paper's
+    extensibility requirement.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, AtomType] = {}
+        for atom in _builtin_atoms():
+            self._types[atom.name] = atom
+
+    def register(self, atom: AtomType) -> AtomType:
+        """Add a new atom type; the name must not already be taken."""
+        if atom.name in self._types:
+            raise SchemaError(f"atom type {atom.name!r} is already registered")
+        self._types[atom.name] = atom
+        return atom
+
+    def get(self, name: str) -> AtomType:
+        """Look up an atom type by name, raising :class:`SchemaError` if absent."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise SchemaError(f"unknown atom type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> list[str]:
+        """All registered type names, sorted."""
+        return sorted(self._types)
+
+
+def _builtin_atoms() -> list[AtomType]:
+    return [
+        AtomType("integer", _is_int, 0),
+        AtomType("real", _is_real, 0.0, coerce=_to_real),
+        AtomType("boolean", lambda v: isinstance(v, bool), False),
+        AtomType("string", lambda v: isinstance(v, str), ""),
+        # "time" is an integer-valued logical clock; the examples in the
+        # paper (milestones, make) only need ordering and addition.
+        AtomType("time", _is_int, TIME0),
+        AtomType("array", _is_array, (), coerce=tuple),
+        AtomType("record", _is_record, None),
+        # "any" disables checking; used by generic tooling and by transmitted
+        # values whose type depends on the transmitting subtype.
+        AtomType("any", lambda v: True, None),
+    ]
+
+
+def later_of(a: int, b: int) -> int:
+    """The later of two time values (builtin used by Figures 1 and 3)."""
+    return a if a >= b else b
+
+
+def later_than(a: int, b: int) -> bool:
+    """True when time ``a`` is strictly after time ``b`` (Figures 1 and 4)."""
+    return a > b

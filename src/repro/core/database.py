@@ -1,0 +1,991 @@
+"""The Cactis database facade.
+
+Ties every substrate together and exposes the paper's primitives:
+
+    "The Cactis primitives include operations for creating and deleting
+    object type instances, establishing and breaking relationships between
+    instances, defining predicates and subtypes, and primitives for
+    retrieving and replacing attribute values.  These primitive actions are
+    augmented by the meta-action *Undo*."
+
+* **creating / deleting instances** -- :meth:`Database.create`,
+  :meth:`Database.delete`;
+* **establishing / breaking relationships** -- :meth:`Database.connect`,
+  :meth:`Database.disconnect`;
+* **retrieving / replacing attribute values** -- :meth:`Database.get_attr`,
+  :meth:`Database.set_attr` (plus :meth:`Database.get_transmitted` for
+  values sent across relationships);
+* **Undo** -- :meth:`Database.undo`, with full transaction control via
+  :meth:`Database.begin` / :meth:`Database.commit` / :meth:`Database.abort`
+  and the :meth:`Database.transaction` context manager;
+* predicates and subtypes live in the :class:`~repro.core.schema.Schema`,
+  which may be extended dynamically (:meth:`Database.extend_schema`).
+
+The Database is also the :class:`~repro.evaluation.host.EvaluationHost`: it
+owns the dependency graph, resolves rules and bindings, and fields the
+constraint / subtype callbacks from the engine.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.instance import Connection, Instance
+from repro.core.rules import (
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    SelfRef,
+    constraint_name_of,
+    is_constraint_attr,
+    is_subtype_attr,
+    subtype_attr_name,
+    subtype_name_of,
+)
+from repro.core.schema import AttributeDef, PortDef, Schema
+from repro.core.slots import (
+    Slot,
+    attr_slot,
+    is_transmit_name,
+    split_transmit_name,
+    transmit_name,
+    transmit_slot,
+)
+from repro.core.subtypes import SubtypeManager
+from repro.errors import (
+    ConnectionError_,
+    ConstraintViolation,
+    CycleError,
+    IntrinsicOnlyError,
+    RuleEvaluationError,
+    SchemaError,
+    TransactionAborted,
+    UnknownAttributeError,
+    UnknownInstanceError,
+)
+from repro.evaluation.engine import IncrementalEngine
+from repro.evaluation.host import DepBinding
+from repro.evaluation.scheduler import Policy
+from repro.storage.clustering import greedy_cluster, worst_case_estimates
+from repro.storage.manager import StorageManager
+from repro.txn.log import (
+    ConnectRecord,
+    CreateRecord,
+    DeleteRecord,
+    DisconnectRecord,
+    LogRecord,
+    SetAttrRecord,
+)
+from repro.txn.transaction import TransactionManager
+
+
+class Database:
+    """An open Cactis database over a frozen schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        block_capacity: int = 4096,
+        pool_capacity: int = 8,
+        policy: Policy = "greedy",
+        engine_factory: Callable[["Database"], Any] | None = None,
+        detect_cycles: bool = True,
+        eager: bool = False,
+    ) -> None:
+        if not schema.frozen:
+            schema.freeze()
+        self.schema = schema
+        #: reject cycle-forming connects eagerly ("Cactis does not support
+        #: data cycles").  Disable only for benchmarks that measure raw
+        #: connect throughput; lazy detection at demand time still applies.
+        self.detect_cycles = detect_cycles
+        self.storage = StorageManager(block_capacity, pool_capacity)
+        self.usage = self.storage.usage
+        from repro.graph.depgraph import DependencyGraph
+
+        self.depgraph = DependencyGraph()
+        # ``engine_factory`` swaps in a baseline propagation strategy
+        # (see :mod:`repro.baselines`); the default is the paper's engine.
+        if engine_factory is None:
+            self.engine = IncrementalEngine(self, policy=policy, eager=eager)
+        else:
+            self.engine = engine_factory(self)
+        self.txn = TransactionManager(self)
+        self.subtypes = SubtypeManager(self)
+        self._catalog: dict[int, Instance] = {}
+        self._next_iid = 1
+        self._rulemaps: dict[tuple, dict[str, Rule]] = {}
+        self._attrmaps: dict[tuple, dict[str, AttributeDef]] = {}
+        self._unchecked_constraints: set[Slot] = set()
+        self._in_recovery: set[Slot] = set()
+        self._primitive_depth = 0
+
+    # ------------------------------------------------------------------
+    # catalog access
+    # ------------------------------------------------------------------
+
+    def instance(self, iid: int) -> Instance:
+        try:
+            return self._catalog[iid]
+        except KeyError:
+            raise UnknownInstanceError(f"no instance with id {iid}") from None
+
+    def exists(self, iid: int) -> bool:
+        return iid in self._catalog
+
+    def instance_ids(self) -> list[int]:
+        return sorted(self._catalog)
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    # ------------------------------------------------------------------
+    # effective structure (class + active predicate subtypes)
+    # ------------------------------------------------------------------
+
+    def _effective_key(self, instance: Instance) -> tuple:
+        return (
+            self.schema.version,
+            instance.class_name,
+            tuple(sorted(instance.active_subtypes)),
+        )
+
+    def invalidate_rulemap(self, iid: int) -> None:
+        """Drop cached structure views after a membership flip.
+
+        The cache is keyed by (class, active subtypes), so flips simply
+        select a different key; this hook exists for symmetry and future
+        finer-grained caching.
+        """
+
+    def _rulemap(self, instance: Instance) -> dict[str, Rule]:
+        key = self._effective_key(instance)
+        cached = self._rulemaps.get(key)
+        if cached is not None:
+            return cached
+        base = self.schema.resolved(instance.class_name)
+        rulemap = dict(base.rule_for)
+        for subtype in sorted(instance.active_subtypes):
+            for rule in self.subtypes.delta_rules(instance.class_name, subtype):
+                rulemap[_rule_slot_name(rule)] = rule
+        self._rulemaps[key] = rulemap
+        return rulemap
+
+    def _attrmap(self, instance: Instance) -> dict[str, AttributeDef]:
+        key = self._effective_key(instance)
+        cached = self._attrmaps.get(key)
+        if cached is not None:
+            return cached
+        base = self.schema.resolved(instance.class_name)
+        attrmap = dict(base.attributes)
+        for subtype in sorted(instance.active_subtypes):
+            attrmap.update(self.schema.resolved(subtype).attributes)
+        self._attrmaps[key] = attrmap
+        return attrmap
+
+    def _port_def(self, instance: Instance, port: str) -> PortDef:
+        base = self.schema.resolved(instance.class_name)
+        if port in base.ports:
+            return base.ports[port]
+        for subtype in sorted(instance.active_subtypes):
+            view = self.schema.resolved(subtype)
+            if port in view.ports:
+                return view.ports[port]
+        return base.port(port)  # raises UnknownRelationshipError
+
+    def default_for_attr(self, attr: AttributeDef) -> Any:
+        if attr.default is not None:
+            return attr.default
+        return self.schema.atoms.get(attr.atom).default
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _primitive(self) -> Iterator[None]:
+        """Delimits one user-level primitive.
+
+        On success at depth zero, an implicit (autocommit) transaction is
+        committed.  A constraint violation raised by the propagation wave
+        rolls back the *whole* enclosing transaction -- "whenever an
+        attribute which is designated as testing a constraint evaluates to
+        false, rollback of the current transaction is performed" -- and
+        surfaces as :class:`TransactionAborted`.  Cycle and rule errors
+        roll back the same way but re-raise their own type.
+        """
+        self._primitive_depth += 1
+        try:
+            yield
+        except (ConstraintViolation, CycleError, RuleEvaluationError) as exc:
+            self._primitive_depth -= 1
+            if self._primitive_depth == 0:
+                self.engine.reset_wave()
+                if self.txn.in_transaction:
+                    self.txn.abort()
+                if isinstance(exc, ConstraintViolation):
+                    raise TransactionAborted(str(exc)) from exc
+            raise
+        else:
+            self._primitive_depth -= 1
+            if self._primitive_depth == 0:
+                self.txn.finish_autocommit()
+
+    def create(self, class_name: str, **intrinsics: Any) -> int:
+        """Create an instance of ``class_name`` with the given intrinsics.
+
+        Unspecified intrinsic attributes take their declared (or atom-type)
+        defaults.  Per the paper, creation "does not affect attribute
+        evaluation until relationships are established"; constraints on the
+        fresh instance are audited at commit.
+        """
+        with self._primitive():
+            resolved = self.schema.resolved(class_name)
+            raw = self.schema.classes[class_name]
+            if raw.predicate is not None:
+                raise SchemaError(
+                    f"{class_name!r} is a predicate subtype; instances join it "
+                    f"by satisfying its predicate, not by direct creation"
+                )
+            attrs: dict[str, Any] = {}
+            for attr in resolved.attributes.values():
+                if not attr.intrinsic:
+                    continue
+                if attr.name in intrinsics:
+                    atom = self.schema.atoms.get(attr.atom)
+                    attrs[attr.name] = atom.validate(intrinsics.pop(attr.name))
+                else:
+                    attrs[attr.name] = self.default_for_attr(attr)
+            if intrinsics:
+                raise UnknownAttributeError(
+                    f"class {class_name!r} has no intrinsic attributes "
+                    f"{sorted(intrinsics)}"
+                )
+            iid = self._next_iid
+            self._next_iid += 1
+            self._do_create(iid, class_name, attrs)
+            self.txn.log(
+                CreateRecord(iid=iid, class_name=class_name, intrinsics=dict(attrs))
+            )
+            return iid
+
+    def _do_create(
+        self,
+        iid: int,
+        class_name: str,
+        attrs: dict[str, Any],
+        active_subtypes: Iterable[str] = (),
+    ) -> None:
+        instance = Instance(iid, class_name)
+        instance.attrs = dict(attrs)
+        instance.active_subtypes = set(active_subtypes)
+        self._catalog[iid] = instance
+        self.storage.place(iid, instance.record_size())
+        self.storage.touch(iid, dirty=True)
+        for rule in self._rulemap(instance).values():
+            self.add_rule_edges(iid, rule)
+            name = _rule_slot_name(rule)
+            if is_constraint_attr(name):
+                self._unchecked_constraints.add((iid, name))
+
+    def delete(self, iid: int) -> None:
+        """Delete an instance: break all relationships, then remove it.
+
+        "The primitive to delete an instance can be treated the same as
+        breaking all relationships to the instance."
+        """
+        with self._primitive():
+            instance = self.instance(iid)
+            for port, conn in list(instance.all_connections()):
+                self.disconnect(iid, port, conn.peer, conn.peer_port)
+            snapshot = instance.snapshot()
+            # Preserve out-of-date marks: a restored instance must not serve
+            # cached derived values that were stale at delete time.
+            snapshot["out_of_date"] = [
+                name
+                for (slot_iid, name) in self.engine.out_of_date
+                if slot_iid == iid
+            ]
+            self.txn.log(DeleteRecord(snapshot=snapshot))
+            self._do_delete(iid)
+
+    def _do_delete(self, iid: int) -> None:
+        instance = self.instance(iid)
+        for slot in self._all_slots(instance):
+            self.depgraph.remove_slot(slot)
+            self.engine.forget_slot(slot)
+            self._unchecked_constraints.discard(slot)
+        self.storage.remove(iid)
+        self.usage.forget_instance(iid)
+        del self._catalog[iid]
+
+    def _all_slots(self, instance: Instance) -> list[Slot]:
+        names = set(instance.attrs)
+        names.update(self._rulemap(instance))
+        return [(instance.iid, name) for name in names]
+
+    def connect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
+        """Establish a relationship between two instances' ports."""
+        with self._primitive():
+            inst_a = self.instance(iid_a)
+            inst_b = self.instance(iid_b)
+            def_a = self._port_def(inst_a, port_a)
+            def_b = self._port_def(inst_b, port_b)
+            if def_a.rel_type != def_b.rel_type:
+                raise ConnectionError_(
+                    f"port {port_a!r} ({def_a.rel_type}) cannot connect to "
+                    f"port {port_b!r} ({def_b.rel_type}): relationship types differ"
+                )
+            if def_a.end is def_b.end:
+                raise ConnectionError_(
+                    f"both ports are {def_a.end.value}s; a plug must connect "
+                    f"to a socket"
+                )
+            if iid_a == iid_b and port_a == port_b:
+                raise ConnectionError_(
+                    f"cannot connect port {port_a!r} of instance {iid_a} to itself"
+                )
+            conn_ab = Connection(iid_b, port_b)
+            if inst_a.is_connected(port_a, conn_ab):
+                raise ConnectionError_(
+                    f"instances {iid_a}.{port_a} and {iid_b}.{port_b} are "
+                    f"already connected"
+                )
+            if not def_a.multi and inst_a.connections_on(port_a):
+                raise ConnectionError_(
+                    f"port {port_a!r} of instance {iid_a} is single-valued "
+                    f"and already connected"
+                )
+            if not def_b.multi and inst_b.connections_on(port_b):
+                raise ConnectionError_(
+                    f"port {port_b!r} of instance {iid_b} is single-valued "
+                    f"and already connected"
+                )
+            # Log before the propagation wave runs: a constraint vetoing the
+            # connection must find the ConnectRecord in the undo log.
+            self.txn.log(ConnectRecord(iid_a, port_a, iid_b, port_b))
+            self._do_connect(iid_a, port_a, iid_b, port_b)
+
+    def _do_connect(
+        self,
+        iid_a: int,
+        port_a: str,
+        iid_b: int,
+        port_b: str,
+        index_a: int | None = None,
+        index_b: int | None = None,
+    ) -> None:
+        inst_a = self.instance(iid_a)
+        inst_b = self.instance(iid_b)
+        self.storage.touch(iid_a, dirty=True)
+        self.storage.touch(iid_b, dirty=True)
+        inst_a.add_connection(port_a, Connection(iid_b, port_b), index_a)
+        inst_b.add_connection(port_b, Connection(iid_a, port_a), index_b)
+        self.storage.resize(iid_a, inst_a.record_size())
+        self.storage.resize(iid_b, inst_b.record_size())
+        edges = self._connection_edges(iid_a, port_a, iid_b, port_b, add=True)
+        # "Cactis does not support data cycles": reject a connection that
+        # closes one.  The check walks dependents from each new edge's head
+        # looking back at its tail -- cheap when the downstream region is
+        # small (the common case while building a graph).  Raising here
+        # unwinds the whole primitive via the undo log.
+        if self.detect_cycles:
+            for src, dst in edges:
+                path = self._find_dependent_path(dst, src)
+                if path is not None:
+                    raise CycleError(path + [dst])
+        # "When a relationship is established, the second half of the
+        # attribute evaluation algorithm is invoked" -- marking the affected
+        # consumers triggers evaluation of important ones.
+        if edges:
+            self.engine.invalidate_derived([dst for __, dst in edges])
+
+    def disconnect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
+        """Break a relationship between two instances' ports."""
+        with self._primitive():
+            # Find the positions up front so the record can be logged before
+            # the propagation wave (see connect for why).
+            inst_a = self.instance(iid_a)
+            inst_b = self.instance(iid_b)
+            conns_a = inst_a.connections_on(port_a)
+            conn_ab = Connection(iid_b, port_b)
+            if conn_ab not in conns_a:
+                raise ConnectionError_(
+                    f"instance {iid_a}: port {port_a!r} is not connected to "
+                    f"instance {iid_b} port {port_b!r}"
+                )
+            index_a = conns_a.index(conn_ab)
+            index_b = inst_b.connections_on(port_b).index(Connection(iid_a, port_a))
+            self.txn.log(
+                DisconnectRecord(iid_a, port_a, iid_b, port_b, index_a, index_b)
+            )
+            self._do_disconnect(iid_a, port_a, iid_b, port_b)
+
+    def _do_disconnect(
+        self, iid_a: int, port_a: str, iid_b: int, port_b: str
+    ) -> tuple[int, int]:
+        inst_a = self.instance(iid_a)
+        inst_b = self.instance(iid_b)
+        edges = self._connection_edges(iid_a, port_a, iid_b, port_b, add=False)
+        self.storage.touch(iid_a, dirty=True)
+        self.storage.touch(iid_b, dirty=True)
+        index_a = inst_a.remove_connection(port_a, Connection(iid_b, port_b))
+        index_b = inst_b.remove_connection(port_b, Connection(iid_a, port_a))
+        # "When a relationship is broken ... these attributes are marked out
+        # of date just as if an intrinsic attribute had changed."
+        if edges:
+            self.engine.invalidate_derived([dst for __, dst in edges])
+        return index_a, index_b
+
+    def _connection_edges(
+        self, iid_a: int, port_a: str, iid_b: int, port_b: str, add: bool
+    ) -> list[tuple[Slot, Slot]]:
+        """Add or remove the dependency edges induced by one connection.
+
+        Returns the ``(producer, consumer)`` edge pairs affected.
+        """
+        edges: list[tuple[Slot, Slot]] = []
+        for consumer, c_port, producer, p_port in (
+            (iid_a, port_a, iid_b, port_b),
+            (iid_b, port_b, iid_a, port_a),
+        ):
+            instance = self.instance(consumer)
+            for rule in self._rulemap(instance).values():
+                target = (consumer, _rule_slot_name(rule))
+                for __, received in rule.received_inputs():
+                    if received.port != c_port:
+                        continue
+                    src = transmit_slot(producer, p_port, received.value)
+                    if add:
+                        self.depgraph.add_edge(src, target)
+                    else:
+                        self.depgraph.remove_edge(src, target)
+                    edges.append((src, target))
+        return edges
+
+    def _find_dependent_path(self, start: Slot, goal: Slot) -> list[Slot] | None:
+        """BFS over dependents from ``start`` to ``goal`` (cycle witness)."""
+        if start == goal:
+            return [start]
+        parents: dict[Slot, Slot] = {start: start}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[Slot] = []
+            for slot in frontier:
+                for dep in self.depgraph.dependents(slot):
+                    if dep in parents:
+                        continue
+                    parents[dep] = slot
+                    if dep == goal:
+                        path = [dep]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    next_frontier.append(dep)
+            frontier = next_frontier
+        return None
+
+    def set_attr(self, iid: int, attr: str, value: Any) -> None:
+        """Replace the value of an intrinsic attribute (a primitive update)."""
+        with self._primitive():
+            instance = self.instance(iid)
+            attr_def = self._attrmap(instance).get(attr)
+            if attr_def is None:
+                raise UnknownAttributeError(
+                    f"class {instance.class_name!r} has no attribute {attr!r}"
+                )
+            if attr_def.derived:
+                raise IntrinsicOnlyError(
+                    f"attribute {attr!r} is derived; only intrinsic attributes "
+                    f"may be given new values directly"
+                )
+            value = self.schema.atoms.get(attr_def.atom).validate(value)
+            old = instance.attrs.get(attr)
+            if old == value and attr in instance.attrs:
+                return  # no observable change, no log, no propagation
+            self.txn.log(SetAttrRecord(iid, attr, old, value))
+            self._do_set_attr(iid, attr, value)
+
+    def _do_set_attr(self, iid: int, attr: str, value: Any) -> None:
+        instance = self.instance(iid)
+        self.storage.touch(iid, dirty=True)
+        instance.attrs[attr] = value
+        self.storage.resize(iid, instance.record_size())
+        self.engine.propagate_intrinsic_change(attr_slot(iid, attr))
+
+    def get_attr(self, iid: int, attr: str) -> Any:
+        """Retrieve an attribute value, evaluating it if out of date."""
+        instance = self.instance(iid)
+        if attr not in self._attrmap(instance) and not (
+            is_constraint_attr(attr) or is_subtype_attr(attr)
+        ):
+            raise UnknownAttributeError(
+                f"class {instance.class_name!r} has no attribute {attr!r}"
+            )
+        return self.engine.demand(attr_slot(iid, attr))
+
+    def get_transmitted(self, iid: int, port: str, value: str) -> Any:
+        """Retrieve a value the instance transmits across ``port``."""
+        instance = self.instance(iid)
+        self._port_def(instance, port)  # validates the port exists
+        slot = transmit_slot(iid, port, value)
+        if self.rule_for(slot) is None:
+            return self._flow_default(iid, port, value)
+        return self.engine.demand(slot)
+
+    def watch(self, iid: int, attr: str) -> None:
+        """Register a standing demand: keep ``attr`` eagerly evaluated.
+
+        The attribute is evaluated immediately (a watch is a query with a
+        future), so from this point on it is maintained through every
+        propagation wave until :meth:`unwatch`.
+        """
+        slot = attr_slot(iid, attr)
+        self.engine.register_demand(slot)
+        self.engine.demand(slot)
+
+    def unwatch(self, iid: int, attr: str) -> None:
+        self.engine.unregister_demand(attr_slot(iid, attr))
+
+    # ------------------------------------------------------------------
+    # transactions / undo
+    # ------------------------------------------------------------------
+
+    def begin(self, label: str = "") -> int:
+        return self.txn.begin(label)
+
+    def commit(self):
+        return self.txn.commit()
+
+    def abort(self) -> None:
+        self.txn.abort()
+
+    def undo(self):
+        """The Undo meta-action: roll back the last committed transaction."""
+        return self.txn.undo()
+
+    @contextmanager
+    def transaction(self, label: str = "") -> Iterator[None]:
+        """Run a block as one transaction; aborts on exception."""
+        self.begin(label)
+        try:
+            yield
+        except BaseException:
+            if self.txn.in_transaction:
+                self.abort()
+            raise
+        else:
+            self.commit()
+
+    def audit_constraints(self) -> None:
+        """Evaluate every unverified constraint; raises on violation."""
+        pending = {
+            slot
+            for slot in self.engine.out_of_date
+            if is_constraint_attr(slot[1])
+        }
+        pending.update(self._unchecked_constraints)
+        for slot in sorted(pending):
+            if slot[0] not in self._catalog:
+                self._unchecked_constraints.discard(slot)
+                continue
+            holds = self.engine.demand(slot)
+            if not holds:
+                raise ConstraintViolation(constraint_name_of(slot[1]), slot[0])
+
+    # -- undo-log replay (called by the transaction manager) -----------------
+
+    def apply_inverse(self, record: LogRecord) -> None:
+        if isinstance(record, SetAttrRecord):
+            self._do_set_attr(record.iid, record.attr, record.old_value)
+        elif isinstance(record, CreateRecord):
+            self._do_delete(record.iid)
+        elif isinstance(record, DeleteRecord):
+            snap = record.snapshot
+            self._do_create(
+                snap["iid"],
+                snap["class_name"],
+                snap["attrs"],
+                active_subtypes=snap["active_subtypes"],
+            )
+            for name in snap.get("out_of_date", ()):
+                self.engine.out_of_date.add((snap["iid"], name))
+        elif isinstance(record, ConnectRecord):
+            self._do_disconnect(
+                record.iid_a, record.port_a, record.iid_b, record.port_b
+            )
+        elif isinstance(record, DisconnectRecord):
+            self._do_connect(
+                record.iid_a,
+                record.port_a,
+                record.iid_b,
+                record.port_b,
+                record.index_a,
+                record.index_b,
+            )
+        else:  # pragma: no cover - exhaustive over LogRecord
+            raise TypeError(f"unknown log record {record!r}")
+
+    def apply_forward(self, record: LogRecord) -> None:
+        if isinstance(record, SetAttrRecord):
+            self._do_set_attr(record.iid, record.attr, record.new_value)
+        elif isinstance(record, CreateRecord):
+            self._do_create(record.iid, record.class_name, record.intrinsics)
+        elif isinstance(record, DeleteRecord):
+            self._do_delete(record.iid)
+        elif isinstance(record, ConnectRecord):
+            self._do_connect(
+                record.iid_a, record.port_a, record.iid_b, record.port_b
+            )
+        elif isinstance(record, DisconnectRecord):
+            self._do_disconnect(
+                record.iid_a, record.port_a, record.iid_b, record.port_b
+            )
+        else:  # pragma: no cover - exhaustive over LogRecord
+            raise TypeError(f"unknown log record {record!r}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def instances_of(self, class_name: str, include_subtypes: bool = True) -> list[int]:
+        """Instance ids belonging to a class (static or predicate-defined)."""
+        raw = self.schema.classes.get(class_name)
+        if raw is None:
+            self.schema.resolved(class_name)  # raises UnknownTypeError
+        assert raw is not None
+        if raw.predicate is not None:
+            return [
+                iid for iid in self.instance_ids() if self.is_member(iid, class_name)
+            ]
+        result = []
+        for iid in self.instance_ids():
+            cls = self._catalog[iid].class_name
+            if cls == class_name or (
+                include_subtypes and self.schema.is_subclass(cls, class_name)
+            ):
+                result.append(iid)
+        return result
+
+    def is_member(self, iid: int, class_name: str) -> bool:
+        """Type test covering static subclassing and predicate subtypes."""
+        instance = self.instance(iid)
+        raw = self.schema.classes.get(class_name)
+        if raw is None:
+            self.schema.resolved(class_name)
+        assert raw is not None
+        if raw.predicate is None:
+            return self.schema.is_subclass(instance.class_name, class_name)
+        if not self.schema.is_subclass(instance.class_name, raw.supertype or ""):
+            return False
+        return bool(self.engine.demand(attr_slot(iid, subtype_attr_name(class_name))))
+
+    def where(
+        self, class_name: str, predicate: Callable[["InstanceView"], bool]
+    ) -> list[int]:
+        """Instances of a class whose view satisfies ``predicate``."""
+        return [
+            iid
+            for iid in self.instances_of(class_name)
+            if predicate(InstanceView(self, iid))
+        ]
+
+    def select(self, class_name: str, predicate) -> list[int]:
+        """Instances of a class satisfying a combinator predicate.
+
+        ``predicate`` is a :class:`repro.core.predicates.Predicate`; its
+        declared inputs are resolved against each candidate instance (see
+        :meth:`~repro.core.predicates.Predicate.on_view`).
+        """
+        return [
+            iid
+            for iid in self.instances_of(class_name)
+            if predicate.on_view(InstanceView(self, iid))
+        ]
+
+    def view(self, iid: int) -> "InstanceView":
+        return InstanceView(self, iid)
+
+    # ------------------------------------------------------------------
+    # schema extension / reorganisation
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def extend_schema(self) -> Iterator[Schema]:
+        """Dynamically extend the type structure (new tools!).
+
+        Unfreezes the schema for the duration of the block and refreezes it
+        on exit, revalidating everything and expiring structure caches.
+        """
+        self.schema.unfreeze()
+        try:
+            yield self.schema
+        finally:
+            self.schema.freeze()
+            self._rulemaps.clear()
+            self._attrmaps.clear()
+            self._reconcile_after_extension()
+
+    def _reconcile_after_extension(self) -> None:
+        """Wire new/changed rules into existing instances after an extension.
+
+        Newly added rules (including predicate-subtype membership rules for
+        a subtype added while instances exist) get their dependency edges
+        installed, new intrinsic attributes get defaults, and every rule
+        target is invalidated so redefined computations take effect.  The
+        important ones (constraints, subtype membership) evaluate
+        immediately, flipping membership of pre-existing instances.
+        """
+        stale: list[Slot] = []
+        for iid, instance in self._catalog.items():
+            for attr in self._attrmap(instance).values():
+                if attr.intrinsic and attr.name not in instance.attrs:
+                    instance.attrs[attr.name] = self.default_for_attr(attr)
+            for rule in self._rulemap(instance).values():
+                self.add_rule_edges(iid, rule)
+                name = _rule_slot_name(rule)
+                if is_constraint_attr(name) and not self.has_slot_value((iid, name)):
+                    self._unchecked_constraints.add((iid, name))
+                stale.append((iid, name))
+        if stale:
+            self.engine.invalidate_derived(stale)
+
+    def neighbors(self, iid: int) -> list[tuple[str, int]]:
+        """Connection oracle used by the clustering algorithm."""
+        instance = self.instance(iid)
+        return [
+            (port, conn.peer) for port, conn in instance.all_connections()
+        ]
+
+    def reorganize(self) -> list[list[int]]:
+        """Run the paper's greedy clustering and install the new layout.
+
+        Also refreshes cluster-time worst-case statistics and resets the
+        usage counters for the next adaptation epoch.
+        """
+        sizes = {iid: inst.record_size() for iid, inst in self._catalog.items()}
+        layout = greedy_cluster(
+            sizes, self.neighbors, self.usage, self.storage.disk.block_capacity
+        )
+        self.storage.apply_layout(layout, lambda iid: sizes[iid])
+        estimates = worst_case_estimates(
+            self.instance_ids(), self.neighbors, self.storage.block_of
+        )
+        for (iid, port), estimate in estimates.items():
+            self.usage.set_worst_case(iid, port, estimate)
+        self.usage.reset_counters()
+        return layout
+
+    # ------------------------------------------------------------------
+    # EvaluationHost implementation
+    # ------------------------------------------------------------------
+
+    def rule_for(self, slot: Slot) -> Rule | None:
+        iid, name = slot
+        instance = self._catalog.get(iid)
+        if instance is None:
+            return None
+        return self._rulemap(instance).get(name)
+
+    def resolved_inputs(self, slot: Slot) -> list[DepBinding]:
+        iid, __ = slot
+        instance = self.instance(iid)
+        rule = self.rule_for(slot)
+        assert rule is not None, f"resolved_inputs on intrinsic slot {slot!r}"
+        bindings: list[DepBinding] = []
+        for kw, inp in rule.inputs.items():
+            if isinstance(inp, SelfRef):
+                bindings.append(DepBinding(kw=kw, self_ref=True))
+            elif isinstance(inp, Local):
+                bindings.append(DepBinding(kw=kw, slots=[(iid, inp.attr)]))
+            elif isinstance(inp, Received):
+                port_def = self._port_def(instance, inp.port)
+                slots = [
+                    transmit_slot(conn.peer, conn.peer_port, inp.value)
+                    for conn in instance.connections_on(inp.port)
+                ]
+                bindings.append(
+                    DepBinding(
+                        kw=kw,
+                        slots=slots,
+                        port=inp.port,
+                        multi=port_def.multi,
+                        default=self._flow_default(iid, inp.port, inp.value),
+                    )
+                )
+            else:  # pragma: no cover - exhaustive over Input
+                raise TypeError(f"unknown input declaration {inp!r}")
+        return bindings
+
+    def _flow_default(self, iid: int, port: str, value: str) -> Any:
+        """The dummy-instance value for a dangling (or rule-less) flow."""
+        instance = self.instance(iid)
+        port_def = self._port_def(instance, port)
+        rel = self.schema.relationship_type(port_def.rel_type)
+        flow = rel.flow(value)
+        if flow.default is not None:
+            return flow.default
+        return self.schema.atoms.get(flow.atom).default
+
+    def read_slot_value(self, slot: Slot) -> Any:
+        iid, name = slot
+        instance = self.instance(iid)
+        if name in instance.attrs:
+            return instance.attrs[name]
+        if is_transmit_name(name):
+            # A peer consumes a flow this class never computes: the flow
+            # default stands in (dummy-instance semantics).
+            port, value = split_transmit_name(name)
+            return self._flow_default(iid, port, value)
+        raise UnknownAttributeError(
+            f"instance {iid} has no stored value for slot {name!r}"
+        )
+
+    def write_slot_value(self, slot: Slot, value: Any) -> None:
+        iid, name = slot
+        instance = self.instance(iid)
+        instance.attrs[name] = value
+        self.storage.resize(iid, instance.record_size())
+
+    def has_slot_value(self, slot: Slot) -> bool:
+        iid, name = slot
+        instance = self._catalog.get(iid)
+        return instance is not None and name in instance.attrs
+
+    def receive_port_between(self, consumer: Slot, producer: Slot) -> str | None:
+        rule = self.rule_for(consumer)
+        if rule is None:
+            return None
+        instance = self._catalog.get(consumer[0])
+        if instance is None:
+            return None
+        producer_iid, producer_name = producer
+        for __, received in rule.received_inputs():
+            for conn in instance.connections_on(received.port):
+                if (
+                    conn.peer == producer_iid
+                    and transmit_name(conn.peer_port, received.value)
+                    == producer_name
+                ):
+                    return received.port
+        return None
+
+    def handle_constraint_result(self, slot: Slot, holds: bool) -> None:
+        if holds:
+            self._unchecked_constraints.discard(slot)
+            return
+        if self.txn.rolling_back:
+            # Restoring previously consistent state must not be vetoed.
+            return
+        iid, name = slot
+        cname = constraint_name_of(name)
+        constraint = self._constraint_def(iid, cname)
+        if (
+            constraint is not None
+            and constraint.recovery is not None
+            and slot not in self._in_recovery
+        ):
+            self._in_recovery.add(slot)
+            try:
+                constraint.recovery(self, iid)
+                if bool(self.engine.demand(slot)):
+                    self._unchecked_constraints.discard(slot)
+                    return
+            finally:
+                self._in_recovery.discard(slot)
+        raise ConstraintViolation(cname, iid)
+
+    def _constraint_def(self, iid: int, cname: str) -> Constraint | None:
+        instance = self._catalog.get(iid)
+        if instance is None:
+            return None
+        for cls_name in (instance.class_name, *sorted(instance.active_subtypes)):
+            for constraint in self.schema.resolved(cls_name).constraints:
+                if constraint.name == cname:
+                    return constraint
+        return None
+
+    def handle_subtype_result(self, slot: Slot, member: bool) -> None:
+        iid, name = slot
+        subtype = subtype_name_of(name)
+        if member:
+            self.subtypes.attach(iid, subtype)
+        else:
+            self.subtypes.detach(iid, subtype)
+
+    def note_unchecked_constraint(self, slot: Slot) -> None:
+        self._unchecked_constraints.add(slot)
+
+    def forget_unchecked_constraint(self, slot: Slot) -> None:
+        self._unchecked_constraints.discard(slot)
+
+    # -- dependency-edge helpers (shared with SubtypeManager) ----------------
+
+    def add_rule_edges(self, iid: int, rule: Rule) -> None:
+        """Install the dependency edges a rule induces for one instance."""
+        instance = self.instance(iid)
+        target = (iid, _rule_slot_name(rule))
+        for __, inp in rule.inputs.items():
+            if isinstance(inp, Local):
+                self.depgraph.add_edge((iid, inp.attr), target)
+            elif isinstance(inp, Received):
+                for conn in instance.connections_on(inp.port):
+                    self.depgraph.add_edge(
+                        transmit_slot(conn.peer, conn.peer_port, inp.value), target
+                    )
+
+    def remove_rule_edges(self, iid: int, rule: Rule) -> None:
+        instance = self.instance(iid)
+        target = (iid, _rule_slot_name(rule))
+        for __, inp in rule.inputs.items():
+            if isinstance(inp, Local):
+                self.depgraph.remove_edge((iid, inp.attr), target)
+            elif isinstance(inp, Received):
+                for conn in instance.connections_on(inp.port):
+                    self.depgraph.remove_edge(
+                        transmit_slot(conn.peer, conn.peer_port, inp.value), target
+                    )
+
+
+class InstanceView:
+    """A light ergonomic wrapper: ``view["attr"]`` reads, ``view.set`` writes."""
+
+    __slots__ = ("_db", "iid")
+
+    def __init__(self, db: Database, iid: int) -> None:
+        self._db = db
+        self.iid = iid
+
+    def __getitem__(self, attr: str) -> Any:
+        return self._db.get_attr(self.iid, attr)
+
+    def get(self, attr: str) -> Any:
+        return self._db.get_attr(self.iid, attr)
+
+    def set(self, attr: str, value: Any) -> None:
+        self._db.set_attr(self.iid, attr, value)
+
+    @property
+    def class_name(self) -> str:
+        return self._db.instance(self.iid).class_name
+
+    @property
+    def active_subtypes(self) -> set[str]:
+        return set(self._db.instance(self.iid).active_subtypes)
+
+    def connections(self, port: str) -> list[int]:
+        return [c.peer for c in self._db.instance(self.iid).connections_on(port)]
+
+    def __repr__(self) -> str:
+        return f"InstanceView(iid={self.iid}, class={self.class_name!r})"
+
+
+def _rule_slot_name(rule: Rule) -> str:
+    from repro.core.rules import AttributeTarget
+
+    if isinstance(rule.target, AttributeTarget):
+        return rule.target.attr
+    return transmit_name(rule.target.port, rule.target.value)

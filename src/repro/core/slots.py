@@ -1,0 +1,60 @@
+"""Slot identifiers.
+
+The unit of dependency tracking in this reproduction is the *slot*: a pair
+``(instance_id, slot_name)``.  A slot is either
+
+* a **local attribute** of an instance -- slot name is the attribute name,
+  e.g. ``(7, "exp_compl")``; or
+* a **transmitted value** an instance sends out across one of its
+  relationship ports -- slot name is ``"<port>><value>"``, e.g.
+  ``(7, "consists_of>exp_time")`` for Figure 1's
+  ``consists_of exp_time = exp_compl`` rule.
+
+Both kinds can be derived (carry a rule) and both participate in the
+dependency graph.  Plain tuples keep the hot paths of the evaluator cheap;
+this module centralises construction and parsing of slot names so no other
+module hard-codes the ``>`` separator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Slot = Tuple[int, str]
+
+_SEP = ">"
+
+
+def attr_slot(instance_id: int, attr_name: str) -> Slot:
+    """Slot for a local attribute of an instance."""
+    return (instance_id, attr_name)
+
+
+def transmit_slot(instance_id: int, port: str, value_name: str) -> Slot:
+    """Slot for a value the instance transmits across ``port``."""
+    return (instance_id, transmit_name(port, value_name))
+
+
+def transmit_name(port: str, value_name: str) -> str:
+    """The slot-name encoding for a transmitted value."""
+    return f"{port}{_SEP}{value_name}"
+
+
+def is_transmit_name(slot_name: str) -> bool:
+    """True when the slot name denotes a transmitted value."""
+    return _SEP in slot_name
+
+
+def split_transmit_name(slot_name: str) -> tuple[str, str]:
+    """Decompose a transmitted slot name into ``(port, value_name)``."""
+    port, __, value = slot_name.partition(_SEP)
+    return port, value
+
+
+def describe(slot: Slot) -> str:
+    """Human-readable rendering used in error messages and traces."""
+    iid, name = slot
+    if is_transmit_name(name):
+        port, value = split_transmit_name(name)
+        return f"instance {iid}: value {value!r} transmitted on port {port!r}"
+    return f"instance {iid}: attribute {name!r}"

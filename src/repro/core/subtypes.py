@@ -1,0 +1,143 @@
+"""Dynamic predicate-subtype membership.
+
+"It is possible to use values such as the very_late attribute ... to change
+subtype membership of an object dynamically.  Thus we can add new attributes
+and hence new functionality to particular objects dynamically based on their
+properties -- again without disturbing existing tools."
+
+Membership of a predicate subtype is itself a derived boolean attribute (see
+:func:`repro.core.rules.subtype_attr_name`), evaluated by the ordinary
+incremental machinery.  When it flips, :class:`SubtypeManager` attaches or
+detaches the subtype's *delta structure* -- the attributes, rules, and
+constraints the subtype adds beyond what the instance already has:
+
+* on **attach**: missing intrinsic attributes are initialised to their
+  defaults, dependency edges for the subtype's delta rules are installed,
+  new constraint slots join the unchecked set, and any slot whose rule the
+  subtype *overrides* is invalidated so it recomputes under the new rule;
+* on **detach**: the delta edges are removed and overridden slots are
+  invalidated back to the supertype's rules.  Stored values of the
+  subtype's intrinsic attributes persist in the record, so a re-attach
+  finds them again (membership controls behaviour and visibility, not raw
+  storage).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.rules import Rule, constraint_attr_name
+from repro.core.schema import ResolvedClass
+from repro.core.slots import Slot, attr_slot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+class SubtypeManager:
+    """Applies predicate-subtype membership flips to instance structure."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        # (schema version, base class, subtype) -> delta rule list.
+        self._delta_cache: dict[tuple[int, str, str], list[Rule]] = {}
+
+    # -- structure deltas -----------------------------------------------------
+
+    def delta_rules(self, base_class: str, subtype: str) -> list[Rule]:
+        """Rules the subtype adds or overrides relative to the base class."""
+        key = (self.db.schema.version, base_class, subtype)
+        cached = self._delta_cache.get(key)
+        if cached is not None:
+            return cached
+        base = self.db.schema.resolved(base_class)
+        sub = self.db.schema.resolved(subtype)
+        delta = [
+            rule
+            for slot_name, rule in sub.rule_for.items()
+            if base.rule_for.get(slot_name) is not rule
+        ]
+        self._delta_cache[key] = delta
+        return delta
+
+    def overridden_slot_names(self, base_class: str, subtype: str) -> list[str]:
+        """Slot names whose rule differs between base and subtype views."""
+        base = self.db.schema.resolved(base_class)
+        return [
+            _slot_name_of(rule)
+            for rule in self.delta_rules(base_class, subtype)
+            if _slot_name_of(rule) in base.rule_for
+        ]
+
+    # -- flips ------------------------------------------------------------
+
+    def attach(self, iid: int, subtype: str) -> None:
+        """Make ``iid`` a member of ``subtype`` and install its structure."""
+        instance = self.db.instance(iid)
+        if subtype in instance.active_subtypes:
+            return
+        instance.active_subtypes.add(subtype)
+        self.db.invalidate_rulemap(iid)
+        base_class = instance.class_name
+        sub_view: ResolvedClass = self.db.schema.resolved(subtype)
+        # Initialise intrinsic attributes the subtype adds (values persist
+        # across detach/attach, so only missing ones are seeded).
+        for attr in sub_view.attributes.values():
+            if attr.intrinsic and attr.name not in instance.attrs:
+                instance.attrs[attr.name] = self.db.default_for_attr(attr)
+        # Install dependency edges for the delta rules.  Where the subtype
+        # overrides a base rule, the base edges come out first so the slot's
+        # dependencies reflect exactly one rule.
+        base = self.db.schema.resolved(base_class)
+        invalidate: list[Slot] = []
+        for rule in self.delta_rules(base_class, subtype):
+            slot_name = _slot_name_of(rule)
+            base_rule = base.rule_for.get(slot_name)
+            if base_rule is not None:
+                self.db.remove_rule_edges(iid, base_rule)
+            self.db.add_rule_edges(iid, rule)
+            invalidate.append((iid, slot_name))
+        # New constraints must be checked before the transaction commits.
+        base_constraints = {c.name for c in self.db.schema.resolved(base_class).constraints}
+        for constraint in sub_view.constraints:
+            if constraint.name not in base_constraints:
+                self.db.note_unchecked_constraint(
+                    attr_slot(iid, constraint_attr_name(constraint.name))
+                )
+        self.db.storage.resize(iid, instance.record_size())
+        if invalidate:
+            self.db.engine.invalidate_derived(invalidate)
+
+    def detach(self, iid: int, subtype: str) -> None:
+        """Remove ``iid`` from ``subtype`` and tear down its delta structure."""
+        instance = self.db.instance(iid)
+        if subtype not in instance.active_subtypes:
+            return
+        instance.active_subtypes.discard(subtype)
+        self.db.invalidate_rulemap(iid)
+        base_class = instance.class_name
+        overridden = self.overridden_slot_names(base_class, subtype)
+        for rule in self.delta_rules(base_class, subtype):
+            self.db.remove_rule_edges(iid, rule)
+            slot = (iid, _slot_name_of(rule))
+            self.db.engine.forget_slot(slot)
+            self.db.forget_unchecked_constraint(slot)
+        # Slots the subtype had overridden fall back to the base rules and
+        # must recompute; re-install the base edges first.
+        invalidate: list[Slot] = []
+        base = self.db.schema.resolved(base_class)
+        for slot_name in overridden:
+            base_rule = base.rule_for[slot_name]
+            self.db.add_rule_edges(iid, base_rule)
+            invalidate.append((iid, slot_name))
+        if invalidate:
+            self.db.engine.invalidate_derived(invalidate)
+
+
+def _slot_name_of(rule: Rule) -> str:
+    from repro.core.rules import AttributeTarget
+    from repro.core.slots import transmit_name
+
+    if isinstance(rule.target, AttributeTarget):
+        return rule.target.attr
+    return transmit_name(rule.target.port, rule.target.value)

@@ -1,0 +1,24 @@
+"""Distributed Cactis -- the future-work direction of Section 5.
+
+Sites are ordinary databases; :class:`Federation` shares transmitted
+values across them through mirror objects and explicit, change-only
+synchronisation.  See :mod:`repro.distributed.federation`.
+"""
+
+from repro.distributed.federation import (
+    CrossLink,
+    Federation,
+    FederationError,
+    SyncReport,
+    mirror_attr_name,
+    mirror_class_name,
+)
+
+__all__ = [
+    "CrossLink",
+    "Federation",
+    "FederationError",
+    "SyncReport",
+    "mirror_attr_name",
+    "mirror_class_name",
+]

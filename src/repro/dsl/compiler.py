@@ -1,0 +1,630 @@
+"""Compiler from the data language AST to schema objects.
+
+The paper credits a "data language processor" for Cactis; this module plays
+that role.  :func:`compile_schema` turns parsed declarations into
+:class:`~repro.core.schema.Schema` contents:
+
+* relationship declarations become :class:`RelationshipType` objects;
+* class declarations become :class:`ObjectClass` objects, with ``subtype of
+  ... where <expr>`` producing predicate subtypes;
+* each rule body is statically analysed for its dependencies -- bare names
+  that resolve to class attributes become :class:`Local` inputs, and
+  ``x.value`` references become :class:`Received` inputs (``x`` being a
+  ``For Each`` loop variable over a multi port, or the name of a
+  single-valued port) -- and compiled into a closure that interprets the
+  body.  Because dependencies are declared, compiled rules are
+  indistinguishable from hand-written ones to the evaluation engine.
+
+Semantics notes:
+
+* an attribute that has a rule in the same class declaration is promoted to
+  *derived* automatically (the paper's figures do not annotate this);
+* ``For Each`` requires a ``Multi`` port; iteration count comes from the
+  received value lists, so a loop body that reads no transmitted value gets
+  an implicit dependency on the first value the port can receive;
+* ``/`` is integer division when both operands are integers (C semantics),
+  float division otherwise;
+* functions available in rule bodies are the registered builtins
+  (``later_of``, ``later_than``, ``max``, ``min``, ``abs``, ``sum``,
+  ``len``, ``void``) plus anything passed via ``functions=``; named
+  constants are ``TIME0`` and ``TIME_FUTURE`` plus anything in
+  ``constants=``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core import atoms as atoms_mod
+from repro.core.rules import (
+    AttributeTarget,
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    SubtypePredicate,
+    TransmitTarget,
+)
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.errors import DslCompileError, DslRuntimeError
+
+DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "later_of": atoms_mod.later_of,
+    "later_than": atoms_mod.later_than,
+    "max": max,
+    "min": min,
+    "abs": abs,
+    "sum": sum,
+    "len": len,
+    "void": lambda value: None,
+}
+
+DEFAULT_CONSTANTS: dict[str, Any] = {
+    "TIME0": atoms_mod.TIME0,
+    "TIME_FUTURE": atoms_mod.TIME_FUTURE,
+}
+
+
+def compile_schema(
+    source: str,
+    schema: Schema | None = None,
+    functions: Mapping[str, Callable[..., Any]] | None = None,
+    constants: Mapping[str, Any] | None = None,
+    freeze: bool = True,
+) -> Schema:
+    """Compile schema source text, returning the (extended) schema.
+
+    ``schema`` may be an existing, unfrozen schema to extend (the dynamic
+    tool-addition path); by default a fresh one is created.  ``functions``
+    and ``constants`` extend the rule-body environment -- the make facility
+    registers ``file_mod_time`` and ``system_command`` here.
+    """
+    decl = parse(source)
+    compiler = SchemaCompiler(
+        schema if schema is not None else Schema(),
+        functions=functions,
+        constants=constants,
+    )
+    compiler.compile(decl)
+    if freeze:
+        compiler.schema.freeze()
+    return compiler.schema
+
+
+class SchemaCompiler:
+    """Two-pass compiler: declarations first, then rule bodies."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+        constants: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.functions = dict(DEFAULT_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        self.constants = dict(DEFAULT_CONSTANTS)
+        if constants:
+            self.constants.update(constants)
+
+    def compile(self, decl: ast.SchemaDecl) -> None:
+        for rel in decl.relationships:
+            self._compile_relationship(rel)
+        # Pass 1: register classes with attributes and ports so rule
+        # compilation can resolve names across classes and inheritance.
+        skeletons: list[tuple[ast.ClassDecl, ObjectClass]] = []
+        for cls_decl in decl.classes:
+            skeletons.append((cls_decl, self._compile_class_skeleton(cls_decl)))
+        # Pass 2: compile rule bodies, constraints, and subtype predicates.
+        for cls_decl, cls in skeletons:
+            self._compile_class_rules(cls_decl, cls)
+
+    # -- declarations ------------------------------------------------------
+
+    def _compile_relationship(self, decl: ast.RelationshipDecl) -> None:
+        flows = [
+            FlowDecl(
+                value=f.value,
+                atom=f.type_name,
+                sent_by=End.PLUG if f.sent_by == "plug" else End.SOCKET,
+                default=f.default,
+            )
+            for f in decl.flows
+        ]
+        self.schema.add_relationship_type(RelationshipType(decl.name, flows))
+
+    def _compile_class_skeleton(self, decl: ast.ClassDecl) -> ObjectClass:
+        ruled_attrs = {r.target_attr for r in decl.rules if r.target_attr}
+        attributes = []
+        for attr in decl.attrs:
+            derived = attr.derived or attr.name in ruled_attrs
+            attributes.append(
+                AttributeDef(
+                    name=attr.name,
+                    atom=attr.type_name,
+                    kind=AttrKind.DERIVED if derived else AttrKind.INTRINSIC,
+                    default=attr.default,
+                )
+            )
+        ports = [
+            PortDef(
+                name=p.name,
+                rel_type=p.rel_type,
+                end=End.PLUG if p.end == "plug" else End.SOCKET,
+                multi=p.multi,
+            )
+            for p in decl.ports
+        ]
+        cls = ObjectClass(
+            decl.name,
+            attributes=attributes,
+            ports=ports,
+            supertype=decl.supertype,
+        )
+        self.schema.add_class(cls)
+        return cls
+
+    # -- rules ------------------------------------------------------------
+
+    def _compile_class_rules(self, decl: ast.ClassDecl, cls: ObjectClass) -> None:
+        scope = _ClassScope(self, decl.name)
+        for rule_decl in decl.rules:
+            cls.add_rule(self._compile_rule(scope, rule_decl))
+        for constraint_decl in decl.constraints:
+            cls.add_constraint(self._compile_constraint(scope, constraint_decl))
+        if decl.where is not None:
+            inputs, evaluator = self._compile_body(scope, decl.where, decl.line)
+            cls.predicate = SubtypePredicate(
+                subtype_name=decl.name,
+                inputs=inputs,
+                predicate=_booleanize(evaluator),
+            )
+
+    def _compile_rule(self, scope: "_ClassScope", decl: ast.RuleDecl) -> Rule:
+        inputs, evaluator = self._compile_body(scope, decl.body, decl.line)
+        if decl.target_attr is not None:
+            target: AttributeTarget | TransmitTarget = AttributeTarget(decl.target_attr)
+            name = f"{scope.class_name}.{decl.target_attr}"
+        else:
+            assert decl.target_port is not None and decl.target_value is not None
+            target = TransmitTarget(decl.target_port, decl.target_value)
+            name = f"{scope.class_name}.{decl.target_port}>{decl.target_value}"
+        return Rule(target=target, inputs=inputs, body=evaluator, name=name)
+
+    def _compile_constraint(
+        self, scope: "_ClassScope", decl: ast.ConstraintDecl
+    ) -> Constraint:
+        inputs, evaluator = self._compile_body(scope, decl.predicate, decl.line)
+        recovery = None
+        if decl.recover is not None:
+            recovery = self.functions.get(decl.recover)
+            if recovery is None:
+                raise DslCompileError(
+                    f"constraint {decl.name!r}: unknown recovery function "
+                    f"{decl.recover!r} (register it via functions=)"
+                )
+        return Constraint(
+            name=decl.name,
+            inputs=inputs,
+            predicate=_booleanize(evaluator),
+            recovery=recovery,
+        )
+
+    def _compile_body(
+        self, scope: "_ClassScope", body: ast.RuleBody, line: int
+    ):
+        analysis = _DependencyAnalysis(self, scope)
+        if isinstance(body, ast.Block):
+            analysis.analyse_block(body)
+        else:
+            analysis.analyse_expr(body, local_vars=set(), loops={})
+        inputs = analysis.build_inputs()
+        interpreter = _RuleInterpreter(self, scope, body, analysis)
+        return inputs, interpreter
+
+    # -- name resolution helpers ------------------------------------------
+
+    def class_attr_names(self, class_name: str) -> set[str]:
+        names: set[str] = set()
+        current: str | None = class_name
+        while current is not None:
+            cls = self.schema.classes.get(current)
+            if cls is None:
+                raise DslCompileError(f"unknown supertype {current!r}")
+            names.update(cls.attributes)
+            current = cls.supertype
+        return names
+
+    def class_ports(self, class_name: str) -> dict[str, PortDef]:
+        ports: dict[str, PortDef] = {}
+        chain: list[str] = []
+        current: str | None = class_name
+        while current is not None:
+            chain.append(current)
+            cls = self.schema.classes.get(current)
+            if cls is None:
+                raise DslCompileError(f"unknown supertype {current!r}")
+            current = cls.supertype
+        for cls_name in reversed(chain):
+            ports.update(self.schema.classes[cls_name].ports)
+        return ports
+
+
+class _ClassScope:
+    """Name-resolution context for one class's rule bodies."""
+
+    def __init__(self, compiler: SchemaCompiler, class_name: str) -> None:
+        self.compiler = compiler
+        self.class_name = class_name
+        self.attr_names = compiler.class_attr_names(class_name)
+        self.ports = compiler.class_ports(class_name)
+
+    def received_flows(self, port_name: str) -> list[FlowDecl]:
+        port = self.ports.get(port_name)
+        if port is None:
+            raise DslCompileError(
+                f"class {self.class_name!r}: unknown port {port_name!r}"
+            )
+        rel = self.compiler.schema.relationship_types.get(port.rel_type)
+        if rel is None:
+            raise DslCompileError(
+                f"class {self.class_name!r}: port {port_name!r} uses unknown "
+                f"relationship type {port.rel_type!r}"
+            )
+        return rel.values_received_by(port.end)
+
+
+def _kw_local(attr: str) -> str:
+    return f"l_{attr}"
+
+
+def _kw_received(port: str, value: str) -> str:
+    return f"r_{port}__{value}"
+
+
+class _DependencyAnalysis:
+    """Static walk collecting Local and Received dependencies."""
+
+    def __init__(self, compiler: SchemaCompiler, scope: _ClassScope) -> None:
+        self.compiler = compiler
+        self.scope = scope
+        self.locals_used: set[str] = set()
+        self.received_used: set[tuple[str, str]] = set()
+        #: ports iterated by For Each loops (need a count source).
+        self.loop_ports: set[str] = set()
+
+    # -- entry points ------------------------------------------------------
+
+    def analyse_block(self, block: ast.Block) -> None:
+        local_vars: set[str] = set()
+        self._analyse_stmts(block.body, local_vars, loops={})
+
+    def _analyse_stmts(
+        self, stmts, local_vars: set[str], loops: dict[str, str]
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                local_vars.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                self.analyse_expr(stmt.value, local_vars, loops)
+                local_vars.add(stmt.name)
+            elif isinstance(stmt, ast.ForEach):
+                port = self.scope.ports.get(stmt.port)
+                if port is None:
+                    raise DslCompileError(
+                        f"class {self.scope.class_name!r}: For Each over "
+                        f"unknown port {stmt.port!r} (line {stmt.line})"
+                    )
+                if not port.multi:
+                    raise DslCompileError(
+                        f"class {self.scope.class_name!r}: For Each requires a "
+                        f"Multi port; {stmt.port!r} is single-valued "
+                        f"(line {stmt.line})"
+                    )
+                self.loop_ports.add(stmt.port)
+                inner = dict(loops)
+                inner[stmt.var] = stmt.port
+                self._analyse_stmts(stmt.body, set(local_vars), inner)
+            elif isinstance(stmt, ast.If):
+                self.analyse_expr(stmt.cond, local_vars, loops)
+                self._analyse_stmts(stmt.then_body, set(local_vars), loops)
+                self._analyse_stmts(stmt.else_body, set(local_vars), loops)
+            elif isinstance(stmt, (ast.Return, ast.ExprStmt)):
+                self.analyse_expr(stmt.value, local_vars, loops)
+            else:  # pragma: no cover - exhaustive over Stmt
+                raise TypeError(f"unknown statement {stmt!r}")
+
+    def analyse_expr(
+        self, expr: ast.Expr, local_vars: set[str], loops: dict[str, str]
+    ) -> None:
+        if isinstance(expr, ast.Literal):
+            return
+        if isinstance(expr, ast.Name):
+            ident = expr.ident
+            if ident in local_vars or ident in loops:
+                return
+            if ident in self.scope.attr_names:
+                self.locals_used.add(ident)
+                return
+            if ident in self.compiler.constants:
+                return
+            raise DslCompileError(
+                f"class {self.scope.class_name!r}: unknown name {ident!r} "
+                f"(line {expr.line})"
+            )
+        if isinstance(expr, ast.FieldRef):
+            base = expr.base
+            if base in loops:
+                port_name = loops[base]
+            elif base in self.scope.ports:
+                if self.scope.ports[base].multi:
+                    raise DslCompileError(
+                        f"class {self.scope.class_name!r}: port {base!r} is "
+                        f"Multi; use 'For Each x Related To {base}' "
+                        f"(line {expr.line})"
+                    )
+                port_name = base
+            else:
+                raise DslCompileError(
+                    f"class {self.scope.class_name!r}: {base!r} is neither a "
+                    f"loop variable nor a port (line {expr.line})"
+                )
+            flows = {f.value for f in self.scope.received_flows(port_name)}
+            if expr.field_name not in flows:
+                raise DslCompileError(
+                    f"class {self.scope.class_name!r}: port {port_name!r} "
+                    f"does not receive a value named {expr.field_name!r} "
+                    f"(line {expr.line})"
+                )
+            self.received_used.add((port_name, expr.field_name))
+            return
+        if isinstance(expr, ast.Call):
+            if expr.fn not in self.compiler.functions:
+                raise DslCompileError(
+                    f"class {self.scope.class_name!r}: unknown function "
+                    f"{expr.fn!r} (line {expr.line})"
+                )
+            for arg in expr.args:
+                self.analyse_expr(arg, local_vars, loops)
+            return
+        if isinstance(expr, ast.Unary):
+            self.analyse_expr(expr.operand, local_vars, loops)
+            return
+        if isinstance(expr, ast.Binary):
+            self.analyse_expr(expr.left, local_vars, loops)
+            self.analyse_expr(expr.right, local_vars, loops)
+            return
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    # -- outputs ------------------------------------------------------------
+
+    def build_inputs(self) -> dict[str, Local | Received]:
+        inputs: dict[str, Local | Received] = {}
+        for attr in sorted(self.locals_used):
+            inputs[_kw_local(attr)] = Local(attr)
+        received = set(self.received_used)
+        # Loops whose bodies read no transmitted value still need an
+        # iteration count: depend on the first value the port can receive.
+        for port in sorted(self.loop_ports):
+            if not any(p == port for p, __ in received):
+                flows = self.scope.received_flows(port)
+                if not flows:
+                    raise DslCompileError(
+                        f"class {self.scope.class_name!r}: cannot determine "
+                        f"the iteration count of 'For Each ... Related To "
+                        f"{port}': no value flows toward this end"
+                    )
+                received.add((port, flows[0].value))
+        for port, value in sorted(received):
+            inputs[_kw_received(port, value)] = Received(port, value)
+        self.received_final = received
+        return inputs
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for ``return`` statements."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _RuleInterpreter:
+    """The compiled rule body: a callable over the declared inputs."""
+
+    def __init__(
+        self,
+        compiler: SchemaCompiler,
+        scope: _ClassScope,
+        body: ast.RuleBody,
+        analysis: _DependencyAnalysis,
+    ) -> None:
+        self.compiler = compiler
+        self.scope = scope
+        self.body = body
+        self.analysis = analysis
+        self.__name__ = f"dsl_rule_{scope.class_name}"
+
+    def __call__(self, **kwargs: Any) -> Any:
+        env = _Env(self, kwargs)
+        if isinstance(self.body, ast.Block):
+            try:
+                self._exec_stmts(self.body.body, env)
+            except _ReturnSignal as signal:
+                return signal.value
+            raise DslRuntimeError(
+                f"rule body in class {self.scope.class_name!r} finished "
+                f"without a return statement"
+            )
+        return self._eval(self.body, env)
+
+    # -- statements ------------------------------------------------------------
+
+    def _exec_stmts(self, stmts, env: "_Env") -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt: ast.Stmt, env: "_Env") -> None:
+        if isinstance(stmt, ast.VarDecl):
+            env.vars[stmt.name] = _zero_of(self.compiler, stmt.type_name)
+        elif isinstance(stmt, ast.Assign):
+            env.vars[stmt.name] = self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.ForEach):
+            count = env.loop_count(stmt.port)
+            for index in range(count):
+                env.push_loop(stmt.var, stmt.port, index)
+                try:
+                    self._exec_stmts(stmt.body, env)
+                finally:
+                    env.pop_loop(stmt.var)
+        elif isinstance(stmt, ast.If):
+            if self._eval(stmt.cond, env):
+                self._exec_stmts(stmt.then_body, env)
+            else:
+                self._exec_stmts(stmt.else_body, env)
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal(self._eval(stmt.value, env))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.value, env)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: "_Env") -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return env.lookup_name(expr)
+        if isinstance(expr, ast.FieldRef):
+            return env.lookup_field(expr)
+        if isinstance(expr, ast.Call):
+            fn = self.compiler.functions[expr.fn]
+            args = [self._eval(arg, env) for arg in expr.args]
+            return fn(*args)
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, env)
+            return (not operand) if expr.op == "not" else -operand
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: ast.Binary, env: "_Env") -> Any:
+        op = expr.op
+        if op == "and":
+            return bool(self._eval(expr.left, env)) and bool(
+                self._eval(expr.right, env)
+            )
+        if op == "or":
+            return bool(self._eval(expr.left, env)) or bool(
+                self._eval(expr.right, env)
+            )
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise TypeError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+class _Env:
+    """Runtime environment of one rule invocation."""
+
+    def __init__(self, interp: _RuleInterpreter, kwargs: dict[str, Any]) -> None:
+        self.interp = interp
+        self.kwargs = kwargs
+        self.vars: dict[str, Any] = {}
+        #: loop variable -> (port, index)
+        self.loops: dict[str, tuple[str, int]] = {}
+
+    def push_loop(self, var: str, port: str, index: int) -> None:
+        self.loops[var] = (port, index)
+
+    def pop_loop(self, var: str) -> None:
+        self.loops.pop(var, None)
+
+    def loop_count(self, port: str) -> int:
+        # Any received list for this port has one element per connection.
+        for (p, value) in self.interp.analysis.received_final:
+            if p == port:
+                return len(self.kwargs[_kw_received(p, value)])
+        raise DslRuntimeError(  # pragma: no cover - prevented at compile time
+            f"no received list available for port {port!r}"
+        )
+
+    def lookup_name(self, expr: ast.Name) -> Any:
+        ident = expr.ident
+        if ident in self.loops:
+            raise DslRuntimeError(
+                f"loop variable {ident!r} used bare; reference a transmitted "
+                f"value as {ident}.<value> (line {expr.line})"
+            )
+        if ident in self.vars:
+            return self.vars[ident]
+        key = _kw_local(ident)
+        if key in self.kwargs:
+            return self.kwargs[key]
+        constants = self.interp.compiler.constants
+        if ident in constants:
+            return constants[ident]
+        raise DslRuntimeError(
+            f"unbound name {ident!r} at line {expr.line}"
+        )
+
+    def lookup_field(self, expr: ast.FieldRef) -> Any:
+        base = expr.base
+        if base in self.loops:
+            port, index = self.loops[base]
+            values = self.kwargs[_kw_received(port, expr.field_name)]
+            return values[index]
+        # Single-valued port reference.
+        return self.kwargs[_kw_received(base, expr.field_name)]
+
+
+def _zero_of(compiler: SchemaCompiler, type_name: str) -> Any:
+    """The initial value of a block-local variable of a given atom type."""
+    if type_name in compiler.schema.atoms:
+        return compiler.schema.atoms.get(type_name).default
+    raise DslRuntimeError(f"unknown local-variable type {type_name!r}")
+
+
+def _booleanize(evaluator: Callable[..., Any]) -> Callable[..., bool]:
+    """Wrap a compiled body so it always yields a bool (predicates)."""
+
+    def predicate(**kwargs: Any) -> bool:
+        return bool(evaluator(**kwargs))
+
+    predicate.__name__ = getattr(evaluator, "__name__", "dsl_predicate")
+    return predicate

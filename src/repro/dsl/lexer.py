@@ -1,0 +1,161 @@
+"""Lexer for the Cactis data language.
+
+Keywords are case-insensitive (the paper's figures capitalise freely:
+``Object Class``, ``For Each ... Related To ... Do``, ``Begin``/``End``).
+Identifiers keep their case.  Comments are C-style ``/* ... */`` exactly as
+in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DslSyntaxError
+
+KEYWORDS = {
+    "object", "class", "is", "end", "relationship", "relationships",
+    "attributes", "rules", "constraints", "multi", "plug", "socket",
+    "begin", "for", "each", "related", "to", "do", "if", "then", "else",
+    "return", "and", "or", "not", "true", "false", "subtype", "of",
+    "where", "derived", "from", "default", "recover",
+}
+
+SYMBOLS = [
+    ":=", "<=", ">=", "<>", "!=", "==",
+    "(", ")", ",", ";", ":", ".", "+", "-", "*", "/", "%", "<", ">", "=",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"kw"`` (lower-cased keyword), ``"ident"``,
+    ``"int"``, ``"real"``, ``"string"``, ``"sym"``, or ``"eof"``.
+    """
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.text == word
+
+    def is_sym(self, sym: str) -> bool:
+        return self.kind == "sym" and self.text == sym
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise a schema source string; raises :class:`DslSyntaxError`."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> DslSyntaxError:
+        return DslSyntaxError(message, line, col)
+
+    while pos < n:
+        ch = source[pos]
+        # whitespace
+        if ch in " \t\r":
+            pos += 1
+            col += 1
+            continue
+        if ch == "\n":
+            pos += 1
+            line += 1
+            col = 1
+            continue
+        # comments: /* ... */ (may span lines)
+        if source.startswith("/*", pos):
+            close = source.find("*/", pos + 2)
+            if close < 0:
+                raise error("unterminated comment")
+            for c in source[pos:close]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            pos = close + 2
+            col += 2
+            continue
+        # strings
+        if ch == '"':
+            start_line, start_col = line, col
+            pos += 1
+            col += 1
+            chars: list[str] = []
+            while pos < n and source[pos] != '"':
+                c = source[pos]
+                if c == "\n":
+                    raise DslSyntaxError(
+                        "unterminated string literal", start_line, start_col
+                    )
+                if c == "\\" and pos + 1 < n:
+                    escape = source[pos + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    pos += 2
+                    col += 2
+                    continue
+                chars.append(c)
+                pos += 1
+                col += 1
+            if pos >= n:
+                raise DslSyntaxError(
+                    "unterminated string literal", start_line, start_col
+                )
+            pos += 1
+            col += 1
+            tokens.append(
+                Token("string", "".join(chars), "".join(chars), start_line, start_col)
+            )
+            continue
+        # numbers
+        if ch.isdigit():
+            start = pos
+            start_col = col
+            while pos < n and source[pos].isdigit():
+                pos += 1
+                col += 1
+            if pos < n and source[pos] == "." and pos + 1 < n and source[pos + 1].isdigit():
+                pos += 1
+                col += 1
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+                    col += 1
+                text = source[start:pos]
+                tokens.append(Token("real", text, float(text), line, start_col))
+            else:
+                text = source[start:pos]
+                tokens.append(Token("int", text, int(text), line, start_col))
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = pos
+            start_col = col
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+                col += 1
+            text = source[start:pos]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("kw", lowered, lowered, line, start_col))
+            else:
+                tokens.append(Token("ident", text, text, line, start_col))
+            continue
+        # symbols (longest match first)
+        for sym in SYMBOLS:
+            if source.startswith(sym, pos):
+                tokens.append(Token("sym", sym, sym, line, col))
+                pos += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

@@ -1,0 +1,453 @@
+"""Recursive-descent parser for the Cactis data language.
+
+Grammar (keywords case-insensitive; ``/* */`` comments)::
+
+    schema      := (relationship | class)* EOF
+    relationship:= "relationship" NAME "is" flow* "end" ["relationship"] [";"]
+    flow        := NAME ":" NAME "from" ("plug"|"socket") ["default" literal] ";"
+    class       := "object" "class" NAME
+                     ["subtype" "of" NAME ["where" expr]]
+                   "is" section* "end" ["object"] [";"]
+    section     := "relationships" port*
+                 | "attributes"   attr*
+                 | "rules"        rule*
+                 | "constraints"  constraint*
+    port        := NAME ":" NAME ["multi"] ("plug"|"socket") ";"
+    attr        := NAME ":" NAME ["derived"] ["=" literal] ";"
+    rule        := NAME "=" body ";"              -- derived attribute
+                 | NAME NAME "=" body ";"         -- value transmitted on port
+    body        := "begin" stmt* "end" | expr
+    stmt        := NAME ":" NAME ";"              -- local variable
+                 | NAME ":=" expr ";"
+                 | "for" "each" NAME "related" "to" NAME "do" stmt* "end" ["for"] [";"]
+                 | "if" expr "then" stmt* ["else" stmt*] "end" ["if"] [";"]
+                 | "return" expr ";"
+                 | expr ";"                       -- e.g. Figure 4's VOID(...)
+    constraint  := NAME ":" expr ["recover" NAME] ";"
+
+Expression precedence, loosest first: ``or``; ``and``; ``not``; comparisons
+(``= == <> != < <= > >=``); ``+ -``; ``* / %``; unary ``-``; postfix call /
+field access; primary (literal, name, parenthesised).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dsl import ast
+from repro.dsl.lexer import Token, tokenize
+from repro.errors import DslSyntaxError
+
+_COMPARISONS = {"=", "==", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> DslSyntaxError:
+        token = self.current
+        return DslSyntaxError(
+            f"{message} (found {token.kind} {token.text!r})",
+            token.line,
+            token.column,
+        )
+
+    def expect_kw(self, word: str) -> Token:
+        if not self.current.is_kw(word):
+            raise self.error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def expect_sym(self, sym: str) -> Token:
+        if not self.current.is_sym(sym):
+            raise self.error(f"expected {sym!r}")
+        return self.advance()
+
+    def expect_name(self) -> Token:
+        if self.current.kind != "ident":
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    def accept_kw(self, word: str) -> bool:
+        if self.current.is_kw(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_sym(self, sym: str) -> bool:
+        if self.current.is_sym(sym):
+            self.advance()
+            return True
+        return False
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_schema(self) -> ast.SchemaDecl:
+        relationships: list[ast.RelationshipDecl] = []
+        classes: list[ast.ClassDecl] = []
+        while self.current.kind != "eof":
+            if self.current.is_kw("relationship"):
+                relationships.append(self.parse_relationship())
+            elif self.current.is_kw("object"):
+                classes.append(self.parse_class())
+            else:
+                raise self.error("expected 'relationship' or 'object class'")
+        return ast.SchemaDecl(tuple(relationships), tuple(classes))
+
+    def parse_relationship(self) -> ast.RelationshipDecl:
+        start = self.expect_kw("relationship")
+        name = self.expect_name().text
+        self.expect_kw("is")
+        flows: list[ast.FlowDeclNode] = []
+        while not self.current.is_kw("end"):
+            flows.append(self.parse_flow())
+        self.expect_kw("end")
+        self.accept_kw("relationship")
+        self.accept_sym(";")
+        return ast.RelationshipDecl(name, tuple(flows), line=start.line)
+
+    def parse_flow(self) -> ast.FlowDeclNode:
+        name_tok = self.expect_name()
+        self.expect_sym(":")
+        type_name = self.expect_name().text
+        self.expect_kw("from")
+        if self.current.is_kw("plug") or self.current.is_kw("socket"):
+            sent_by = self.advance().text
+        else:
+            raise self.error("expected 'plug' or 'socket'")
+        default: Any = None
+        if self.accept_kw("default"):
+            default = self.parse_literal_value()
+        self.expect_sym(";")
+        return ast.FlowDeclNode(
+            name_tok.text, type_name, sent_by, default, line=name_tok.line
+        )
+
+    def parse_class(self) -> ast.ClassDecl:
+        start = self.expect_kw("object")
+        self.expect_kw("class")
+        name = self.expect_name().text
+        supertype: str | None = None
+        where: ast.Expr | None = None
+        if self.accept_kw("subtype"):
+            self.expect_kw("of")
+            supertype = self.expect_name().text
+            if self.accept_kw("where"):
+                where = self.parse_expr()
+        self.expect_kw("is")
+        ports: list[ast.PortDecl] = []
+        attrs: list[ast.AttrDecl] = []
+        rules: list[ast.RuleDecl] = []
+        constraints: list[ast.ConstraintDecl] = []
+        while not self.current.is_kw("end"):
+            if self.accept_kw("relationships"):
+                while self.current.kind == "ident":
+                    ports.append(self.parse_port())
+            elif self.accept_kw("attributes"):
+                while self.current.kind == "ident":
+                    attrs.append(self.parse_attr())
+            elif self.accept_kw("rules"):
+                while self.current.kind == "ident":
+                    rules.append(self.parse_rule())
+            elif self.accept_kw("constraints"):
+                while self.current.kind == "ident":
+                    constraints.append(self.parse_constraint())
+            else:
+                raise self.error(
+                    "expected a section ('relationships', 'attributes', "
+                    "'rules', 'constraints') or 'end'"
+                )
+        self.expect_kw("end")
+        self.accept_kw("object")
+        self.accept_sym(";")
+        return ast.ClassDecl(
+            name=name,
+            supertype=supertype,
+            where=where,
+            ports=tuple(ports),
+            attrs=tuple(attrs),
+            rules=tuple(rules),
+            constraints=tuple(constraints),
+            line=start.line,
+        )
+
+    def parse_port(self) -> ast.PortDecl:
+        name_tok = self.expect_name()
+        self.expect_sym(":")
+        rel_type = self.expect_name().text
+        multi = self.accept_kw("multi")
+        if self.current.is_kw("plug") or self.current.is_kw("socket"):
+            end = self.advance().text
+        else:
+            raise self.error("expected 'plug' or 'socket'")
+        self.expect_sym(";")
+        return ast.PortDecl(name_tok.text, rel_type, end, multi, line=name_tok.line)
+
+    def parse_attr(self) -> ast.AttrDecl:
+        name_tok = self.expect_name()
+        self.expect_sym(":")
+        type_name = self.expect_name().text
+        derived = self.accept_kw("derived")
+        default: Any = None
+        if self.accept_sym("="):
+            default = self.parse_literal_value()
+        self.expect_sym(";")
+        return ast.AttrDecl(
+            name_tok.text, type_name, derived, default, line=name_tok.line
+        )
+
+    def parse_rule(self) -> ast.RuleDecl:
+        first = self.expect_name()
+        if self.current.kind == "ident":
+            # "port value = body" -- a transmitted value.
+            value_tok = self.advance()
+            self.expect_sym("=")
+            body = self.parse_rule_body()
+            self.expect_sym(";")
+            return ast.RuleDecl(
+                target_attr=None,
+                target_port=first.text,
+                target_value=value_tok.text,
+                body=body,
+                line=first.line,
+            )
+        self.expect_sym("=")
+        body = self.parse_rule_body()
+        self.expect_sym(";")
+        return ast.RuleDecl(
+            target_attr=first.text,
+            target_port=None,
+            target_value=None,
+            body=body,
+            line=first.line,
+        )
+
+    def parse_constraint(self) -> ast.ConstraintDecl:
+        name_tok = self.expect_name()
+        self.expect_sym(":")
+        predicate = self.parse_expr()
+        recover: str | None = None
+        if self.accept_kw("recover"):
+            recover = self.expect_name().text
+        self.expect_sym(";")
+        return ast.ConstraintDecl(
+            name_tok.text, predicate, recover, line=name_tok.line
+        )
+
+    # -- rule bodies / statements ---------------------------------------------
+
+    def parse_rule_body(self) -> ast.RuleBody:
+        if self.current.is_kw("begin"):
+            return self.parse_block()
+        return self.parse_expr()
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect_kw("begin")
+        body = self.parse_stmts_until({"end"})
+        self.expect_kw("end")
+        return ast.Block(tuple(body), line=start.line)
+
+    def parse_stmts_until(self, stop_kws: set[str]) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        while not (self.current.kind == "kw" and self.current.text in stop_kws):
+            if self.current.kind == "eof":
+                raise self.error(f"expected one of {sorted(stop_kws)}")
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.current
+        if token.is_kw("for"):
+            return self.parse_for_each()
+        if token.is_kw("if"):
+            return self.parse_if()
+        if token.is_kw("return"):
+            self.advance()
+            value = self.parse_expr()
+            self.expect_sym(";")
+            return ast.Return(value, line=token.line)
+        if token.kind == "ident":
+            nxt = self.peek()
+            if nxt.is_sym(":") and self.peek(2).kind == "ident" and self.peek(3).is_sym(";"):
+                name = self.advance().text
+                self.expect_sym(":")
+                type_name = self.expect_name().text
+                self.expect_sym(";")
+                return ast.VarDecl(name, type_name, line=token.line)
+            if nxt.is_sym(":="):
+                name = self.advance().text
+                self.expect_sym(":=")
+                value = self.parse_expr()
+                self.expect_sym(";")
+                return ast.Assign(name, value, line=token.line)
+        value = self.parse_expr()
+        self.expect_sym(";")
+        return ast.ExprStmt(value, line=token.line)
+
+    def parse_for_each(self) -> ast.ForEach:
+        start = self.expect_kw("for")
+        self.expect_kw("each")
+        var = self.expect_name().text
+        self.expect_kw("related")
+        self.expect_kw("to")
+        port = self.expect_name().text
+        self.expect_kw("do")
+        body = self.parse_stmts_until({"end"})
+        self.expect_kw("end")
+        self.accept_kw("for")
+        self.accept_sym(";")
+        return ast.ForEach(var, port, tuple(body), line=start.line)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect_kw("if")
+        cond = self.parse_expr()
+        self.expect_kw("then")
+        then_body = self.parse_stmts_until({"else", "end"})
+        else_body: list[ast.Stmt] = []
+        if self.accept_kw("else"):
+            else_body = self.parse_stmts_until({"end"})
+        self.expect_kw("end")
+        self.accept_kw("if")
+        self.accept_sym(";")
+        return ast.If(cond, tuple(then_body), tuple(else_body), line=start.line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.current.is_kw("or"):
+            line = self.advance().line
+            right = self.parse_and()
+            left = ast.Binary("or", left, right, line=line)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.current.is_kw("and"):
+            line = self.advance().line
+            right = self.parse_not()
+            left = ast.Binary("and", left, right, line=line)
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.current.is_kw("not"):
+            line = self.advance().line
+            return ast.Unary("not", self.parse_not(), line=line)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.current.kind == "sym" and self.current.text in _COMPARISONS:
+            op = self.advance()
+            right = self.parse_additive()
+            canonical = {"=": "==", "<>": "!="}.get(op.text, op.text)
+            return ast.Binary(canonical, left, right, line=op.line)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.current.kind == "sym" and self.current.text in ("+", "-"):
+            op = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.Binary(op.text, left, right, line=op.line)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.current.kind == "sym" and self.current.text in ("*", "/", "%"):
+            op = self.advance()
+            right = self.parse_unary()
+            left = ast.Binary(op.text, left, right, line=op.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.current.is_sym("-"):
+            line = self.advance().line
+            return ast.Unary("-", self.parse_unary(), line=line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.current.is_sym("(") and isinstance(expr, ast.Name):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.current.is_sym(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_sym(","):
+                        args.append(self.parse_expr())
+                self.expect_sym(")")
+                expr = ast.Call(expr.ident, tuple(args), line=expr.line)
+            elif self.current.is_sym(".") and isinstance(expr, ast.Name):
+                self.advance()
+                field_tok = self.expect_name()
+                expr = ast.FieldRef(expr.ident, field_tok.text, line=expr.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind in ("int", "real", "string"):
+            self.advance()
+            return ast.Literal(token.value, line=token.line)
+        if token.is_kw("true"):
+            self.advance()
+            return ast.Literal(True, line=token.line)
+        if token.is_kw("false"):
+            self.advance()
+            return ast.Literal(False, line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Name(token.text, line=token.line)
+        if token.is_sym("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_sym(")")
+            return expr
+        raise self.error("expected an expression")
+
+    def parse_literal_value(self) -> Any:
+        negative = self.accept_sym("-")
+        token = self.current
+        if token.kind in ("int", "real"):
+            self.advance()
+            return -token.value if negative else token.value
+        if negative:
+            raise self.error("expected a number after '-'")
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        if token.is_kw("true"):
+            self.advance()
+            return True
+        if token.is_kw("false"):
+            self.advance()
+            return False
+        raise self.error("expected a literal")
+
+
+def parse(source: str) -> ast.SchemaDecl:
+    """Parse a schema source string into its AST."""
+    return Parser(source).parse_schema()

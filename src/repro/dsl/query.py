@@ -1,0 +1,146 @@
+"""A small query language over the data language's expressions.
+
+Cactis retrieval is attribute-at-a-time; real environments also want set
+queries ("all the late milestones").  This module adds them without new
+machinery: the ``where`` clause is an ordinary data-language expression
+compiled by the schema compiler's own dependency analysis, packaged as a
+:class:`~repro.core.predicates.Predicate`, and evaluated per candidate
+instance (derived attributes are demanded through the incremental engine
+as a side effect, so queries always see consistent values).
+
+Grammar::
+
+    query := "select" CLASS
+             ["where" expr]
+             ["order" "by" ATTR ["asc" | "desc"]]
+             ["limit" INT]
+
+Example::
+
+    run_query(db, "select milestone where late and local_work > 5 "
+                  "order by exp_compl desc limit 3")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.core.predicates import Predicate
+from repro.dsl.compiler import SchemaCompiler, _ClassScope
+from repro.dsl.parser import Parser
+from repro.errors import DslCompileError, DslSyntaxError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed-and-compiled query, reusable across executions."""
+
+    class_name: str
+    predicate: Predicate | None
+    order_by: str | None
+    descending: bool
+    limit: int | None
+
+    def run(self, db: "Database") -> list[int]:
+        """Instance ids matching the query, in the requested order."""
+        candidates = db.instances_of(self.class_name)
+        if self.predicate is not None:
+            candidates = [
+                iid
+                for iid in candidates
+                if self.predicate.on_view(db.view(iid))
+            ]
+        if self.order_by is not None:
+            candidates.sort(
+                key=lambda iid: db.get_attr(iid, self.order_by),
+                reverse=self.descending,
+            )
+        if self.limit is not None:
+            candidates = candidates[: self.limit]
+        return candidates
+
+
+def compile_query(
+    schema,
+    text: str,
+    functions: Mapping[str, Callable[..., Any]] | None = None,
+    constants: Mapping[str, Any] | None = None,
+) -> Query:
+    """Compile ``select <class> [where ...] [order by ...] [limit N]``."""
+    parser = Parser(text)
+    if not (parser.current.kind == "ident" and parser.current.text == "select"):
+        raise DslSyntaxError(
+            "queries start with 'select'",
+            parser.current.line,
+            parser.current.column,
+        )
+    parser.advance()
+    class_name = parser.expect_name().text
+    if class_name not in schema.classes:
+        raise DslCompileError(f"unknown object class {class_name!r}")
+
+    predicate: Predicate | None = None
+    order_by: str | None = None
+    descending = False
+    limit: int | None = None
+
+    if parser.current.is_kw("where"):
+        parser.advance()
+        expr = parser.parse_expr()
+        compiler = SchemaCompiler(schema, functions=functions, constants=constants)
+        scope = _ClassScope(compiler, class_name)
+        inputs, evaluator = compiler._compile_body(scope, expr, line=1)
+        predicate = Predicate(
+            inputs, evaluator, description=f"where-clause on {class_name}"
+        )
+
+    while parser.current.kind != "eof":
+        token = parser.current
+        if token.kind == "ident" and token.text == "order":
+            parser.advance()
+            if not (parser.current.kind == "ident" and parser.current.text == "by"):
+                raise DslSyntaxError(
+                    "expected 'by' after 'order'", token.line, token.column
+                )
+            parser.advance()
+            order_by = parser.expect_name().text
+            if order_by not in schema.resolved(class_name).attributes:
+                raise DslCompileError(
+                    f"class {class_name!r} has no attribute {order_by!r}"
+                )
+            if parser.current.kind == "ident" and parser.current.text in (
+                "asc",
+                "desc",
+            ):
+                descending = parser.advance().text == "desc"
+        elif token.kind == "ident" and token.text == "limit":
+            parser.advance()
+            if parser.current.kind != "int":
+                raise DslSyntaxError(
+                    "expected an integer after 'limit'",
+                    parser.current.line,
+                    parser.current.column,
+                )
+            limit = parser.advance().value
+        else:
+            raise DslSyntaxError(
+                f"unexpected token {token.text!r} in query",
+                token.line,
+                token.column,
+            )
+    return Query(
+        class_name=class_name,
+        predicate=predicate,
+        order_by=order_by,
+        descending=descending,
+        limit=limit,
+    )
+
+
+def run_query(db: "Database", text: str, **compile_kwargs) -> list[int]:
+    """One-shot convenience: compile against the db's schema and run."""
+    return compile_query(db.schema, text, **compile_kwargs).run(db)

@@ -1,0 +1,78 @@
+"""Software-environment applications built on the database (Section 4).
+
+* :mod:`repro.env.files` -- the simulated file system and command runner
+  the make facility consumes.
+* :mod:`repro.env.make` -- the make facility: the production pure-rule
+  variant and the literal Figures 2-4 variant.
+* :mod:`repro.env.milestones` -- the milestone manager (Figure 1) with the
+  Section 4 ``very_late`` dynamic-extension story.
+* :mod:`repro.env.project` -- a project master database: components, bug
+  reports, cost/health rollups.
+* :mod:`repro.env.flow` -- program flow analysis via (fixed-point)
+  attribute evaluation.
+"""
+
+from repro.env.files import (
+    CommandRunner,
+    FileError,
+    SimulatedFileSystem,
+    make_default_runner,
+    toy_compiler,
+)
+from repro.env.make import (
+    Figure4Make,
+    MakeError,
+    MakeFacility,
+    compile_figure4_schema,
+    figure4_schema_source,
+    make_schema,
+)
+from repro.env.milestones import (
+    MILESTONE_SCHEMA,
+    MilestoneError,
+    MilestoneManager,
+    milestone_schema,
+)
+from repro.env.presentation import ReportRow, ReportView
+from repro.env.syntree import ExpressionTree, SynTreeError, expression_schema
+from repro.env.traceability import (
+    TraceabilityError,
+    TraceabilityMatrix,
+    traceability_schema,
+)
+from repro.env.project import (
+    PROJECT_SCHEMA,
+    ProjectDatabase,
+    ProjectError,
+    project_schema,
+)
+
+__all__ = [
+    "CommandRunner",
+    "Figure4Make",
+    "FileError",
+    "MILESTONE_SCHEMA",
+    "MakeError",
+    "MakeFacility",
+    "MilestoneError",
+    "MilestoneManager",
+    "PROJECT_SCHEMA",
+    "ProjectDatabase",
+    "ReportRow",
+    "ReportView",
+    "ProjectError",
+    "SimulatedFileSystem",
+    "SynTreeError",
+    "ExpressionTree",
+    "expression_schema",
+    "TraceabilityError",
+    "TraceabilityMatrix",
+    "traceability_schema",
+    "compile_figure4_schema",
+    "figure4_schema_source",
+    "make_default_runner",
+    "make_schema",
+    "milestone_schema",
+    "project_schema",
+    "toy_compiler",
+]

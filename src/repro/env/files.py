@@ -1,0 +1,180 @@
+"""A simulated file system with logical modification times.
+
+"While the Cactis model cannot directly handle the files that usually
+constitute source, object, and executable programs, it can deal with them
+indirectly ... it can represent a file stored in a normal file system
+simply by its name."  The make facility (Figures 2-4) consumes exactly two
+operations from its environment: ``file_mod_time(name)`` and
+``system_command(cmd)``.  This module provides both, deterministically:
+
+* :class:`SimulatedFileSystem` -- named files with contents and a logical
+  clock that ticks on every write; ``mod_time`` returns
+  :data:`~repro.core.atoms.TIME_FUTURE` for missing files, exactly as the
+  paper specifies for ``file_mod_time``;
+* :class:`CommandRunner` -- a registry of command handlers plus a journal
+  of every command executed, so tests can assert *which* recompilations a
+  build performed and in what order;
+* :func:`toy_compiler` -- a handler for ``cc -o out in...`` commands that
+  "compiles" by concatenating the inputs, enough to make rebuild effects
+  observable in file contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.atoms import TIME_FUTURE
+from repro.errors import CactisError
+
+
+class FileError(CactisError):
+    """A simulated-file operation failed (missing file, bad command)."""
+
+
+@dataclass
+class _File:
+    content: str
+    mtime: int
+
+
+class SimulatedFileSystem:
+    """Named files with contents and logical modification times."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, _File] = {}
+        self._clock = 0
+
+    # -- clock ------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance and return the logical clock."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    # -- operations ------------------------------------------------------------
+
+    def write(self, name: str, content: str) -> int:
+        """Create or overwrite a file; returns its new mtime."""
+        mtime = self.tick()
+        self._files[name] = _File(content=content, mtime=mtime)
+        return mtime
+
+    def touch(self, name: str) -> int:
+        """Bump a file's mtime without changing content (creates if absent)."""
+        mtime = self.tick()
+        existing = self._files.get(name)
+        if existing is None:
+            self._files[name] = _File(content="", mtime=mtime)
+        else:
+            existing.mtime = mtime
+        return mtime
+
+    def read(self, name: str) -> str:
+        try:
+            return self._files[name].content
+        except KeyError:
+            raise FileError(f"no such file: {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise FileError(f"no such file: {name!r}")
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def mod_time(self, name: str) -> int:
+        """Last modification time; ``TIME_FUTURE`` when the file is missing.
+
+        This is the paper's ``file_mod_time``: "returns the last
+        modification time of the named file, or a time in the distant
+        future if the file does not exist".
+        """
+        file = self._files.get(name)
+        return file.mtime if file is not None else TIME_FUTURE
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+
+#: a command handler receives (fs, command) and performs the effect.
+CommandHandler = Callable[[SimulatedFileSystem, str], None]
+
+
+class CommandRunner:
+    """Executes "system" commands against the simulated file system.
+
+    Handlers are matched by command prefix (first whitespace-separated
+    word); every executed command is appended to :attr:`journal`.
+    """
+
+    def __init__(self, fs: SimulatedFileSystem) -> None:
+        self.fs = fs
+        self._handlers: dict[str, CommandHandler] = {}
+        self.journal: list[str] = []
+
+    def register(self, prefix: str, handler: CommandHandler) -> None:
+        if prefix in self._handlers:
+            raise FileError(f"handler for {prefix!r} already registered")
+        self._handlers[prefix] = handler
+
+    def run(self, command: str) -> None:
+        """Execute a command; unknown prefixes raise :class:`FileError`."""
+        command = command.strip()
+        if not command:
+            raise FileError("empty command")
+        prefix = command.split()[0]
+        handler = self._handlers.get(prefix)
+        if handler is None:
+            raise FileError(f"no handler for command {command!r}")
+        self.journal.append(command)
+        handler(self.fs, command)
+
+    def commands_run(self) -> list[str]:
+        return list(self.journal)
+
+    def clear_journal(self) -> None:
+        self.journal.clear()
+
+
+def toy_compiler(fs: SimulatedFileSystem, command: str) -> None:
+    """Handler for ``cc -o <out> <in>...``: writes out the "compiled" inputs.
+
+    The output content embeds each input's name and content, so rebuild
+    effects are observable and deterministic.
+    """
+    parts = command.split()
+    if len(parts) < 4 or parts[0] != "cc" or parts[1] != "-o":
+        raise FileError(f"toy compiler cannot parse {command!r}")
+    out = parts[2]
+    inputs = parts[3:]
+    pieces = []
+    for name in inputs:
+        if not fs.exists(name):
+            raise FileError(f"cc: missing input {name!r}")
+        pieces.append(f"[{name}:{fs.read(name)}]")
+    fs.write(out, "compiled(" + "+".join(pieces) + ")")
+
+
+def make_default_runner(fs: SimulatedFileSystem) -> CommandRunner:
+    """A runner with the toy compiler plus ``touch`` and ``link`` commands."""
+    runner = CommandRunner(fs)
+    runner.register("cc", toy_compiler)
+    runner.register("touch", lambda f, cmd: f.touch(cmd.split()[1]))
+
+    def linker(f: SimulatedFileSystem, cmd: str) -> None:
+        # "ld -o <out> <in>..." -- same shape as the compiler.
+        parts = cmd.split()
+        if len(parts) < 4 or parts[1] != "-o":
+            raise FileError(f"linker cannot parse {cmd!r}")
+        out = parts[2]
+        body = "+".join(f.read(name) for name in parts[3:])
+        f.write(out, f"linked({body})")
+
+    runner.register("ld", linker)
+    return runner

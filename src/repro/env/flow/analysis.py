@@ -1,0 +1,175 @@
+"""Dataflow analyses as (circular) attribute systems.
+
+The classic analyses the paper cites as environment services ([BaJ78],
+[FoO76]) expressed over the CFG as attribute equations and solved with the
+Farrow-style fixed-point evaluator
+(:class:`repro.evaluation.fixedpoint.CircularAttributeSystem`):
+
+* **reaching definitions** (forward, may):
+  ``IN[n] = union(OUT[p] for p in preds)``,
+  ``OUT[n] = gen(n) | (IN[n] - kill(n))``;
+* **live variables** (backward, may):
+  ``OUT[n] = union(IN[s] for s in succs)``,
+  ``IN[n] = use(n) | (OUT[n] - def(n))``.
+
+On loop-free programs the equations are acyclic and a plain evaluation
+would do -- that is the "goto-less Pascal" case Cactis handles natively;
+``while`` loops close cycles and the fixed-point iteration earns its keep.
+Built on the analyses are the two diagnostics a software environment would
+surface: possibly-uninitialised uses and dead (never-observed) stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.env.flow.cfg import ControlFlowGraph
+from repro.evaluation.fixedpoint import CircularAttributeSystem
+
+#: a definition site: (variable name, CFG node id).
+DefSite = tuple[str, int]
+
+
+def _union(*sets: frozenset) -> frozenset:
+    result: frozenset = frozenset()
+    for s in sets:
+        if s:
+            result = result | s
+    return result
+
+
+@dataclass
+class ReachingDefinitions:
+    """Solved reaching-definitions facts."""
+
+    reach_in: dict[int, frozenset[DefSite]]
+    reach_out: dict[int, frozenset[DefSite]]
+    iterations: int
+
+    def definitions_reaching(self, node_id: int, var: str) -> set[int]:
+        """CFG nodes whose definition of ``var`` may reach ``node_id``."""
+        return {nid for (name, nid) in self.reach_in[node_id] if name == var}
+
+
+def reaching_definitions(cfg: ControlFlowGraph) -> ReachingDefinitions:
+    """Solve reaching definitions over the CFG."""
+    system = CircularAttributeSystem()
+    all_defs: dict[str, set[DefSite]] = {}
+    for node in cfg.nodes.values():
+        if node.defines is not None:
+            all_defs.setdefault(node.defines, set()).add((node.defines, node.node_id))
+
+    for node in cfg.nodes.values():
+        nid = node.node_id
+        preds = list(node.predecessors)
+        system.define(
+            ("in", nid),
+            [("out", p) for p in preds],
+            lambda *outs: _union(*[o for o in outs if o is not None]),
+            bottom=frozenset(),
+        )
+        if node.defines is not None:
+            gen = frozenset({(node.defines, nid)})
+            kill = frozenset(all_defs.get(node.defines, set()))
+
+            def transfer(inset, gen=gen, kill=kill):
+                inset = inset if inset is not None else frozenset()
+                return gen | (inset - kill)
+
+            system.define(("out", nid), [("in", nid)], transfer, bottom=frozenset())
+        else:
+            system.define(
+                ("out", nid),
+                [("in", nid)],
+                lambda inset: inset if inset is not None else frozenset(),
+                bottom=frozenset(),
+            )
+    values = system.solve()
+    return ReachingDefinitions(
+        reach_in={nid: values[("in", nid)] for nid in cfg.nodes},
+        reach_out={nid: values[("out", nid)] for nid in cfg.nodes},
+        iterations=system.iterations,
+    )
+
+
+@dataclass
+class LiveVariables:
+    """Solved liveness facts."""
+
+    live_in: dict[int, frozenset[str]]
+    live_out: dict[int, frozenset[str]]
+    iterations: int
+
+
+def live_variables(cfg: ControlFlowGraph) -> LiveVariables:
+    """Solve live variables over the CFG (backward analysis)."""
+    system = CircularAttributeSystem()
+    for node in cfg.nodes.values():
+        nid = node.node_id
+        succs = list(node.successors)
+        system.define(
+            ("out", nid),
+            [("in", s) for s in succs],
+            lambda *ins: _union(*[i for i in ins if i is not None]),
+            bottom=frozenset(),
+        )
+        use = node.uses
+        define = node.defines
+
+        def transfer(outset, use=use, define=define):
+            outset = outset if outset is not None else frozenset()
+            if define is not None:
+                outset = outset - {define}
+            return use | outset
+
+        system.define(("in", nid), [("out", nid)], transfer, bottom=frozenset())
+    values = system.solve()
+    return LiveVariables(
+        live_in={nid: values[("in", nid)] for nid in cfg.nodes},
+        live_out={nid: values[("out", nid)] for nid in cfg.nodes},
+        iterations=system.iterations,
+    )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, addressed by CFG node."""
+
+    node_id: int
+    label: str
+    message: str
+
+
+def uninitialized_uses(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    """Variables that may be read before any assignment reaches them."""
+    reaching = reaching_definitions(cfg)
+    findings: list[Diagnostic] = []
+    for node in cfg.statement_nodes():
+        for var in sorted(node.uses):
+            if not reaching.definitions_reaching(node.node_id, var):
+                findings.append(
+                    Diagnostic(
+                        node.node_id,
+                        node.label,
+                        f"variable {var!r} may be used before assignment",
+                    )
+                )
+    return findings
+
+
+def dead_stores(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    """Assignments whose value can never be observed."""
+    liveness = live_variables(cfg)
+    findings: list[Diagnostic] = []
+    for node in cfg.statement_nodes():
+        if node.defines is None:
+            continue
+        if node.defines not in liveness.live_out[node.node_id]:
+            findings.append(
+                Diagnostic(
+                    node.node_id,
+                    node.label,
+                    f"assignment to {node.defines!r} is never used",
+                )
+            )
+    return findings

@@ -1,0 +1,249 @@
+"""A goto-less mini language for flow analysis.
+
+Section 4: "since Cactis does not support data cycles, it can only handle
+flow analysis for simple languages such as a goto-less Pascal".  This is
+that language, small enough to parse here and rich enough to exercise
+classic dataflow analyses: assignments, ``if``/``else``, ``while``, and
+``print``.  ``while`` introduces genuine cycles into the flow graph, which
+is exactly why the Farrow-style fixed-point evaluator
+(:mod:`repro.evaluation.fixedpoint`) is needed.
+
+Grammar::
+
+    program := stmt*
+    stmt    := NAME "=" expr ";"
+             | "if" "(" expr ")" block ["else" block]
+             | "while" "(" expr ")" block
+             | "print" "(" expr ")" ";"
+    block   := "{" stmt* "}"
+    expr    := comparison over + - * / with integers, names, parentheses
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import DslSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<int>\d+)|(?P<name>[A-Za-z_]\w*)|(?P<sym><=|>=|==|!=|[-+*/()<>;{}=]))"
+)
+
+_KEYWORDS = {"if", "else", "while", "print"}
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "MExpr"
+    right: "MExpr"
+
+
+MExpr = Num | Var | BinOp
+
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    value: MExpr
+
+
+@dataclass(frozen=True)
+class Print:
+    value: MExpr
+
+
+@dataclass(frozen=True)
+class If:
+    cond: MExpr
+    then_body: tuple["MStmt", ...]
+    else_body: tuple["MStmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While:
+    cond: MExpr
+    body: tuple["MStmt", ...]
+
+
+MStmt = Assign | Print | If | While
+
+
+@dataclass(frozen=True)
+class Program:
+    body: tuple[MStmt, ...]
+
+
+# -- lexer / parser ------------------------------------------------------------
+
+
+def _tokenize(source: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            remainder = source[pos:].strip()
+            if not remainder:
+                break
+            raise DslSyntaxError(
+                f"cannot tokenize {remainder[:10]!r}", source.count("\n", 0, pos) + 1, 0
+            )
+        pos = match.end()
+        if match.lastgroup == "int":
+            tokens.append(("int", match.group("int")))
+        elif match.lastgroup == "name":
+            name = match.group("name")
+            tokens.append(("kw" if name in _KEYWORDS else "name", name))
+        else:
+            tokens.append(("sym", match.group("sym")))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _MiniParser:
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    @property
+    def current(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.current
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> tuple[str, str]:
+        token = self.current
+        if token[0] != kind or (text is not None and token[1] != text):
+            raise DslSyntaxError(
+                f"expected {text or kind!r}, found {token[1]!r}", 0, 0
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str) -> bool:
+        if self.current == (kind, text):
+            self.advance()
+            return True
+        return False
+
+    # statements
+
+    def parse_program(self) -> Program:
+        body: list[MStmt] = []
+        while self.current[0] != "eof":
+            body.append(self.parse_stmt())
+        return Program(tuple(body))
+
+    def parse_stmt(self) -> MStmt:
+        kind, text = self.current
+        if kind == "kw" and text == "if":
+            self.advance()
+            self.expect("sym", "(")
+            cond = self.parse_expr()
+            self.expect("sym", ")")
+            then_body = self.parse_block()
+            else_body: tuple[MStmt, ...] = ()
+            if self.accept("kw", "else"):
+                else_body = self.parse_block()
+            return If(cond, then_body, else_body)
+        if kind == "kw" and text == "while":
+            self.advance()
+            self.expect("sym", "(")
+            cond = self.parse_expr()
+            self.expect("sym", ")")
+            return While(cond, self.parse_block())
+        if kind == "kw" and text == "print":
+            self.advance()
+            self.expect("sym", "(")
+            value = self.parse_expr()
+            self.expect("sym", ")")
+            self.expect("sym", ";")
+            return Print(value)
+        if kind == "name":
+            name = self.advance()[1]
+            self.expect("sym", "=")
+            value = self.parse_expr()
+            self.expect("sym", ";")
+            return Assign(name, value)
+        raise DslSyntaxError(f"unexpected token {text!r}", 0, 0)
+
+    def parse_block(self) -> tuple[MStmt, ...]:
+        self.expect("sym", "{")
+        body: list[MStmt] = []
+        while not self.accept("sym", "}"):
+            if self.current[0] == "eof":
+                raise DslSyntaxError("unterminated block", 0, 0)
+            body.append(self.parse_stmt())
+        return tuple(body)
+
+    # expressions
+
+    def parse_expr(self) -> MExpr:
+        left = self.parse_additive()
+        kind, text = self.current
+        if kind == "sym" and text in ("<", ">", "<=", ">=", "==", "!="):
+            self.advance()
+            right = self.parse_additive()
+            return BinOp(text, left, right)
+        return left
+
+    def parse_additive(self) -> MExpr:
+        left = self.parse_term()
+        while self.current[0] == "sym" and self.current[1] in ("+", "-"):
+            op = self.advance()[1]
+            left = BinOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> MExpr:
+        left = self.parse_factor()
+        while self.current[0] == "sym" and self.current[1] in ("*", "/"):
+            op = self.advance()[1]
+            left = BinOp(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> MExpr:
+        kind, text = self.current
+        if kind == "int":
+            self.advance()
+            return Num(int(text))
+        if kind == "name":
+            self.advance()
+            return Var(text)
+        if kind == "sym" and text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("sym", ")")
+            return expr
+        raise DslSyntaxError(f"unexpected token {text!r} in expression", 0, 0)
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-language source into its AST."""
+    return _MiniParser(source).parse_program()
+
+
+def variables_used(expr: MExpr) -> set[str]:
+    """Every variable name read by an expression."""
+    if isinstance(expr, Num):
+        return set()
+    if isinstance(expr, Var):
+        return {expr.name}
+    return variables_used(expr.left) | variables_used(expr.right)

@@ -1,0 +1,105 @@
+"""Attribute-driven presentation (the paper's UIMS substitution).
+
+"Cactis attributed graphs can be used to manage the user interface ...
+Attribute evaluation rules are used to create, combine and control these
+program fragments in order to manage a user interface.  This allows the
+user interface to automatically reflect the state of the underlying data
+regardless of how it is modified."
+
+The Higgens UIMS itself is out of scope (separate papers); this module
+reproduces the *database-side* mechanism with a text renderer:
+
+* a :class:`ReportView` declares rows of ``(label, instance, attribute)``;
+* every watched attribute gets a standing demand, so the engine keeps it
+  evaluated through each propagation wave;
+* :meth:`ReportView.render` rebuilds the panel text, and
+  :meth:`ReportView.refresh_log` records one entry per render whose content
+  actually changed -- making "the display reflects the data, however it was
+  modified" an assertable property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One line of the panel: a label plus the attribute it mirrors."""
+
+    label: str
+    iid: int
+    attr: str
+    fmt: str = "{}"
+
+
+class ReportView:
+    """A text panel that mirrors derived attributes of database objects."""
+
+    def __init__(self, db: "Database", title: str = "report") -> None:
+        self.db = db
+        self.title = title
+        self.rows: list[ReportRow] = []
+        self._last_render: str | None = None
+        #: one entry per render whose content differed from the previous.
+        self.refresh_log: list[str] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add_row(self, label: str, iid: int, attr: str, fmt: str = "{}") -> None:
+        """Mirror ``attr`` of instance ``iid``; keeps it eagerly evaluated."""
+        self.rows.append(ReportRow(label, iid, attr, fmt))
+        self.db.watch(iid, attr)
+
+    def remove_rows_for(self, iid: int) -> None:
+        """Stop mirroring a (typically deleted) instance."""
+        for row in [r for r in self.rows if r.iid == iid]:
+            self.db.unwatch(row.iid, row.attr)
+            self.rows.remove(row)
+
+    def close(self) -> None:
+        for row in self.rows:
+            self.db.unwatch(row.iid, row.attr)
+        self.rows.clear()
+
+    # -- rendering ------------------------------------------------------------
+
+    def value_of(self, row: ReportRow) -> Any:
+        return self.db.get_attr(row.iid, row.attr)
+
+    def render(self) -> str:
+        """Current panel text; logs a refresh when the content changed."""
+        width = max((len(r.label) for r in self.rows), default=0)
+        lines = [f"[{self.title}]"]
+        for row in self.rows:
+            value = row.fmt.format(self.value_of(row))
+            lines.append(f"  {row.label.ljust(width)} : {value}")
+        text = "\n".join(lines)
+        if text != self._last_render:
+            self._last_render = text
+            self.refresh_log.append(text)
+        return text
+
+    def is_stale(self) -> bool:
+        """True when some mirrored attribute changed since the last render.
+
+        Watched slots are re-evaluated eagerly, so staleness means the
+        *rendered text* lags the data, which a UI loop would use as its
+        repaint trigger.
+        """
+        if self._last_render is None:
+            return bool(self.rows)
+        return self.render_preview() != self._last_render
+
+    def render_preview(self) -> str:
+        """The text render() would produce, without logging a refresh."""
+        width = max((len(r.label) for r in self.rows), default=0)
+        lines = [f"[{self.title}]"]
+        for row in self.rows:
+            value = row.fmt.format(self.value_of(row))
+            lines.append(f"  {row.label.ljust(width)} : {value}")
+        return "\n".join(lines)

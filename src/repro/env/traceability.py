@@ -1,0 +1,190 @@
+"""Requirements traceability (Section 3's object inventory, continued).
+
+The paper lists "requirements, milestone reports, test data, verification
+results, bug reports" among the objects a software environment manages.
+This module models the requirements slice: requirements are *implemented
+by* components and *verified by* test results, and a requirement's
+``status`` is derived --
+
+* ``unimplemented``  -- some linked component is not done (or none linked),
+* ``untested``       -- implemented, but no test results attached,
+* ``failing``        -- implemented, but some attached test failed,
+* ``verified``       -- implemented and every attached test passed.
+
+Because status is functionally defined, every tool that flips a
+component's ``done`` flag or records a test run keeps the whole
+traceability matrix current for free -- the same §4 argument as the
+milestone manager, on a different Section-3 data type.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.core.schema import Schema
+from repro.dsl import compile_schema
+from repro.errors import CactisError
+
+TRACEABILITY_SCHEMA = """
+relationship implements is
+    done_flag : integer from plug;
+end relationship;
+
+relationship verifies is
+    passed_flag : integer from plug;
+    counted     : integer from plug;
+end relationship;
+
+object class requirement is
+  relationships
+    implemented_by : implements multi socket;
+    verified_by    : verifies multi socket;
+  attributes
+    title  : string;
+    status : string;
+  rules
+    status = begin
+        impls   : integer;
+        done    : integer;
+        tests   : integer;
+        passed  : integer;
+        for each c related to implemented_by do
+            impls := impls + 1;
+            done := done + c.done_flag;
+        end for;
+        if impls == 0 or done < impls then
+            return "unimplemented";
+        end if;
+        for each t related to verified_by do
+            tests := tests + t.counted;
+            passed := passed + t.passed_flag;
+        end for;
+        if tests == 0 then
+            return "untested";
+        end if;
+        if passed < tests then
+            return "failing";
+        end if;
+        return "verified";
+    end;
+end object;
+
+object class impl_component is
+  relationships
+    implements_req : implements multi plug;
+  attributes
+    name : string;
+    done : boolean = false;
+  rules
+    implements_req done_flag = begin
+        if done then
+            return 1;
+        end if;
+        return 0;
+    end;
+end object;
+
+object class test_result is
+  relationships
+    verifies_req : verifies plug;
+  attributes
+    name   : string;
+    passed : boolean = false;
+  rules
+    verifies_req passed_flag = begin
+        if passed then
+            return 1;
+        end if;
+        return 0;
+    end;
+    verifies_req counted = 1;
+end object;
+"""
+
+
+class TraceabilityError(CactisError):
+    """Traceability-matrix misuse (duplicate or unknown names)."""
+
+
+def traceability_schema() -> Schema:
+    return compile_schema(TRACEABILITY_SCHEMA)
+
+
+class TraceabilityMatrix:
+    """By-name application API over the traceability schema."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database(traceability_schema())
+        self._requirements: dict[str, int] = {}
+        self._components: dict[str, int] = {}
+        self._tests: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def add_requirement(self, title: str) -> int:
+        if title in self._requirements:
+            raise TraceabilityError(f"requirement {title!r} already exists")
+        iid = self.db.create("requirement", title=title)
+        self._requirements[title] = iid
+        return iid
+
+    def add_component(self, name: str, implements: list[str]) -> int:
+        if name in self._components:
+            raise TraceabilityError(f"component {name!r} already exists")
+        iid = self.db.create("impl_component", name=name)
+        self._components[name] = iid
+        for title in implements:
+            self.db.connect(
+                iid, "implements_req", self._req(title), "implemented_by"
+            )
+        return iid
+
+    def record_test(self, name: str, requirement: str, passed: bool) -> int:
+        """Attach one test result to a requirement (re-recording updates it)."""
+        existing = self._tests.get(name)
+        if existing is not None:
+            self.db.set_attr(existing, "passed", passed)
+            return existing
+        iid = self.db.create("test_result", name=name, passed=passed)
+        self._tests[name] = iid
+        self.db.connect(
+            iid, "verifies_req", self._req(requirement), "verified_by"
+        )
+        return iid
+
+    def _req(self, title: str) -> int:
+        try:
+            return self._requirements[title]
+        except KeyError:
+            raise TraceabilityError(f"unknown requirement {title!r}") from None
+
+    # -- the "existing tools" ------------------------------------------------------
+
+    def mark_done(self, component: str, done: bool = True) -> None:
+        try:
+            iid = self._components[component]
+        except KeyError:
+            raise TraceabilityError(f"unknown component {component!r}") from None
+        self.db.set_attr(iid, "done", done)
+
+    # -- queries ------------------------------------------------------------
+
+    def status(self, requirement: str) -> str:
+        return self.db.get_attr(self._req(requirement), "status")
+
+    def report(self) -> list[tuple[str, str]]:
+        return [
+            (title, self.status(title)) for title in sorted(self._requirements)
+        ]
+
+    def summary(self) -> dict[str, int]:
+        """Counts per status across all requirements."""
+        counts: dict[str, int] = {}
+        for __, status in self.report():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def verified_fraction(self) -> float:
+        total = len(self._requirements)
+        if not total:
+            return 1.0
+        return self.summary().get("verified", 0) / total

@@ -1,0 +1,164 @@
+"""Exception hierarchy for the Cactis reproduction.
+
+Every error raised by the library derives from :class:`CactisError` so that
+applications embedding the database can catch a single base class.  The
+hierarchy mirrors the failure modes the paper distinguishes: schema errors
+(bad type definitions), data errors (bad primitive operations), evaluation
+errors (cycles, rule failures), constraint violations (which force rollback),
+storage errors, and concurrency-control aborts.
+"""
+
+from __future__ import annotations
+
+
+class CactisError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(CactisError):
+    """A type, attribute, relationship, or rule definition is invalid.
+
+    Raised while a schema is being constructed or frozen, e.g. for duplicate
+    attribute names, a derived attribute without a rule, a rule referencing
+    an unknown attribute, or a relationship whose two ends disagree about
+    their relationship type.
+    """
+
+
+class UnknownTypeError(SchemaError):
+    """An operation referenced an object class not present in the schema."""
+
+
+class UnknownAttributeError(CactisError):
+    """An operation referenced an attribute the object class does not define."""
+
+
+class UnknownRelationshipError(CactisError):
+    """An operation referenced a relationship port the class does not define."""
+
+
+class UnknownInstanceError(CactisError):
+    """An operation referenced an instance id that does not exist.
+
+    Deleted instances raise this error as well: in Cactis, deleting an
+    instance is equivalent to breaking all of its relationships and removing
+    it, so a dangling id is indistinguishable from one never allocated.
+    """
+
+
+class IntrinsicOnlyError(CactisError):
+    """A derived attribute was assigned directly.
+
+    The paper is explicit: "only intrinsic attributes may be given new
+    values directly.  Derived attributes are only changed indirectly by
+    computations resulting from changes to intrinsic attributes."
+    """
+
+
+class AtomTypeError(CactisError):
+    """A value does not conform to the declared atomic type of an attribute."""
+
+
+class ConnectionError_(CactisError):
+    """A relationship connection primitive was invalid.
+
+    Covers plug/socket mismatches, relationship-type mismatches, exceeding
+    the cardinality of a single-valued port, and disconnecting a pair that
+    is not connected.
+    """
+
+
+class CycleError(CactisError):
+    """Attribute evaluation encountered a dependency cycle.
+
+    "Cactis does not support data cycles" -- the incremental evaluator
+    detects a cycle at demand time and raises, identifying the slots on the
+    cycle.  The fixed-point evaluator in :mod:`repro.evaluation.fixedpoint`
+    exists precisely for graphs where cycles are intended (flow analysis).
+    """
+
+    def __init__(self, slots):
+        self.slots = tuple(slots)
+        super().__init__(
+            "dependency cycle through slots: "
+            + " -> ".join(repr(s) for s in self.slots)
+        )
+
+
+class RuleEvaluationError(CactisError):
+    """An attribute evaluation rule raised an exception while running."""
+
+    def __init__(self, slot, cause):
+        self.slot = slot
+        self.cause = cause
+        super().__init__(f"rule for slot {slot!r} failed: {cause!r}")
+
+
+class ConstraintViolation(CactisError):
+    """A constraint predicate evaluated to false.
+
+    By default this forces the enclosing transaction to be rolled back; a
+    recovery action attached to the constraint may first attempt to repair
+    the database, in which case the constraint is re-checked.
+    """
+
+    def __init__(self, constraint_name, instance_id):
+        self.constraint_name = constraint_name
+        self.instance_id = instance_id
+        super().__init__(
+            f"constraint {constraint_name!r} violated on instance {instance_id}"
+        )
+
+
+class TransactionError(CactisError):
+    """Misuse of the transaction interface (nesting, commit without begin...)."""
+
+
+class TransactionAborted(CactisError):
+    """The transaction was rolled back (constraint violation or CC abort)."""
+
+    def __init__(self, reason):
+        self.reason = reason
+        super().__init__(f"transaction aborted: {reason}")
+
+
+class ConcurrencyAbort(TransactionAborted):
+    """Timestamp-ordering concurrency control rejected an operation.
+
+    The transaction must be rolled back and restarted with a fresh
+    timestamp; :class:`repro.txn.manager.MultiUserScheduler` does this
+    automatically.
+    """
+
+
+class StorageError(CactisError):
+    """The simulated disk or buffer pool was used incorrectly."""
+
+
+class BlockOverflowError(StorageError):
+    """An instance record is larger than a disk block."""
+
+
+class VersionError(CactisError):
+    """Version-facility misuse: unknown version id, checkout conflicts, etc."""
+
+
+class DslError(CactisError):
+    """Base class for data-language processing errors."""
+
+
+class DslSyntaxError(DslError):
+    """The schema source text failed to lex or parse."""
+
+    def __init__(self, message, line, column):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class DslCompileError(DslError):
+    """The parsed schema text is semantically invalid (unknown names etc.)."""
+
+
+class DslRuntimeError(DslError):
+    """A compiled DSL rule failed while executing."""

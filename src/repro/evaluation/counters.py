@@ -1,0 +1,60 @@
+"""Work counters for the evaluation engine and the baselines.
+
+The paper's claims (E1-E3 in DESIGN.md) are about *counts*: attributes
+marked, attributes evaluated, dependency edges visited.  Every propagation
+strategy in this reproduction -- the incremental engine and the trigger
+baselines alike -- reports through this one structure so benchmarks compare
+like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EvalCounters:
+    """Cumulative work counters."""
+
+    #: number of times any attribute evaluation rule body ran.
+    rule_evaluations: int = 0
+    #: number of slots newly marked out of date (phase 1).
+    slots_marked: int = 0
+    #: dependency edges examined while marking, including edges whose head
+    #: was already out of date (the "cut short" case).
+    mark_edge_visits: int = 0
+    #: explicit user demands (queries) served.
+    demands: int = 0
+    #: scheduler chunk executions (a proxy for context switches).
+    chunk_executions: int = 0
+    #: evaluations of a slot whose recomputed value equalled the old value.
+    unchanged_evaluations: int = 0
+
+    def snapshot(self) -> "EvalCounters":
+        return EvalCounters(
+            self.rule_evaluations,
+            self.slots_marked,
+            self.mark_edge_visits,
+            self.demands,
+            self.chunk_executions,
+            self.unchanged_evaluations,
+        )
+
+    def delta_since(self, earlier: "EvalCounters") -> "EvalCounters":
+        """Counter difference between now and an earlier :meth:`snapshot`."""
+        return EvalCounters(
+            self.rule_evaluations - earlier.rule_evaluations,
+            self.slots_marked - earlier.slots_marked,
+            self.mark_edge_visits - earlier.mark_edge_visits,
+            self.demands - earlier.demands,
+            self.chunk_executions - earlier.chunk_executions,
+            self.unchanged_evaluations - earlier.unchanged_evaluations,
+        )
+
+    def reset(self) -> None:
+        self.rule_evaluations = 0
+        self.slots_marked = 0
+        self.mark_edge_visits = 0
+        self.demands = 0
+        self.chunk_executions = 0
+        self.unchanged_evaluations = 0

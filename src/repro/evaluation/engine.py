@@ -1,0 +1,419 @@
+"""The incremental attribute evaluation engine.
+
+This is the paper's central algorithm (Section 2.2), structured exactly as
+described:
+
+**Phase 1 -- mark out of date.**  When an intrinsic attribute changes (or a
+relationship is established/broken), the slots that depend on it are marked
+*out of date*, transitively, with the traversal **cut short at slots already
+marked** -- this is what makes a second assignment before any demand cost
+O(out-degree) instead of re-walking the region, and what bounds the
+amortised overhead by ``O(Nodes(Could_Change) + Edges(Could_Change))``.
+While marking, *important* slots (constraint predicates, subtype-membership
+predicates, and slots with a standing user demand) are collected.
+
+**Phase 2 -- demand-driven evaluation.**  The collected important slots (and
+any slot the user queries) are evaluated demand-style: a slot's rule runs
+only after all of its dependency slots have values, and **no slot is
+evaluated more than once** per propagation wave, because evaluation clears
+the out-of-date mark and subsequent requests find a clean cached value.
+Unimportant slots simply stay marked until someone asks.
+
+Both phases are expressed as *chunks* run by the
+:class:`~repro.evaluation.scheduler.ChunkScheduler`, so traversal order is a
+scheduling decision: greedily I/O-aware under the paper's policy, FIFO/LIFO
+under the fixed-order comparison policies of experiment E4.  Evaluation
+requests that cross a relationship record observed disk I/O into the
+relationship's decaying average; marking uses cluster-time worst-case
+estimates (the paper notes marking cannot observe a return trip).
+
+Cycles: a wave that deadlocks (every pending evaluation waiting on another)
+has hit a data cycle; the engine extracts it from the wait-for graph and
+raises :class:`repro.errors.CycleError`, since "Cactis does not support data
+cycles".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.rules import is_constraint_attr, is_subtype_attr
+from repro.core.slots import Slot, describe
+from repro.errors import CycleError, RuleEvaluationError
+from repro.evaluation.counters import EvalCounters
+from repro.evaluation.host import DepBinding, EvaluationHost
+from repro.evaluation.scheduler import Chunk, ChunkScheduler, Policy
+
+_LOCAL_EDGE_PRIORITY = 0.0  # same-instance edges: no extra block needed
+
+
+@dataclass
+class _Pending:
+    """In-flight evaluation of one slot (the paper's per-process storage)."""
+
+    bindings: list[DepBinding]
+    remaining: set[Slot] = field(default_factory=set)
+    values: dict[Slot, Any] = field(default_factory=dict)
+    reads_at_start: int = 0
+
+
+class IncrementalEngine:
+    """Two-phase incremental evaluator over a chunk scheduler."""
+
+    def __init__(
+        self,
+        host: EvaluationHost,
+        policy: Policy = "greedy",
+        eager: bool = False,
+    ) -> None:
+        self.host = host
+        self.policy = policy
+        #: ablation switch: evaluate *everything* marked at the end of each
+        #: wave instead of deferring unimportant slots (the design choice
+        #: the paper's laziness claim is about; see bench_ablations).
+        self.eager = eager
+        self.counters = EvalCounters()
+        self.out_of_date: set[Slot] = set()
+        self.standing_demands: set[Slot] = set()
+        self.scheduler = ChunkScheduler(
+            is_resident=host.storage.is_resident,
+            block_of=host.storage.block_of,
+            policy=policy,
+        )
+        # Wire buffer-pool loads to chunk promotion ("very high priority
+        # queue" of Section 2.3).
+        host.storage.buffer.on_load = self.scheduler.on_block_loaded
+        self._pending: dict[Slot, _Pending] = {}
+        self._waiters: dict[Slot, list[Slot]] = {}
+        self._important_found: list[Slot] = []
+
+    # ------------------------------------------------------------------
+    # importance
+    # ------------------------------------------------------------------
+
+    def is_important(self, slot: Slot) -> bool:
+        """Constraint/subtype predicates and standing demands are important."""
+        name = slot[1]
+        if is_constraint_attr(name) or is_subtype_attr(name):
+            return True
+        return slot in self.standing_demands
+
+    def register_demand(self, slot: Slot) -> None:
+        """Give ``slot`` a standing demand: keep it evaluated eagerly."""
+        self.standing_demands.add(slot)
+
+    def unregister_demand(self, slot: Slot) -> None:
+        self.standing_demands.discard(slot)
+
+    def is_out_of_date(self, slot: Slot) -> bool:
+        return slot in self.out_of_date
+
+    # ------------------------------------------------------------------
+    # phase 1: marking
+    # ------------------------------------------------------------------
+
+    def propagate_intrinsic_change(self, slot: Slot) -> None:
+        """React to a primitive update of an intrinsic attribute.
+
+        Marks everything dependent on ``slot`` out of date (phase 1), then
+        evaluates the important slots discovered (phase 2).
+        """
+        self._schedule_dependent_marks(slot)
+        self._run_marking_then_evaluate()
+
+    def invalidate_derived(self, slots: Iterable[Slot]) -> None:
+        """React to a structural change (connect/disconnect/subtype flip).
+
+        The given derived slots' inputs changed shape, so they are marked
+        directly, then their dependents transitively.
+        """
+        for slot in slots:
+            self._schedule_mark(slot, crossing_port=None)
+        self._run_marking_then_evaluate()
+
+    def _run_marking_then_evaluate(self) -> None:
+        self.scheduler.run_to_exhaustion()
+        important = self._important_found
+        self._important_found = []
+        if important:
+            self.evaluate_slots(important)
+        if self.eager and self.out_of_date:
+            self.evaluate_all_out_of_date()
+
+    def _schedule_dependent_marks(self, slot: Slot) -> None:
+        for dependent in self.host.depgraph.dependents(slot):
+            self.counters.mark_edge_visits += 1
+            if dependent in self.out_of_date:
+                continue  # cut short: already marked
+            self._schedule_mark_chunk(slot, dependent)
+
+    def _schedule_mark(self, slot: Slot, crossing_port: str | None) -> None:
+        if slot in self.out_of_date:
+            self.counters.mark_edge_visits += 1
+            return
+        priority = (
+            self.host.usage.worst_case_io(slot[0], crossing_port)
+            if crossing_port is not None
+            else _LOCAL_EDGE_PRIORITY
+        )
+        self.scheduler.schedule(
+            Chunk(lambda s=slot, p=crossing_port: self._mark(s, p), slot[0], priority)
+        )
+
+    def _schedule_mark_chunk(self, src: Slot, dst: Slot) -> None:
+        """Schedule marking of ``dst`` reached from ``src``."""
+        crossing_port = None
+        if src[0] != dst[0]:
+            crossing_port = self.host.receive_port_between(dst, src)
+        self._schedule_mark(dst, crossing_port)
+
+    def _mark(self, slot: Slot, crossing_port: str | None) -> None:
+        """Chunk body: mark one slot and fan out to its dependents."""
+        self.counters.chunk_executions += 1
+        if slot in self.out_of_date:
+            return  # raced with another path; cut short
+        self.out_of_date.add(slot)
+        self.counters.slots_marked += 1
+        # The out-of-date mark lives with the record on disk.
+        self.host.storage.touch(slot[0], dirty=True)
+        if crossing_port is not None:
+            self.host.usage.note_crossing(slot[0], crossing_port)
+        if self.is_important(slot):
+            self._important_found.append(slot)
+        for dependent in self.host.depgraph.dependents(slot):
+            self.counters.mark_edge_visits += 1
+            if dependent in self.out_of_date:
+                continue
+            self._schedule_mark_chunk(slot, dependent)
+
+    # ------------------------------------------------------------------
+    # phase 2: demand-driven evaluation
+    # ------------------------------------------------------------------
+
+    def demand(self, slot: Slot) -> Any:
+        """A user query: evaluate ``slot`` if needed and return its value.
+
+        "If the user explicitly requests the value of attributes (i.e.
+        makes a query) they become important, and new computations of out of
+        date attributes may be invoked in order to obtain correct values."
+        """
+        self.counters.demands += 1
+        if self._slot_ready(slot):
+            self.host.storage.touch(slot[0])
+            return self.host.read_slot_value(slot)
+        self.evaluate_slots([slot], user_request=True)
+        return self.host.read_slot_value(slot)
+
+    def evaluate_slots(self, slots: Iterable[Slot], user_request: bool = False) -> None:
+        """Run phase 2 for the given slots (and everything they require)."""
+        for slot in slots:
+            self._schedule_request(slot, priority=0.0, user_request=user_request)
+        self.scheduler.run_to_exhaustion()
+        if self._pending:
+            self._raise_cycle()
+
+    def evaluate_all_out_of_date(self) -> None:
+        """Force every marked slot clean (maintenance; commit-time audits)."""
+        # Iterate to a fixed point: evaluating subtype predicates can flip
+        # membership, which may mark further slots.
+        while self.out_of_date:
+            self.evaluate_slots(list(self.out_of_date))
+
+    def _slot_ready(self, slot: Slot) -> bool:
+        """True when the slot has a usable value without evaluation."""
+        if self.host.rule_for(slot) is None:
+            return True  # intrinsic slots always carry their stored value
+        return slot not in self.out_of_date and self.host.has_slot_value(slot)
+
+    def _schedule_request(
+        self, slot: Slot, priority: float, user_request: bool = False
+    ) -> None:
+        self.scheduler.schedule(
+            Chunk(
+                lambda s=slot: self._request(s),
+                slot[0],
+                priority,
+                user_request=user_request,
+            )
+        )
+
+    def _request(self, slot: Slot) -> None:
+        """Chunk body: first half of an evaluation (gather dependencies)."""
+        self.counters.chunk_executions += 1
+        if slot in self._pending:
+            return  # someone else already requested it
+        if self._slot_ready(slot):
+            # Value already clean (e.g. evaluated for another waiter between
+            # scheduling and execution): nothing to do -- waiters collected
+            # their copy when they registered, or will at notification time.
+            self._notify_waiters(slot, self.host.read_slot_value(slot))
+            return
+        bindings = self.host.resolved_inputs(slot)
+        pend = _Pending(
+            bindings=bindings,
+            reads_at_start=self.host.storage.disk.stats.reads,
+        )
+        self._pending[slot] = pend
+        for binding in bindings:
+            for dep in binding.slots:
+                if binding.port is not None:
+                    self.host.usage.note_crossing(slot[0], binding.port)
+                if dep in pend.values or dep in pend.remaining:
+                    continue
+                dep_priority = (
+                    self.host.usage.expected_io(slot[0], binding.port)
+                    if binding.port is not None
+                    else _LOCAL_EDGE_PRIORITY
+                )
+                if self._slot_ready(dep):
+                    if dep[0] == slot[0] or self.host.storage.is_resident(dep[0]):
+                        # Local or already in memory: collect right now.
+                        self.host.storage.touch(dep[0])
+                        pend.values[dep] = self.host.read_slot_value(dep)
+                    else:
+                        # Clean but on disk: collecting the value is its own
+                        # schedulable sub-process ("any needed values will
+                        # have been collected in storage attached to the
+                        # process before it is scheduled as runnable").
+                        pend.remaining.add(dep)
+                        self._waiters.setdefault(dep, []).append(slot)
+                        self._schedule_collect(dep, dep_priority)
+                else:
+                    pend.remaining.add(dep)
+                    self._waiters.setdefault(dep, []).append(slot)
+                    self._schedule_request(dep, dep_priority)
+        if not pend.remaining:
+            self._schedule_compute(slot)
+
+    def _schedule_collect(self, slot: Slot, priority: float) -> None:
+        self.scheduler.schedule(
+            Chunk(lambda s=slot: self._collect(s), slot[0], priority)
+        )
+
+    def _collect(self, slot: Slot) -> None:
+        """Chunk body: fetch one clean value from disk for its waiters."""
+        self.counters.chunk_executions += 1
+        if slot not in self._waiters:
+            return  # every waiter was already satisfied (or abandoned)
+        if not self._slot_ready(slot):
+            # Invalidated between scheduling and execution: fall back to a
+            # full evaluation request.
+            self._request(slot)
+            return
+        self.host.storage.touch(slot[0])
+        self._notify_waiters(slot, self.host.read_slot_value(slot))
+
+    def _schedule_compute(self, slot: Slot) -> None:
+        # All inputs are in hand; only the slot's own block is needed.
+        self.scheduler.schedule(
+            Chunk(lambda s=slot: self._compute(s), slot[0], _LOCAL_EDGE_PRIORITY)
+        )
+
+    def _compute(self, slot: Slot) -> None:
+        """Chunk body: second half of an evaluation (run the rule)."""
+        self.counters.chunk_executions += 1
+        pend = self._pending.pop(slot, None)
+        if pend is None:
+            return  # already computed via another path
+        rule = self.host.rule_for(slot)
+        assert rule is not None, f"compute scheduled for intrinsic {describe(slot)}"
+        self.host.storage.touch(slot[0], dirty=True)
+        kwargs = {
+            binding.kw: binding.assemble(slot[0], pend.values)
+            for binding in pend.bindings
+        }
+        try:
+            value = rule.body(**kwargs)
+        except RuleEvaluationError:
+            raise
+        except Exception as exc:
+            raise RuleEvaluationError(slot, exc) from exc
+        had_old = self.host.has_slot_value(slot)
+        old = self.host.read_slot_value(slot) if had_old else None
+        self.host.write_slot_value(slot, value)
+        self.out_of_date.discard(slot)
+        self.counters.rule_evaluations += 1
+        if had_old and old == value:
+            self.counters.unchanged_evaluations += 1
+        # Self-adaptive statistics: charge the I/O this evaluation incurred
+        # to each relationship whose value it requested.
+        io_spent = self.host.storage.disk.stats.reads - pend.reads_at_start
+        for binding in pend.bindings:
+            if binding.port is not None:
+                self.host.usage.observe_io(slot[0], binding.port, float(io_spent))
+        # Special slot families.
+        name = slot[1]
+        if is_constraint_attr(name):
+            self.host.handle_constraint_result(slot, bool(value))
+        elif is_subtype_attr(name):
+            self.host.handle_subtype_result(slot, bool(value))
+        self._notify_waiters(slot, value)
+
+    def _notify_waiters(self, slot: Slot, value: Any) -> None:
+        for waiter in self._waiters.pop(slot, ()):  # noqa: B020
+            wpend = self._pending.get(waiter)
+            if wpend is None:
+                continue
+            wpend.values[slot] = value
+            wpend.remaining.discard(slot)
+            if not wpend.remaining:
+                self._schedule_compute(waiter)
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+
+    def forget_slot(self, slot: Slot) -> None:
+        """Drop engine state about a slot (instance deletion)."""
+        self.out_of_date.discard(slot)
+        self.standing_demands.discard(slot)
+
+    def reset_wave(self) -> None:
+        """Abandon an in-flight wave (a constraint vetoed the transaction).
+
+        Queued chunks and pending evaluations are dropped; out-of-date
+        marks are kept, so the abandoned slots simply recompute on the
+        next demand.
+        """
+        self.scheduler.clear()
+        self._pending.clear()
+        self._waiters.clear()
+        self._important_found.clear()
+
+    def _raise_cycle(self) -> None:
+        """Deadlocked wave: extract a wait-for cycle and fail."""
+        waits_for = {s: list(p.remaining) for s, p in self._pending.items()}
+        cycle = _find_wait_cycle(waits_for)
+        # Leave the engine usable: clear the stuck wave, slots stay marked.
+        self._pending.clear()
+        self._waiters.clear()
+        raise CycleError(cycle)
+
+
+def _find_wait_cycle(waits_for: dict[Slot, list[Slot]]) -> list[Slot]:
+    """Find a cycle in the wait-for graph of a deadlocked wave.
+
+    Every pending slot waits on at least one other pending slot (anything
+    else would have been collected or computed), so a cycle must exist;
+    walk until a repeat.
+    """
+    if not waits_for:
+        return []
+    start = next(iter(waits_for))
+    seen: dict[Slot, int] = {}
+    path: list[Slot] = []
+    current = start
+    while current not in seen:
+        seen[current] = len(path)
+        path.append(current)
+        nexts = [s for s in waits_for.get(current, ()) if s in waits_for]
+        if not nexts:
+            # Dangling wait (should not happen); restart from another slot.
+            remaining = [s for s in waits_for if s not in seen]
+            if not remaining:
+                return path
+            current = remaining[0]
+            continue
+        current = nexts[0]
+    return path[seen[current]:]

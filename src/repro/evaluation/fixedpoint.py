@@ -1,0 +1,126 @@
+"""Fixed-point evaluation for circular attribute systems.
+
+The paper's final section on program support notes: "since Cactis does not
+support data cycles, it can only handle flow analysis for simple languages
+such as a goto-less Pascal, however, the techniques described in [Far86]
+are being incorporated into Cactis so that it may support more general
+forms of flow analysis."  [Far86] is Farrow's fixed-point-finding evaluation
+of *circular but well-defined* attribute grammars.
+
+This module implements that extension: a standalone attribute system whose
+equations may be mutually recursive.  Evaluation is chaotic iteration with a
+worklist -- every attribute starts at a declared *bottom* value, equations
+re-fire when an input changes, and the system stabilises when no value
+moves.  Termination is the caller's obligation (equations should be
+monotone over a finite-height lattice, which all classic dataflow problems
+satisfy); a generous iteration bound turns a non-terminating system into a
+clear error instead of a hang.
+
+:mod:`repro.env.flow.analysis` builds reaching-definitions and live-variable
+analyses on top of this, where ``while`` loops make the dependency graph
+genuinely cyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.errors import CactisError, SchemaError
+
+
+class FixedPointDivergence(CactisError):
+    """The equation system did not stabilise within the iteration bound."""
+
+
+@dataclass(frozen=True)
+class Equation:
+    """One circular-system equation: ``target = fn(*values of deps)``."""
+
+    target: Hashable
+    deps: tuple[Hashable, ...]
+    fn: Callable[..., Any]
+    bottom: Any
+
+
+class CircularAttributeSystem:
+    """A set of possibly-cyclic attribute equations solved by iteration."""
+
+    def __init__(self) -> None:
+        self._equations: dict[Hashable, Equation] = {}
+        self._intrinsics: dict[Hashable, Any] = {}
+        self._dependents: dict[Hashable, list[Hashable]] = {}
+        #: filled by :meth:`solve`; also inspectable afterwards.
+        self.values: dict[Hashable, Any] = {}
+        self.iterations = 0
+        self.equation_firings = 0
+
+    # -- construction -----------------------------------------------------
+
+    def define(
+        self,
+        target: Hashable,
+        deps: Sequence[Hashable],
+        fn: Callable[..., Any],
+        bottom: Any,
+    ) -> None:
+        """Add an equation; ``fn`` receives dep values positionally."""
+        if target in self._equations or target in self._intrinsics:
+            raise SchemaError(f"attribute {target!r} is already defined")
+        eq = Equation(target, tuple(deps), fn, bottom)
+        self._equations[target] = eq
+        for dep in eq.deps:
+            self._dependents.setdefault(dep, []).append(target)
+
+    def set_value(self, target: Hashable, value: Any) -> None:
+        """Declare an intrinsic (non-equation) attribute with a fixed value."""
+        if target in self._equations:
+            raise SchemaError(f"attribute {target!r} already has an equation")
+        self._intrinsics[target] = value
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self, max_rounds: int = 10_000) -> Mapping[Hashable, Any]:
+        """Iterate to a fixed point and return the value map.
+
+        ``max_rounds`` bounds the number of *rounds* (full worklist
+        generations), not individual firings; dataflow systems stabilise in
+        O(lattice height × longest acyclic path) rounds.
+        """
+        self.values = dict(self._intrinsics)
+        for eq in self._equations.values():
+            self.values[eq.target] = eq.bottom
+        # Missing dependencies default to None so equations can guard.
+        worklist: dict[Hashable, None] = {t: None for t in self._equations}
+        self.iterations = 0
+        self.equation_firings = 0
+        rounds = 0
+        while worklist:
+            rounds += 1
+            if rounds > max_rounds:
+                raise FixedPointDivergence(
+                    f"no fixed point after {max_rounds} rounds; "
+                    f"{len(worklist)} equations still unstable"
+                )
+            current, worklist = worklist, {}
+            for target in current:
+                eq = self._equations[target]
+                args = [self.values.get(dep) for dep in eq.deps]
+                new_value = eq.fn(*args)
+                self.equation_firings += 1
+                if new_value != self.values[target]:
+                    self.values[target] = new_value
+                    for dependent in self._dependents.get(target, ()):
+                        if dependent in self._equations:
+                            worklist[dependent] = None
+            self.iterations = rounds
+        return self.values
+
+    def value(self, target: Hashable) -> Any:
+        """A solved value (call :meth:`solve` first)."""
+        try:
+            return self.values[target]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {target!r} has no value; was solve() called?"
+            ) from None

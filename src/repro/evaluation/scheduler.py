@@ -1,0 +1,164 @@
+"""The chunk scheduler.
+
+Section 2.3: traversals are broken into *chunks* "to be scheduled
+independently", simulating a concurrent computation inside one process (the
+OWL technique).  Order is chosen to minimise disk access:
+
+* a **very high priority queue** holds chunks whose instance's block is
+  already in the buffer pool -- "whenever a disk block is read into memory,
+  all processes which are associated with some instance stored on that block
+  are promoted to a special very high priority queue";
+* otherwise chunks wait in a policy queue ordered by **expected disk I/O**
+  (decaying averages / worst-case estimates) under the paper's greedy
+  policy.
+
+The policy is pluggable so experiment E4 can compare the paper's greedy
+order against fixed FIFO (breadth-first) and LIFO (depth-first) traversal
+orders: all policies compute identical values, only the I/O differs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Literal
+
+Policy = Literal["greedy", "fifo", "lifo"]
+
+
+class Chunk:
+    """One schedulable unit of work.
+
+    ``run`` performs the work (and may schedule further chunks); ``iid`` is
+    the instance whose block the chunk needs, used for residency checks and
+    high-priority promotion; ``priority`` is the expected disk I/O estimate
+    under the greedy policy (lower runs earlier).  ``user_request`` marks
+    "processes which are the direct user requests that start a chain of
+    computations", which receive a special (best) priority class.
+    """
+
+    __slots__ = ("run", "iid", "priority", "user_request", "cancelled")
+
+    def __init__(
+        self,
+        run: Callable[[], None],
+        iid: int,
+        priority: float = 1.0,
+        user_request: bool = False,
+    ) -> None:
+        self.run = run
+        self.iid = iid
+        self.priority = priority
+        self.user_request = user_request
+        self.cancelled = False
+
+
+class ChunkScheduler:
+    """Runs chunks to exhaustion, preferring work that avoids disk reads."""
+
+    def __init__(
+        self,
+        is_resident: Callable[[int], bool],
+        block_of: Callable[[int], int],
+        policy: Policy = "greedy",
+    ) -> None:
+        if policy not in ("greedy", "fifo", "lifo"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self._is_resident = is_resident
+        self._block_of = block_of
+        self._high: deque[Chunk] = deque()
+        self._heap: list[tuple[int, float, int, Chunk]] = []
+        self._fifo: deque[Chunk] = deque()
+        self._lifo: list[Chunk] = []
+        self._by_block: dict[int, list[Chunk]] = {}
+        self._seq = 0
+        self.executed = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, chunk: Chunk) -> None:
+        """Queue a chunk, routing residency-satisfied work to the high queue.
+
+        The in-memory high-priority queue and block promotion belong to the
+        paper's greedy technique; the fifo/lifo policies model the naive
+        fixed traversal orders of Section 2.3 and deliberately do not
+        reorder on residency.
+        """
+        if self.policy == "greedy":
+            if self._is_resident(chunk.iid):
+                self._high.append(chunk)
+                return
+            self._index_by_block(chunk)
+            self._seq += 1
+            # User requests occupy a strictly better priority class.
+            klass = 0 if chunk.user_request else 1
+            heapq.heappush(self._heap, (klass, chunk.priority, self._seq, chunk))
+        elif self.policy == "fifo":
+            self._fifo.append(chunk)
+        else:
+            self._lifo.append(chunk)
+
+    def _index_by_block(self, chunk: Chunk) -> None:
+        try:
+            block_id = self._block_of(chunk.iid)
+        except Exception:
+            return  # unplaced instance: never promoted, still runs from policy queue
+        self._by_block.setdefault(block_id, []).append(chunk)
+
+    def on_block_loaded(self, block_id: int) -> None:
+        """Buffer-pool callback: promote chunks waiting on this block."""
+        if self.policy != "greedy":
+            return
+        waiting = self._by_block.pop(block_id, None)
+        if not waiting:
+            return
+        for chunk in waiting:
+            if not chunk.cancelled:
+                # Mark the original queue entry stale and requeue high.
+                promoted = Chunk(chunk.run, chunk.iid, chunk.priority, chunk.user_request)
+                chunk.cancelled = True
+                self._high.append(promoted)
+
+    # -- execution ------------------------------------------------------------
+
+    def _pop(self) -> Chunk | None:
+        while self._high:
+            chunk = self._high.popleft()
+            if not chunk.cancelled:
+                return chunk
+        if self.policy == "greedy":
+            while self._heap:
+                __, __, __, chunk = heapq.heappop(self._heap)
+                if not chunk.cancelled:
+                    return chunk
+            return None
+        queue = self._fifo if self.policy == "fifo" else self._lifo
+        while queue:
+            chunk = queue.popleft() if self.policy == "fifo" else queue.pop()
+            if not chunk.cancelled:
+                return chunk
+        return None
+
+    def run_to_exhaustion(self) -> int:
+        """Execute chunks until no queue has work; returns chunks executed."""
+        executed = 0
+        while True:
+            chunk = self._pop()
+            if chunk is None:
+                return executed
+            chunk.run()
+            executed += 1
+            self.executed += 1
+
+    @property
+    def idle(self) -> bool:
+        return not (self._high or self._heap or self._fifo or self._lifo)
+
+    def clear(self) -> None:
+        """Drop all queued chunks (a wave was abandoned mid-flight)."""
+        self._high.clear()
+        self._heap.clear()
+        self._fifo.clear()
+        self._lifo.clear()
+        self._by_block.clear()

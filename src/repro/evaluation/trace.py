@@ -1,0 +1,131 @@
+"""Wave tracing: observability for the incremental engine.
+
+A :class:`WaveTracer` wraps a database and records, for a window of
+activity, exactly what the paper's algorithm did: which slots were marked,
+which were evaluated and in what order, how much disk traffic each phase
+incurred, and how the work relates to the ``Could_Change`` bound.  Useful
+for debugging schemas ("why did this recompute?") and for the kind of
+inspection the experiments automate.
+
+Usage::
+
+    with WaveTracer(db) as trace:
+        db.set_attr(iid, "weight", 9)
+        db.get_attr(other, "total")
+    print(trace.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.slots import Slot, describe
+from repro.graph.depgraph import could_change
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+@dataclass
+class WaveTrace:
+    """What happened inside the traced window."""
+
+    marked: list[Slot] = field(default_factory=list)
+    evaluated: list[tuple[Slot, Any]] = field(default_factory=list)
+    seeds: list[Slot] = field(default_factory=list)
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    def evaluated_slots(self) -> list[Slot]:
+        return [slot for slot, __ in self.evaluated]
+
+    def value_of(self, slot: Slot) -> Any:
+        for candidate, value in reversed(self.evaluated):
+            if candidate == slot:
+                return value
+        raise KeyError(slot)
+
+    def summary(self) -> str:
+        lines = [
+            f"wave: {len(self.seeds)} seed(s), {len(self.marked)} marked, "
+            f"{len(self.evaluated)} evaluated, "
+            f"{self.disk_reads} reads / {self.disk_writes} writes"
+        ]
+        for seed in self.seeds:
+            lines.append(f"  seed      {describe(seed)}")
+        for slot in self.marked:
+            lines.append(f"  marked    {describe(slot)}")
+        for slot, value in self.evaluated:
+            lines.append(f"  evaluated {describe(slot)} -> {value!r}")
+        return "\n".join(lines)
+
+
+class WaveTracer:
+    """Context manager capturing engine activity on one database.
+
+    Implemented by shimming the engine's ``_mark``/``_compute`` chunk
+    bodies and the host's write path for the duration of the window; the
+    shims delegate to the originals, so behaviour is unchanged.
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self.trace = WaveTrace()
+        self._originals: dict[str, Any] = {}
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> WaveTrace:
+        engine = self.db.engine
+        stats = self.db.storage.disk.stats
+        self._reads_at_start = stats.reads
+        self._writes_at_start = stats.writes
+
+        original_mark = engine._mark
+        original_compute = engine._compute
+        original_propagate = engine.propagate_intrinsic_change
+        trace = self.trace
+
+        def traced_mark(slot: Slot, crossing_port: str | None) -> None:
+            already = slot in engine.out_of_date
+            original_mark(slot, crossing_port)
+            if not already and slot in engine.out_of_date:
+                trace.marked.append(slot)
+
+        def traced_compute(slot: Slot) -> None:
+            pending_before = slot in engine._pending
+            original_compute(slot)
+            if pending_before and self.db.has_slot_value(slot):
+                trace.evaluated.append(
+                    (slot, self.db.read_slot_value(slot))
+                )
+
+        def traced_propagate(slot: Slot) -> None:
+            trace.seeds.append(slot)
+            original_propagate(slot)
+
+        self._originals = {
+            "_mark": original_mark,
+            "_compute": original_compute,
+            "propagate_intrinsic_change": original_propagate,
+        }
+        engine._mark = traced_mark  # type: ignore[method-assign]
+        engine._compute = traced_compute  # type: ignore[method-assign]
+        engine.propagate_intrinsic_change = traced_propagate  # type: ignore[method-assign]
+        return self.trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        engine = self.db.engine
+        for name, original in self._originals.items():
+            setattr(engine, name, original)
+        stats = self.db.storage.disk.stats
+        self.trace.disk_reads = stats.reads - self._reads_at_start
+        self.trace.disk_writes = stats.writes - self._writes_at_start
+
+    # -- analysis ------------------------------------------------------------
+
+    def could_change_bound(self) -> tuple[int, int]:
+        """(nodes, edges) of Could_Change over the traced seeds."""
+        region, edges = could_change(self.db.depgraph, self.trace.seeds)
+        return len(region), edges

@@ -1,0 +1,55 @@
+"""Simulated mass-storage substrate.
+
+The paper's Cactis "is a mass storage database, not an in-memory system";
+all of its Section 2.3 machinery (chunk scheduling, decaying averages,
+clustering) exists to reduce disk accesses.  This package simulates the
+storage stack with countable I/O:
+
+* :mod:`repro.storage.block` / :mod:`repro.storage.disk` -- fixed-capacity
+  blocks on a block-addressed device with read/write counters.
+* :mod:`repro.storage.buffer` -- an LRU buffer pool with hit/miss stats and
+  a load callback used for the scheduler's high-priority promotion.
+* :mod:`repro.storage.usage` -- instance-access and relationship-crossing
+  counters plus decaying-average I/O predictors.
+* :mod:`repro.storage.manager` -- placement map and the single access
+  gateway (``touch``).
+* :mod:`repro.storage.clustering` -- the paper's greedy reorganisation
+  algorithm and cluster-time worst-case statistics.
+"""
+
+from repro.storage.block import Block
+from repro.storage.buffer import BufferPool, BufferStats, DEFAULT_POOL_CAPACITY
+from repro.storage.clustering import (
+    greedy_cluster,
+    locality_score,
+    worst_case_estimates,
+)
+from repro.storage.codec import (
+    dump_database,
+    load_database,
+    restore_database,
+    save_database,
+)
+from repro.storage.disk import DEFAULT_BLOCK_CAPACITY, DiskStats, SimulatedDisk
+from repro.storage.manager import StorageManager
+from repro.storage.usage import DecayingAverage, UsageStats
+
+__all__ = [
+    "Block",
+    "BufferPool",
+    "BufferStats",
+    "DEFAULT_BLOCK_CAPACITY",
+    "DEFAULT_POOL_CAPACITY",
+    "DecayingAverage",
+    "DiskStats",
+    "SimulatedDisk",
+    "StorageManager",
+    "UsageStats",
+    "dump_database",
+    "greedy_cluster",
+    "load_database",
+    "restore_database",
+    "save_database",
+    "locality_score",
+    "worst_case_estimates",
+]

@@ -1,0 +1,97 @@
+"""Disk blocks.
+
+The simulated mass-storage device is an array of fixed-capacity blocks.
+Each block tracks which instance records it holds and how many bytes they
+occupy; the sizes come from :meth:`repro.core.instance.Instance.record_size`.
+Blocks do not hold the record bytes themselves -- the reproduction keeps the
+authoritative records in the catalog and simulates the *placement* and the
+*I/O traffic*, which is all the paper's scheduling and clustering machinery
+observes (see DESIGN.md §4 on substitutions).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BlockOverflowError, StorageError
+
+
+class Block:
+    """One fixed-capacity disk block holding instance records."""
+
+    __slots__ = ("block_id", "capacity", "used", "residents")
+
+    def __init__(self, block_id: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise StorageError("block capacity must be positive")
+        self.block_id = block_id
+        self.capacity = capacity
+        self.used = 0
+        #: instance id -> record size in bytes.
+        self.residents: dict[int, int] = {}
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def fits(self, size: int) -> bool:
+        """True when a record of ``size`` bytes can be added."""
+        return size <= self.free
+
+    def add(self, iid: int, size: int) -> None:
+        """Place a record; raises when the record cannot fit."""
+        if iid in self.residents:
+            raise StorageError(
+                f"instance {iid} is already stored in block {self.block_id}"
+            )
+        if size > self.capacity:
+            raise BlockOverflowError(
+                f"record of {size} bytes exceeds block capacity {self.capacity}"
+            )
+        if not self.fits(size):
+            raise StorageError(
+                f"block {self.block_id} has {self.free} free bytes; "
+                f"cannot place record of {size}"
+            )
+        self.residents[iid] = size
+        self.used += size
+
+    def remove(self, iid: int) -> int:
+        """Remove a record, returning its size."""
+        try:
+            size = self.residents.pop(iid)
+        except KeyError:
+            raise StorageError(
+                f"instance {iid} is not stored in block {self.block_id}"
+            ) from None
+        self.used -= size
+        return size
+
+    def resize(self, iid: int, new_size: int) -> bool:
+        """Grow or shrink a resident record in place.
+
+        Returns True on success; False when the block cannot absorb the
+        growth (the caller must then relocate the record).
+        """
+        try:
+            old = self.residents[iid]
+        except KeyError:
+            raise StorageError(
+                f"instance {iid} is not stored in block {self.block_id}"
+            ) from None
+        delta = new_size - old
+        if delta > self.free:
+            return False
+        self.residents[iid] = new_size
+        self.used += delta
+        return True
+
+    def __contains__(self, iid: int) -> bool:
+        return iid in self.residents
+
+    def __len__(self) -> int:
+        return len(self.residents)
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(id={self.block_id}, used={self.used}/{self.capacity}, "
+            f"records={len(self.residents)})"
+        )

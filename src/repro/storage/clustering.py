@@ -1,0 +1,176 @@
+"""The paper's greedy clustering algorithm.
+
+Section 2.3 gives the reorganisation procedure verbatim::
+
+    Repeat
+        Choose the most referenced instance in the database that has not
+        yet been assigned a block
+        Place this instance in a new block
+        Repeat
+            Choose the relationship belonging to some instance assigned to
+            the block such that
+              (1) The relationship is connected to an unassigned instance
+                  outside the block and,
+              (2) The total usage count for the relationship is the highest
+            Assign the instance attached to this relationship to the block
+        Until the block is full
+    Until all instances are assigned blocks
+
+"This algorithm attempts to place instances which are frequently referenced
+together, in the same block."  :func:`greedy_cluster` is a faithful
+implementation over the usage counters kept by
+:class:`~repro.storage.usage.UsageStats`; :func:`worst_case_estimates`
+computes the cluster-time worst-case I/O statistics the scheduler uses for
+marking and for seeding decaying averages.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import StorageError
+from repro.storage.usage import UsageStats
+
+#: ``neighbors(iid)`` yields ``(port, peer_iid)`` pairs for every connection.
+NeighborFn = Callable[[int], Iterable[tuple[str, int]]]
+
+
+def greedy_cluster(
+    instance_sizes: Mapping[int, int],
+    neighbors: NeighborFn,
+    usage: UsageStats,
+    block_capacity: int,
+) -> list[list[int]]:
+    """Pack instances into blocks with the paper's greedy procedure.
+
+    Parameters
+    ----------
+    instance_sizes:
+        Record size per instance id; every id in this mapping is assigned.
+    neighbors:
+        Connection oracle (both directions of every relationship should be
+        reported, i.e. ``neighbors(a)`` yields ``(port_a, b)`` and
+        ``neighbors(b)`` yields ``(port_b, a)``).
+    usage:
+        Source of instance-access and relationship-crossing counts.  A
+        relationship's "total usage count" is the sum of the crossing counts
+        observed at both of its ends.
+    block_capacity:
+        Capacity in bytes of each block.
+
+    Returns
+    -------
+    list of blocks, each a list of instance ids in assignment order.
+    """
+    for iid, size in instance_sizes.items():
+        if size > block_capacity:
+            raise StorageError(
+                f"instance {iid} record ({size} bytes) exceeds block capacity"
+            )
+    unassigned = set(instance_sizes)
+    # Seed order: most-referenced first; ties broken by id for determinism.
+    seeds = sorted(
+        unassigned, key=lambda i: (-usage.access_count(i), i)
+    )
+    seed_pos = 0
+    layout: list[list[int]] = []
+
+    while unassigned:
+        while seeds[seed_pos] not in unassigned:
+            seed_pos += 1
+        seed = seeds[seed_pos]
+        block: list[int] = [seed]
+        unassigned.discard(seed)
+        free = block_capacity - instance_sizes[seed]
+
+        # Candidate frontier: max-heap of (relationship usage, peer).
+        # Entries go stale when a peer is assigned elsewhere; we skip those.
+        frontier: list[tuple[float, int, int]] = []
+        counter = 0
+
+        def push_frontier(iid: int) -> None:
+            nonlocal counter
+            for port, peer in neighbors(iid):
+                if peer not in unassigned:
+                    continue
+                weight = usage.crossing_count(iid, port) + _reverse_crossings(
+                    usage, peer, iid, neighbors
+                )
+                counter += 1
+                heapq.heappush(frontier, (-weight, counter, peer))
+
+        push_frontier(seed)
+        while frontier:
+            __, __, peer = heapq.heappop(frontier)
+            if peer not in unassigned:
+                continue  # stale entry
+            size = instance_sizes[peer]
+            if size > free:
+                continue  # cannot fit; the paper stops at "block is full" --
+                # we keep draining candidates that might still fit.
+            block.append(peer)
+            unassigned.discard(peer)
+            free -= size
+            push_frontier(peer)
+        layout.append(block)
+    return layout
+
+
+def _reverse_crossings(
+    usage: UsageStats, peer: int, origin: int, neighbors: NeighborFn
+) -> int:
+    """Crossing count observed from ``peer``'s side of the connection."""
+    total = 0
+    for port, other in neighbors(peer):
+        if other == origin:
+            total += usage.crossing_count(peer, port)
+    return total
+
+
+def worst_case_estimates(
+    instance_ids: Iterable[int],
+    neighbors: NeighborFn,
+    block_of: Callable[[int], int],
+) -> dict[tuple[int, str], float]:
+    """Cluster-time worst-case I/O statistics.
+
+    For each ``(instance, port)``, the number of *distinct blocks* that hold
+    the instances directly connected on that port -- the blocks a traversal
+    crossing the relationship must visit assuming nothing is cached and no
+    attribute is already out of date.  The engine installs these into
+    :class:`~repro.storage.usage.UsageStats` after each reorganisation.
+    """
+    estimates: dict[tuple[int, str], float] = {}
+    for iid in instance_ids:
+        per_port: dict[str, set[int]] = {}
+        for port, peer in neighbors(iid):
+            per_port.setdefault(port, set()).add(block_of(peer))
+        for port, blocks in per_port.items():
+            estimates[(iid, port)] = float(len(blocks))
+    return estimates
+
+
+def locality_score(
+    layout: list[list[int]],
+    neighbors: NeighborFn,
+    usage: UsageStats,
+) -> float:
+    """Fraction of relationship-crossing weight kept inside a single block.
+
+    A diagnostic used by tests and the clustering benchmark: 1.0 means every
+    observed crossing stays within one block; 0.0 means none do.
+    """
+    block_of: dict[int, int] = {}
+    for index, group in enumerate(layout):
+        for iid in group:
+            block_of[iid] = index
+    kept = 0.0
+    total = 0.0
+    for iid in block_of:
+        for port, peer in neighbors(iid):
+            weight = usage.crossing_count(iid, port)
+            total += weight
+            if block_of.get(peer) == block_of[iid]:
+                kept += weight
+    return kept / total if total else 1.0

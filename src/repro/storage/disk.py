@@ -1,0 +1,114 @@
+"""The simulated disk.
+
+Owns the population of :class:`~repro.storage.block.Block` objects and the
+I/O accounting.  All performance claims in the paper's Section 2.3 are about
+*disk accesses*; :class:`DiskStats` exposes exactly those counters so
+benchmarks can report them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.block import Block
+
+DEFAULT_BLOCK_CAPACITY = 4096
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O counters for a simulated disk."""
+
+    reads: int = 0
+    writes: int = 0
+    blocks_allocated: int = 0
+
+    @property
+    def total_io(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(self.reads, self.writes, self.blocks_allocated)
+
+    def delta_since(self, earlier: "DiskStats") -> "DiskStats":
+        """Counter difference between now and an earlier :meth:`snapshot`."""
+        return DiskStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.blocks_allocated - earlier.blocks_allocated,
+        )
+
+
+class SimulatedDisk:
+    """A block-addressed storage device with I/O accounting.
+
+    ``read``/``write`` model the transfer of one block between disk and the
+    buffer pool; the pool is the only intended caller.  Free blocks released
+    by reorganisation are recycled before new ones are allocated.
+    """
+
+    def __init__(self, block_capacity: int = DEFAULT_BLOCK_CAPACITY) -> None:
+        if block_capacity <= 0:
+            raise StorageError("block capacity must be positive")
+        self.block_capacity = block_capacity
+        self.blocks: dict[int, Block] = {}
+        self.stats = DiskStats()
+        self._next_block_id = 0
+        self._free_ids: list[int] = []
+
+    def allocate_block(self) -> Block:
+        """Create (or recycle) an empty block."""
+        if self._free_ids:
+            block_id = self._free_ids.pop()
+        else:
+            block_id = self._next_block_id
+            self._next_block_id += 1
+        block = Block(block_id, self.block_capacity)
+        self.blocks[block_id] = block
+        self.stats.blocks_allocated += 1
+        return block
+
+    def release_block(self, block_id: int) -> None:
+        """Return an empty block to the free pool."""
+        block = self.block(block_id)
+        if block.residents:
+            raise StorageError(
+                f"cannot release non-empty block {block_id} "
+                f"({len(block.residents)} records)"
+            )
+        del self.blocks[block_id]
+        self._free_ids.append(block_id)
+
+    def block(self, block_id: int) -> Block:
+        try:
+            return self.blocks[block_id]
+        except KeyError:
+            raise StorageError(f"no such block: {block_id}") from None
+
+    def read(self, block_id: int) -> Block:
+        """Transfer a block from disk into memory (counts one read)."""
+        block = self.block(block_id)
+        self.stats.reads += 1
+        return block
+
+    def write(self, block_id: int) -> None:
+        """Transfer a block from memory back to disk (counts one write)."""
+        self.block(block_id)  # validate existence
+        self.stats.writes += 1
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def occupancy(self) -> float:
+        """Mean fill fraction across allocated blocks (0.0 when empty)."""
+        if not self.blocks:
+            return 0.0
+        used = sum(b.used for b in self.blocks.values())
+        return used / (len(self.blocks) * self.block_capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedDisk(blocks={len(self.blocks)}, "
+            f"reads={self.stats.reads}, writes={self.stats.writes})"
+        )

@@ -1,0 +1,143 @@
+"""Storage manager: instance placement and access accounting.
+
+Maps instance ids to blocks, routes every attribute-slot touch through the
+buffer pool (so the evaluator's traffic is countable), and applies layouts
+produced by the clustering reorganiser.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import StorageError
+from repro.storage.buffer import DEFAULT_POOL_CAPACITY, BufferPool
+from repro.storage.disk import DEFAULT_BLOCK_CAPACITY, SimulatedDisk
+from repro.storage.usage import UsageStats
+
+
+class StorageManager:
+    """Placement map plus the single gateway for instance access.
+
+    Every read or write of an instance's slots must go through
+    :meth:`touch`; this is what makes disk-read counts meaningful for the
+    scheduling (E4) and clustering (E5) experiments.
+    """
+
+    def __init__(
+        self,
+        block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+        pool_capacity: int = DEFAULT_POOL_CAPACITY,
+        usage: UsageStats | None = None,
+    ) -> None:
+        self.disk = SimulatedDisk(block_capacity)
+        self.buffer = BufferPool(self.disk, pool_capacity)
+        self.usage = usage if usage is not None else UsageStats()
+        self._block_of: dict[int, int] = {}
+        self._fill_block: int | None = None
+        #: I/O charged to reorganisation, kept separate from query traffic.
+        self.reorg_writes = 0
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, iid: int, size: int) -> int:
+        """Place a new record, appending to the current fill block.
+
+        Returns the chosen block id.  This mirrors an unclustered,
+        insertion-order layout; :meth:`apply_layout` later installs the
+        clustered arrangement.
+        """
+        if iid in self._block_of:
+            raise StorageError(f"instance {iid} is already placed")
+        block = None
+        if self._fill_block is not None:
+            candidate = self.disk.block(self._fill_block)
+            if candidate.fits(size):
+                block = candidate
+        if block is None:
+            block = self.disk.allocate_block()
+            self._fill_block = block.block_id
+        block.add(iid, size)
+        self._block_of[iid] = block.block_id
+        return block.block_id
+
+    def remove(self, iid: int) -> None:
+        """Drop a record from its block (instance deletion)."""
+        block_id = self.block_of(iid)
+        self.disk.block(block_id).remove(iid)
+        del self._block_of[iid]
+
+    def resize(self, iid: int, new_size: int) -> None:
+        """Record that an instance's size changed; relocate on overflow."""
+        block_id = self.block_of(iid)
+        block = self.disk.block(block_id)
+        if block.resize(iid, new_size):
+            return
+        # Relocation: remove and re-place (keeps the record reachable; the
+        # old slot's space is reclaimed).
+        block.remove(iid)
+        del self._block_of[iid]
+        self.place(iid, new_size)
+
+    def block_of(self, iid: int) -> int:
+        try:
+            return self._block_of[iid]
+        except KeyError:
+            raise StorageError(f"instance {iid} has no storage placement") from None
+
+    def is_placed(self, iid: int) -> bool:
+        return iid in self._block_of
+
+    # -- access ------------------------------------------------------------
+
+    def touch(self, iid: int, dirty: bool = False) -> None:
+        """Bring the instance's block into the pool; count the access."""
+        block_id = self.block_of(iid)
+        self.buffer.fetch(block_id, dirty=dirty)
+        self.usage.note_instance_access(iid)
+
+    def is_resident(self, iid: int) -> bool:
+        """True when the instance's block is in the buffer pool."""
+        block_id = self._block_of.get(iid)
+        return block_id is not None and self.buffer.is_resident(block_id)
+
+    def residents_of_block(self, block_id: int) -> list[int]:
+        return list(self.disk.block(block_id).residents)
+
+    # -- reorganisation ------------------------------------------------------
+
+    def apply_layout(self, layout: Iterable[list[int]], sizes: Callable[[int], int]) -> None:
+        """Install a clustered layout: one inner list of instance ids per block.
+
+        Every placed instance must appear exactly once across the layout.
+        The rewrite traffic is charged to ``reorg_writes`` rather than the
+        disk's query counters, so experiments measure steady-state behaviour.
+        """
+        layout = [list(group) for group in layout]
+        placed = {iid for group in layout for iid in group}
+        expected = set(self._block_of)
+        if placed != expected:
+            missing = sorted(expected - placed)
+            extra = sorted(placed - expected)
+            raise StorageError(
+                f"layout mismatch: missing instances {missing[:5]}, "
+                f"unknown instances {extra[:5]}"
+            )
+        # Tear down the old arrangement.
+        old_blocks = list(self.disk.blocks)
+        for block_id in old_blocks:
+            block = self.disk.block(block_id)
+            for iid in list(block.residents):
+                block.remove(iid)
+            self.buffer.drop(block_id)
+            self.disk.release_block(block_id)
+        self._block_of.clear()
+        self._fill_block = None
+        # Install the new one.
+        for group in layout:
+            if not group:
+                continue
+            block = self.disk.allocate_block()
+            for iid in group:
+                block.add(iid, sizes(iid))
+                self._block_of[iid] = block.block_id
+            self.reorg_writes += 1

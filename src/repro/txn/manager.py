@@ -1,0 +1,235 @@
+"""Multi-user operation: sessions and the interleaving scheduler.
+
+Cactis is "a multi-user DBMS ... using a timestamping concurrency control
+technique".  This module reproduces multi-user behaviour deterministically:
+
+* a :class:`Session` is one user's transaction stream.  Its primitives
+  mirror the database's, but every operation first passes the
+  timestamp-ordering checks of
+  :class:`~repro.txn.timestamps.TimestampManager`.
+* a *script* is a generator function taking a session and yielding between
+  operations; the yield points are where the scheduler may switch users.
+* :class:`MultiUserScheduler` interleaves scripts (round-robin or seeded
+  random).  When an operation violates timestamp ordering the session's
+  transaction is rolled back and the whole script restarts with a fresh,
+  younger timestamp -- the classic basic-TO restart discipline.
+
+Each session accumulates its own undo delta; the scheduler *adopts* the
+delta into the database's transaction manager around every step, so
+single-stream code paths (logging, rollback, commit audit) are reused
+unchanged.  Writes are visible immediately; see
+:mod:`repro.txn.timestamps` for the documented simplifications.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+from repro.errors import ConcurrencyAbort, TransactionAborted, TransactionError
+from repro.txn.log import Delta
+from repro.txn.timestamps import TimestampManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+Script = Callable[["Session"], Generator[None, None, None]]
+
+
+class Session:
+    """One user's view of the database under timestamp CC."""
+
+    def __init__(self, db: "Database", tsm: TimestampManager, name: str = "") -> None:
+        self.db = db
+        self.tsm = tsm
+        self.name = name
+        self.ts = 0
+        self._delta: Delta | None = None
+        #: values returned by get_attr, for post-run assertions in tests.
+        self.observations: list[Any] = []
+
+    # -- lifecycle (driven by the scheduler) -------------------------------
+
+    def start(self) -> None:
+        self.ts = self.tsm.new_timestamp()
+        self._delta = Delta(txn_id=self.ts, label=self.name)
+
+    def _adopted(self):
+        """Context manager routing the db's logging to this session's delta."""
+        return _Adoption(self)
+
+    def commit(self) -> Delta:
+        if self._delta is None:
+            raise TransactionError(f"session {self.name!r} has no open transaction")
+        delta, self._delta = self._delta, None
+        self.db.txn.adopt(delta)
+        committed = self.db.txn.commit()
+        self.tsm.note_commit()
+        return committed
+
+    def rollback(self) -> None:
+        if self._delta is None:
+            return
+        delta, self._delta = self._delta, None
+        self.db.txn.adopt(delta)
+        self.db.txn.abort()
+
+    # -- primitives ------------------------------------------------------------
+
+    def create(self, class_name: str, **intrinsics: Any) -> int:
+        with self._adopted():
+            iid = self.db.create(class_name, **intrinsics)
+        self.tsm.check_write(self.ts, iid)
+        return iid
+
+    def delete(self, iid: int) -> None:
+        self.tsm.check_write(self.ts, iid)
+        with self._adopted():
+            self.db.delete(iid)
+
+    def connect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
+        self.tsm.check_write(self.ts, iid_a)
+        self.tsm.check_write(self.ts, iid_b)
+        with self._adopted():
+            self.db.connect(iid_a, port_a, iid_b, port_b)
+
+    def disconnect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
+        self.tsm.check_write(self.ts, iid_a)
+        self.tsm.check_write(self.ts, iid_b)
+        with self._adopted():
+            self.db.disconnect(iid_a, port_a, iid_b, port_b)
+
+    def set_attr(self, iid: int, attr: str, value: Any) -> None:
+        self.tsm.check_write(self.ts, iid)
+        with self._adopted():
+            self.db.set_attr(iid, attr, value)
+
+    def get_attr(self, iid: int, attr: str) -> Any:
+        self.tsm.check_read(self.ts, iid)
+        with self._adopted():
+            value = self.db.get_attr(iid, attr)
+        self.observations.append(value)
+        return value
+
+
+class _Adoption:
+    """Temporarily installs a session's delta as the db's active transaction."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    def __enter__(self) -> None:
+        if self.session._delta is None:
+            raise TransactionError(
+                f"session {self.session.name!r} used outside the scheduler"
+            )
+        self.session.db.txn.adopt(self.session._delta)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        txn = self.session.db.txn
+        if txn.in_transaction:
+            txn.release()
+        else:
+            # The primitive aborted the whole adopted transaction (e.g. a
+            # constraint violation): its work is already rolled back.  Give
+            # the session a fresh, empty delta so a script that handles the
+            # exception continues on a clean slate.
+            self.session._delta = Delta(
+                txn_id=self.session.ts, label=self.session.name
+            )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one :meth:`MultiUserScheduler.run`."""
+
+    committed: list[str]
+    restarts: int
+    steps: int
+
+
+class MultiUserScheduler:
+    """Deterministically interleaves session scripts under timestamp CC."""
+
+    def __init__(
+        self,
+        db: "Database",
+        tsm: TimestampManager | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.db = db
+        self.tsm = tsm if tsm is not None else TimestampManager()
+        self._rng = random.Random(seed) if seed is not None else None
+
+    def run(
+        self,
+        scripts: Iterable[tuple[str, Script]],
+        max_restarts: int = 100,
+    ) -> ScheduleResult:
+        """Run all scripts to commit, restarting aborted ones.
+
+        ``scripts`` is an iterable of ``(name, script)`` pairs.  With no
+        seed, the scheduler round-robins at yield points; with a seed it
+        picks the next runnable script pseudo-randomly (reproducibly).
+        Raises :class:`TransactionAborted` when a script exceeds
+        ``max_restarts``.
+        """
+        states: list[_ScriptState] = [
+            _ScriptState(name, script, Session(self.db, self.tsm, name))
+            for name, script in scripts
+        ]
+        for state in states:
+            state.begin()
+        committed: list[str] = []
+        restarts = 0
+        steps = 0
+        cursor = 0
+        while any(not s.done for s in states):
+            runnable = [s for s in states if not s.done]
+            if self._rng is not None:
+                state = runnable[self._rng.randrange(len(runnable))]
+            else:
+                state = runnable[cursor % len(runnable)]
+                cursor += 1
+            steps += 1
+            try:
+                next(state.gen)
+            except StopIteration:
+                try:
+                    state.session.commit()
+                    state.done = True
+                    committed.append(state.name)
+                except (ConcurrencyAbort, TransactionAborted):
+                    restarts += self._restart(state, max_restarts)
+            except ConcurrencyAbort:
+                restarts += self._restart(state, max_restarts)
+        return ScheduleResult(committed=committed, restarts=restarts, steps=steps)
+
+    def _restart(self, state: "_ScriptState", max_restarts: int) -> int:
+        state.session.rollback()
+        self.tsm.note_restart()
+        state.restart_count += 1
+        if state.restart_count > max_restarts:
+            raise TransactionAborted(
+                f"script {state.name!r} exceeded {max_restarts} restarts"
+            )
+        state.begin()
+        return 1
+
+
+class _ScriptState:
+    """Bookkeeping for one script being interleaved."""
+
+    def __init__(self, name: str, script: Script, session: Session) -> None:
+        self.name = name
+        self.script = script
+        self.session = session
+        self.gen: Generator[None, None, None] | None = None
+        self.done = False
+        self.restart_count = 0
+
+    def begin(self) -> None:
+        self.session.start()
+        self.gen = self.script(self.session)
+        self.done = False

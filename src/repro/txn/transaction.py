@@ -1,0 +1,188 @@
+"""Transactions and the Undo meta-action.
+
+The Cactis primitives "are augmented by the meta-action *Undo*.  Undo has
+the effect of forcing the rollback of one transaction.  This meta-action
+allows the user to freely explore the database, knowing that no actions need
+have permanent effect."
+
+:class:`TransactionManager` provides:
+
+* explicit transactions (``begin`` / ``commit`` / ``abort``);
+* autocommit -- a primitive issued outside a transaction becomes its own
+  one-record transaction, so Undo still applies to it;
+* commit-time constraint auditing: any constraint slot left out of date by
+  the transaction is evaluated before commit, and a violation rolls the
+  whole transaction back ("the constraint must be satisfied or the
+  transaction invoking the evaluation will fail and be undone");
+* the committed-transaction history on which ``undo`` (and the version
+  facility) operate.
+
+Rollback applies the undo log's inverse records in reverse order through
+the database's raw-application layer, which performs marking but skips both
+logging and constraint enforcement -- restoring a previously consistent
+state cannot itself be vetoed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import (
+    ConstraintViolation,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.txn.log import Delta, LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+class TransactionManager:
+    """Single-stream transaction control for one database."""
+
+    def __init__(self, db: "Database", history_limit: int | None = None) -> None:
+        self.db = db
+        self.history_limit = history_limit
+        self._active: Delta | None = None
+        self._next_txn_id = 1
+        #: committed transactions, oldest first.
+        self.history: list[Delta] = []
+        #: observers notified with each committed delta (version streams).
+        self._commit_listeners: list[Callable[[Delta], None]] = []
+        self._rolling_back = False
+        self._autocommit_pending = False
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active is not None
+
+    @property
+    def rolling_back(self) -> bool:
+        return self._rolling_back
+
+    def add_commit_listener(self, listener: Callable[[Delta], None]) -> None:
+        self._commit_listeners.append(listener)
+
+    # -- logging (called by the database primitives) -------------------------
+
+    def log(self, record: LogRecord) -> None:
+        """Record one primitive action into the active (or implicit) txn."""
+        if self._rolling_back:
+            return  # rollback replay must not log
+        if self._active is None:
+            # Autocommit: wrap the single primitive in its own transaction.
+            # The primitive has already executed by the time it logs, so the
+            # implicit transaction is opened retroactively and committed by
+            # the database right after the primitive returns.
+            self._active = Delta(txn_id=self._next_txn_id)
+            self._next_txn_id += 1
+            self._active.records.append(record)
+            self._autocommit_pending = True
+            return
+        self._active.records.append(record)
+
+    def finish_autocommit(self) -> None:
+        """Commit the implicit transaction opened by an unattended primitive."""
+        if self._autocommit_pending:
+            self._autocommit_pending = False
+            self.commit()
+
+    # -- stream adoption (multi-user sessions) --------------------------------
+
+    def adopt(self, delta: Delta) -> None:
+        """Install a session's delta as the active transaction.
+
+        Used by :class:`repro.txn.manager.MultiUserScheduler` to route the
+        logging of one interleaved step into the owning session's delta.
+        """
+        if self._active is not None:
+            raise TransactionError("cannot adopt: a transaction is already active")
+        self._active = delta
+
+    def release(self) -> Delta:
+        """Detach the active (adopted) delta without committing or aborting."""
+        if self._active is None:
+            raise TransactionError("no active transaction to release")
+        delta = self._active
+        self._active = None
+        return delta
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self, label: str = "") -> int:
+        """Open an explicit transaction; nesting is not supported."""
+        if self._active is not None:
+            raise TransactionError("a transaction is already active")
+        self._active = Delta(txn_id=self._next_txn_id, label=label)
+        self._next_txn_id += 1
+        return self._active.txn_id
+
+    def commit(self) -> Delta:
+        """Audit constraints, then commit the active transaction."""
+        if self._active is None:
+            raise TransactionError("no active transaction to commit")
+        try:
+            self.db.audit_constraints()
+        except ConstraintViolation as violation:
+            self.abort()
+            raise TransactionAborted(str(violation)) from violation
+        delta = self._active
+        self._active = None
+        self._autocommit_pending = False
+        self.history.append(delta)
+        if self.history_limit is not None and len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        for listener in self._commit_listeners:
+            listener(delta)
+        return delta
+
+    def abort(self) -> None:
+        """Roll back and discard the active transaction."""
+        if self._active is None:
+            raise TransactionError("no active transaction to abort")
+        delta = self._active
+        self._active = None
+        self._autocommit_pending = False
+        self._apply_inverse(delta)
+
+    def undo(self) -> Delta:
+        """The meta-action: roll back the most recently committed transaction.
+
+        Repeated calls walk further back through history.  Returns the delta
+        that was undone (the version facility may retain it for redo).
+        """
+        if self._active is not None:
+            raise TransactionError(
+                "cannot Undo while a transaction is active; commit or abort first"
+            )
+        if not self.history:
+            raise TransactionError("no committed transaction to undo")
+        delta = self.history.pop()
+        self._apply_inverse(delta)
+        return delta
+
+    # -- replay ------------------------------------------------------------
+
+    def _apply_inverse(self, delta: Delta) -> None:
+        self._rolling_back = True
+        try:
+            for record in reversed(delta.records):
+                self.db.apply_inverse(record)
+        finally:
+            self._rolling_back = False
+
+    def apply_forward(self, delta: Delta) -> None:
+        """Re-apply a delta (redo); used by the version facility."""
+        self._rolling_back = True  # suppress logging during replay
+        try:
+            for record in delta.records:
+                self.db.apply_forward(record)
+        finally:
+            self._rolling_back = False
+
+    def apply_inverse_delta(self, delta: Delta) -> None:
+        """Apply a delta's inverse without touching history (version facility)."""
+        self._apply_inverse(delta)

@@ -1,0 +1,17 @@
+"""The version facility built on first-class deltas.
+
+* :mod:`repro.versions.stream` -- version trees over transaction deltas
+  with branch-aware checkout.
+* :mod:`repro.versions.configuration` -- configurations binding components
+  (streams) to versions, with materialise/diff/containment operations.
+"""
+
+from repro.versions.configuration import Configuration, ConfigurationManager
+from repro.versions.stream import Version, VersionStream
+
+__all__ = [
+    "Configuration",
+    "ConfigurationManager",
+    "Version",
+    "VersionStream",
+]

@@ -1,0 +1,120 @@
+"""Configurations: named bindings of components to versions.
+
+"We need the ability to manipulate versions and version streams as objects
+in themselves in order to support configuration management tools within the
+system."  A :class:`Configuration` binds each named *component* (a version
+stream, typically one database per subsystem) to one of its versions; the
+:class:`ConfigurationManager` stores configurations, materialises them
+(checking out every component), and answers diff/containment queries the
+way a configuration-management tool would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import VersionError
+from repro.versions.stream import VersionStream
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable component -> version-name binding."""
+
+    name: str
+    bindings: Mapping[str, str]
+    description: str = ""
+
+    def version_of(self, component: str) -> str:
+        try:
+            return self.bindings[component]
+        except KeyError:
+            raise VersionError(
+                f"configuration {self.name!r} does not bind component "
+                f"{component!r}"
+            ) from None
+
+
+@dataclass
+class ConfigurationManager:
+    """Registry of components (version streams) and configurations."""
+
+    streams: dict[str, VersionStream] = field(default_factory=dict)
+    configurations: dict[str, Configuration] = field(default_factory=dict)
+
+    # -- components ------------------------------------------------------------
+
+    def add_component(self, name: str, stream: VersionStream) -> None:
+        if name in self.streams:
+            raise VersionError(f"component {name!r} is already registered")
+        self.streams[name] = stream
+
+    def component(self, name: str) -> VersionStream:
+        try:
+            return self.streams[name]
+        except KeyError:
+            raise VersionError(f"unknown component {name!r}") from None
+
+    # -- configurations ------------------------------------------------------------
+
+    def define(
+        self, name: str, bindings: Mapping[str, str], description: str = ""
+    ) -> Configuration:
+        """Create a configuration, validating every binding."""
+        if name in self.configurations:
+            raise VersionError(f"configuration {name!r} is already defined")
+        for component, version_name in bindings.items():
+            self.component(component).version(version_name)  # validates both
+        config = Configuration(name=name, bindings=dict(bindings), description=description)
+        self.configurations[name] = config
+        return config
+
+    def snapshot(self, name: str, description: str = "") -> Configuration:
+        """Bind every component to its *current* version as a configuration."""
+        bindings = {
+            component: stream.versions[stream.current].name
+            for component, stream in self.streams.items()
+        }
+        return self.define(name, bindings, description)
+
+    def get(self, name: str) -> Configuration:
+        try:
+            return self.configurations[name]
+        except KeyError:
+            raise VersionError(f"unknown configuration {name!r}") from None
+
+    # -- operations ------------------------------------------------------------
+
+    def materialize(self, name: str, discard_pending: bool = False) -> None:
+        """Check every bound component out to its configured version."""
+        config = self.get(name)
+        for component, version_name in config.bindings.items():
+            self.component(component).checkout(
+                version_name, discard_pending=discard_pending
+            )
+
+    def diff(self, name_a: str, name_b: str) -> dict[str, tuple[str | None, str | None]]:
+        """Components whose bound versions differ between two configurations.
+
+        Returns ``{component: (version_in_a, version_in_b)}`` with ``None``
+        when a configuration does not bind the component at all.
+        """
+        a = self.get(name_a)
+        b = self.get(name_b)
+        components = set(a.bindings) | set(b.bindings)
+        result: dict[str, tuple[str | None, str | None]] = {}
+        for component in sorted(components):
+            va = a.bindings.get(component)
+            vb = b.bindings.get(component)
+            if va != vb:
+                result[component] = (va, vb)
+        return result
+
+    def configurations_containing(self, component: str, version_name: str) -> list[str]:
+        """Names of configurations binding ``component`` to ``version_name``."""
+        return sorted(
+            name
+            for name, config in self.configurations.items()
+            if config.bindings.get(component) == version_name
+        )

@@ -1,0 +1,193 @@
+"""Version streams over transaction deltas.
+
+Section 3: "we need only remember the small changes made in order to
+restore the database to its old status.  This gives us an efficient *delta*
+mechanism which allows us to recover old versions from the current one."
+
+A :class:`VersionStream` listens to a database's commits and groups the
+resulting :class:`~repro.txn.log.Delta` objects into named *versions*.
+Versions form a tree: checking out an old version and committing new work
+creates a branch.  Checkout navigates the tree -- applying delta inverses
+up to the common ancestor, then deltas forward down to the target -- so the
+cost of moving between versions is proportional to the primitive changes
+between them, never to the derived ripple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import VersionError
+from repro.txn.log import Delta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+@dataclass
+class Version:
+    """A named point in a stream's history."""
+
+    version_id: int
+    name: str
+    parent: int | None
+    #: deltas leading from the parent version to this one, oldest first.
+    deltas: list[Delta] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    def change_size(self) -> int:
+        """Total stored size of the deltas (bytes, per the log's estimate)."""
+        return sum(delta.size_estimate() for delta in self.deltas)
+
+    def record_count(self) -> int:
+        return sum(len(delta) for delta in self.deltas)
+
+
+class VersionStream:
+    """The version history of one database.
+
+    The stream starts at an implicit root version (id 0, the state of the
+    database when the stream attached).  Committed deltas accumulate as
+    *pending* until :meth:`tag` freezes them into a new version.
+    """
+
+    def __init__(self, db: "Database", name: str = "main") -> None:
+        self.db = db
+        self.name = name
+        root = Version(version_id=0, name="root", parent=None)
+        self.versions: dict[int, Version] = {0: root}
+        self._by_name: dict[str, int] = {"root": 0}
+        self._next_id = 1
+        self.current: int = 0
+        self.pending: list[Delta] = []
+        db.txn.add_commit_listener(self._on_commit)
+        self._replaying = False
+
+    # -- commit capture ------------------------------------------------------
+
+    def _on_commit(self, delta: Delta) -> None:
+        if not self._replaying:
+            self.pending.append(delta)
+
+    # -- tagging ------------------------------------------------------------
+
+    def tag(self, name: str) -> Version:
+        """Freeze pending deltas into a new version named ``name``.
+
+        The new version's parent is the current version; tagging from a
+        non-tip version creates a branch.
+        """
+        if name in self._by_name:
+            raise VersionError(f"version name {name!r} is already used")
+        version = Version(
+            version_id=self._next_id,
+            name=name,
+            parent=self.current,
+            deltas=list(self.pending),
+        )
+        self._next_id += 1
+        self.versions[version.version_id] = version
+        self._by_name[name] = version.version_id
+        self.versions[self.current].children.append(version.version_id)
+        self.pending.clear()
+        self.current = version.version_id
+        return version
+
+    # -- lookup ------------------------------------------------------------
+
+    def version(self, ref: int | str) -> Version:
+        if isinstance(ref, str):
+            try:
+                ref = self._by_name[ref]
+            except KeyError:
+                raise VersionError(f"unknown version name {ref!r}") from None
+        try:
+            return self.versions[ref]
+        except KeyError:
+            raise VersionError(f"unknown version id {ref!r}") from None
+
+    def lineage(self, ref: int | str) -> list[int]:
+        """Version ids from the root down to ``ref`` (inclusive)."""
+        chain: list[int] = []
+        current: int | None = self.version(ref).version_id
+        while current is not None:
+            chain.append(current)
+            current = self.versions[current].parent
+        chain.reverse()
+        return chain
+
+    def tips(self) -> list[Version]:
+        """Versions with no children (the heads of every branch)."""
+        return [v for v in self.versions.values() if not v.children]
+
+    # -- checkout ------------------------------------------------------------
+
+    def checkout(self, ref: int | str, discard_pending: bool = False) -> Version:
+        """Move the database to the state of version ``ref``.
+
+        Pending (untagged) deltas block a checkout unless
+        ``discard_pending`` is given, in which case they are rolled back
+        first -- the Undo guarantee extends to version navigation.
+        """
+        target = self.version(ref)
+        if self.pending:
+            if not discard_pending:
+                raise VersionError(
+                    f"{len(self.pending)} untagged committed transaction(s) "
+                    f"pending; tag them or pass discard_pending=True"
+                )
+            self._replaying = True
+            try:
+                for delta in reversed(self.pending):
+                    self.db.txn.apply_inverse_delta(delta)
+            finally:
+                self._replaying = False
+            self.pending.clear()
+        if target.version_id == self.current:
+            return target
+        here = self.lineage(self.current)
+        there = self.lineage(target.version_id)
+        common = 0
+        for a, b in zip(here, there):
+            if a != b:
+                break
+            common += 1
+        self._replaying = True
+        try:
+            # Walk up: undo every version between current and the ancestor.
+            for vid in reversed(here[common:]):
+                for delta in reversed(self.versions[vid].deltas):
+                    self.db.txn.apply_inverse_delta(delta)
+            # Walk down: redo every version from the ancestor to the target.
+            for vid in there[common:]:
+                for delta in self.versions[vid].deltas:
+                    self.db.txn.apply_forward(delta)
+        finally:
+            self._replaying = False
+        self.current = target.version_id
+        return target
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def distance(self, ref_a: int | str, ref_b: int | str) -> int:
+        """Number of log records replayed by a checkout from ``a`` to ``b``."""
+        a_line = self.lineage(ref_a)
+        b_line = self.lineage(ref_b)
+        common = 0
+        for x, y in zip(a_line, b_line):
+            if x != y:
+                break
+            common += 1
+        records = 0
+        for vid in a_line[common:]:
+            records += self.versions[vid].record_count()
+        for vid in b_line[common:]:
+            records += self.versions[vid].record_count()
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionStream({self.name!r}, versions={len(self.versions)}, "
+            f"current={self.versions[self.current].name!r})"
+        )

@@ -1,0 +1,164 @@
+"""Standard attributed-graph topologies.
+
+A single reusable schema -- ``node`` objects whose derived ``total`` sums
+the node's intrinsic ``weight`` with the totals received from upstream
+nodes -- instantiated over the shapes the experiments need:
+
+* **chain** -- a line of n nodes; the long-thin case for E2/E6.
+* **diamond ladder** -- depth d of 2-wide diamonds; the number of paths from
+  the top to the bottom is 2^d, so per-path eager triggers are exponential
+  while Could_Change is linear (E1's crossover shape).
+* **tree** -- complete k-ary tree with values flowing leaf-to-root.
+* **fan** -- one hub feeding w independent consumers (laziness, E3).
+* **grid** -- an n×m DAG grid (moderately path-rich, used in E4).
+
+Every builder returns the created instance ids in a structured form so
+tests can address specific nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.core.rules import AttributeTarget, Local, Received, Rule, TransmitTarget
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+
+
+def sum_node_schema() -> Schema:
+    """The workhorse schema: weighted nodes summing upstream totals."""
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("dep", [FlowDecl("total", "integer", End.PLUG)])
+    )
+    schema.add_class(
+        ObjectClass(
+            "node",
+            attributes=[
+                AttributeDef("weight", "integer"),
+                AttributeDef("total", "integer", AttrKind.DERIVED),
+            ],
+            ports=[
+                PortDef("inputs", "dep", End.SOCKET, multi=True),
+                PortDef("outputs", "dep", End.PLUG, multi=True),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("total"),
+                    {"w": Local("weight"), "ins": Received("inputs", "total")},
+                    lambda w, ins: w + sum(ins),
+                ),
+                Rule(
+                    TransmitTarget("outputs", "total"),
+                    {"t": Local("total")},
+                    lambda t: t,
+                ),
+            ],
+        )
+    )
+    return schema.freeze()
+
+
+def link(db: Database, upstream: int, downstream: int) -> None:
+    """Make ``downstream``'s total include ``upstream``'s."""
+    db.connect(downstream, "inputs", upstream, "outputs")
+
+
+def build_chain(db: Database, length: int, weight: int = 1) -> list[int]:
+    """``n0 -> n1 -> ... -> n_{length-1}``; returns ids head-first."""
+    nodes = [db.create("node", weight=weight) for __ in range(length)]
+    for upstream, downstream in zip(nodes, nodes[1:]):
+        link(db, upstream, downstream)
+    return nodes
+
+
+def build_diamond_ladder(db: Database, depth: int, weight: int = 1) -> dict:
+    """A ladder of ``depth`` stacked diamonds.
+
+    Layout (values flow downward)::
+
+            top
+           /    \\
+          l0    r0
+           \\   /
+           m1          <- joins, then splits again
+           /  \\
+          l1   r1
+           \\  /
+            ...
+          bottom
+
+    Returns ``{"top": id, "bottom": id, "all": [ids]}``.  Paths from top to
+    bottom: ``2 ** depth``.
+    """
+    top = db.create("node", weight=weight)
+    all_nodes = [top]
+    current = top
+    for __ in range(depth):
+        left = db.create("node", weight=weight)
+        right = db.create("node", weight=weight)
+        join = db.create("node", weight=weight)
+        for mid in (left, right):
+            link(db, current, mid)
+            link(db, mid, join)
+        all_nodes.extend([left, right, join])
+        current = join
+    return {"top": top, "bottom": current, "all": all_nodes}
+
+
+def build_tree(db: Database, depth: int, fanout: int = 2, weight: int = 1) -> dict:
+    """A complete tree; leaf values flow up to the root.
+
+    Returns ``{"root": id, "leaves": [ids], "all": [ids]}``.
+    """
+    root = db.create("node", weight=weight)
+    levels = [[root]]
+    all_nodes = [root]
+    for __ in range(depth):
+        next_level = []
+        for parent in levels[-1]:
+            for __ in range(fanout):
+                child = db.create("node", weight=weight)
+                link(db, child, parent)  # child's total feeds the parent
+                next_level.append(child)
+                all_nodes.append(child)
+        levels.append(next_level)
+    return {"root": root, "leaves": levels[-1], "all": all_nodes}
+
+
+def build_fan(db: Database, width: int, weight: int = 1) -> dict:
+    """One hub feeding ``width`` independent consumers.
+
+    Returns ``{"hub": id, "consumers": [ids]}``.
+    """
+    hub = db.create("node", weight=weight)
+    consumers = []
+    for __ in range(width):
+        consumer = db.create("node", weight=weight)
+        link(db, hub, consumer)
+        consumers.append(consumer)
+    return {"hub": hub, "consumers": consumers}
+
+
+def build_grid(db: Database, rows: int, cols: int, weight: int = 1) -> dict:
+    """An ``rows x cols`` DAG grid; each cell feeds its right and down
+    neighbours.  Returns ``{"origin": id, "sink": id, "grid": [[ids]]}``.
+    """
+    grid = [
+        [db.create("node", weight=weight) for __ in range(cols)]
+        for __ in range(rows)
+    ]
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                link(db, grid[r][c], grid[r][c + 1])
+            if r + 1 < rows:
+                link(db, grid[r][c], grid[r + 1][c])
+    return {"origin": grid[0][0], "sink": grid[-1][-1], "grid": grid}

@@ -1,0 +1,109 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import AttributeTarget, Local, Received, Rule, TransmitTarget
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.workloads import sum_node_schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    """A fresh, frozen sum-node schema."""
+    return sum_node_schema()
+
+
+@pytest.fixture
+def db(schema: Schema) -> Database:
+    """A database over the sum-node schema with generous buffering."""
+    return Database(schema, pool_capacity=64)
+
+
+@pytest.fixture
+def tiny_db(schema: Schema) -> Database:
+    """A database with a tiny buffer pool (4 blocks) and small blocks,
+    for storage-sensitive tests."""
+    return Database(schema, block_capacity=512, pool_capacity=4)
+
+
+def make_person_schema() -> Schema:
+    """A second schema used by subtype/constraint tests.
+
+    Persons own cars; ``car_count`` is derived; the predicate subtype
+    ``car_buff`` is "all Persons who own more than three cars" (the paper's
+    own example); a constraint may require at least one car.
+    """
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("ownership", [FlowDecl("unit", "integer", End.PLUG, default=0)])
+    )
+    schema.add_class(
+        ObjectClass(
+            "automobile",
+            attributes=[AttributeDef("model", "string")],
+            ports=[PortDef("owner", "ownership", End.PLUG, multi=False)],
+            rules=[
+                Rule(TransmitTarget("owner", "unit"), {}, lambda: 1),
+            ],
+        )
+    )
+    schema.add_class(
+        ObjectClass(
+            "person",
+            attributes=[
+                AttributeDef("name", "string"),
+                AttributeDef("age", "integer"),
+                AttributeDef("car_count", "integer", AttrKind.DERIVED),
+            ],
+            ports=[PortDef("cars", "ownership", End.SOCKET, multi=True)],
+            rules=[
+                Rule(
+                    AttributeTarget("car_count"),
+                    {"units": Received("cars", "unit")},
+                    lambda units: sum(units),
+                ),
+            ],
+        )
+    )
+    from repro.core.rules import SubtypePredicate
+
+    schema.add_class(
+        ObjectClass(
+            "car_buff",
+            attributes=[AttributeDef("club", "string", default="road&track")],
+            supertype="person",
+            predicate=SubtypePredicate(
+                subtype_name="car_buff",
+                inputs={"count": Local("car_count")},
+                predicate=lambda count: count > 3,
+            ),
+        )
+    )
+    return schema.freeze()
+
+
+@pytest.fixture
+def person_db() -> Database:
+    return Database(make_person_schema(), pool_capacity=64)
+
+
+def give_cars(db: Database, person: int, n: int) -> list[int]:
+    """Create ``n`` automobiles owned by ``person``."""
+    cars = []
+    for i in range(n):
+        car = db.create("automobile", model=f"model-{i}")
+        db.connect(car, "owner", person, "cars")
+        cars.append(car)
+    return cars

@@ -1,0 +1,111 @@
+"""Unit tests for atomic value types."""
+
+import pytest
+
+from repro.core.atoms import (
+    TIME0,
+    TIME_FUTURE,
+    AtomRegistry,
+    AtomType,
+    later_of,
+    later_than,
+)
+from repro.errors import AtomTypeError, SchemaError
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = AtomRegistry()
+        for name in ("integer", "real", "boolean", "string", "time", "array", "record", "any"):
+            assert name in registry
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError, match="unknown atom type"):
+            AtomRegistry().get("quaternion")
+
+    def test_register_new_type(self):
+        registry = AtomRegistry()
+        registry.register(
+            AtomType("percent", lambda v: isinstance(v, int) and 0 <= v <= 100, 0)
+        )
+        assert registry.get("percent").validate(42) == 42
+        with pytest.raises(AtomTypeError):
+            registry.get("percent").validate(150)
+
+    def test_register_duplicate_raises(self):
+        registry = AtomRegistry()
+        with pytest.raises(SchemaError, match="already registered"):
+            registry.register(AtomType("integer", lambda v: True, 0))
+
+    def test_names_sorted(self):
+        names = AtomRegistry().names()
+        assert names == sorted(names)
+
+
+class TestValidation:
+    @pytest.fixture
+    def registry(self):
+        return AtomRegistry()
+
+    def test_integer_accepts_int(self, registry):
+        assert registry.get("integer").validate(7) == 7
+
+    def test_integer_rejects_bool(self, registry):
+        with pytest.raises(AtomTypeError):
+            registry.get("integer").validate(True)
+
+    def test_integer_rejects_float(self, registry):
+        with pytest.raises(AtomTypeError):
+            registry.get("integer").validate(1.5)
+
+    def test_real_coerces_int(self, registry):
+        value = registry.get("real").validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_real_rejects_string(self, registry):
+        with pytest.raises(AtomTypeError):
+            registry.get("real").validate("3.0")
+
+    def test_boolean_strict(self, registry):
+        assert registry.get("boolean").validate(True) is True
+        with pytest.raises(AtomTypeError):
+            registry.get("boolean").validate(1)
+
+    def test_string(self, registry):
+        assert registry.get("string").validate("hi") == "hi"
+        with pytest.raises(AtomTypeError):
+            registry.get("string").validate(7)
+
+    def test_array_coerces_list_to_tuple(self, registry):
+        assert registry.get("array").validate([1, 2]) == (1, 2)
+
+    def test_any_accepts_everything(self, registry):
+        sentinel = object()
+        assert registry.get("any").validate(sentinel) is sentinel
+
+    def test_time_is_integer_clock(self, registry):
+        assert registry.get("time").validate(0) == TIME0
+        with pytest.raises(AtomTypeError):
+            registry.get("time").validate(1.5)
+
+    def test_defaults(self, registry):
+        assert registry.get("integer").default == 0
+        assert registry.get("string").default == ""
+        assert registry.get("boolean").default is False
+        assert registry.get("time").default == TIME0
+
+
+class TestTimeHelpers:
+    def test_later_of(self):
+        assert later_of(3, 5) == 5
+        assert later_of(5, 3) == 5
+        assert later_of(4, 4) == 4
+
+    def test_later_than(self):
+        assert later_than(5, 3)
+        assert not later_than(3, 5)
+        assert not later_than(4, 4)
+
+    def test_future_after_everything(self):
+        assert later_than(TIME_FUTURE, 10**15)
+        assert later_of(TIME_FUTURE, 42) == TIME_FUTURE

@@ -1,0 +1,148 @@
+"""Constraint semantics (experiment E12).
+
+"Whenever an attribute which is designated as testing a constraint
+evaluates to false, rollback of the current transaction is performed ...
+Optionally, a special recovery action associated with the constraint can be
+invoked to attempt to recover from the violation."
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import AttributeTarget, Constraint, Local, Received, Rule
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.errors import TransactionAborted
+
+
+def constrained_schema(recovery=None) -> Schema:
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("dep", [FlowDecl("total", "integer", End.PLUG)])
+    )
+    schema.add_class(
+        ObjectClass(
+            "node",
+            attributes=[
+                AttributeDef("weight", "integer"),
+                AttributeDef("cap", "integer", default=100),
+                AttributeDef("total", "integer", AttrKind.DERIVED),
+            ],
+            ports=[
+                PortDef("inputs", "dep", End.SOCKET, multi=True),
+                PortDef("outputs", "dep", End.PLUG, multi=True),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("total"),
+                    {"w": Local("weight"), "ins": Received("inputs", "total")},
+                    lambda w, ins: w + sum(ins),
+                ),
+                Rule(
+                    __import__("repro.core.rules", fromlist=["TransmitTarget"]).TransmitTarget(
+                        "outputs", "total"
+                    ),
+                    {"t": Local("total")},
+                    lambda t: t,
+                ),
+            ],
+            constraints=[
+                Constraint(
+                    "under_cap",
+                    {"total": Local("total"), "cap": Local("cap")},
+                    lambda total, cap: total <= cap,
+                    recovery=recovery,
+                )
+            ],
+        )
+    )
+    return schema.freeze()
+
+
+class TestViolationRollsBack:
+    def test_direct_violation(self):
+        db = Database(constrained_schema())
+        iid = db.create("node", weight=10, cap=50)
+        with pytest.raises(TransactionAborted):
+            db.set_attr(iid, "weight", 60)
+        assert db.get_attr(iid, "weight") == 10
+        assert db.get_attr(iid, "total") == 10
+
+    def test_transitive_violation(self):
+        # A change to an upstream node violates a *downstream* constraint;
+        # the upstream change is what gets rolled back.
+        db = Database(constrained_schema())
+        a = db.create("node", weight=10)
+        b = db.create("node", weight=10, cap=30)
+        db.connect(b, "inputs", a, "outputs")
+        assert db.get_attr(b, "total") == 20
+        with pytest.raises(TransactionAborted):
+            db.set_attr(a, "weight", 25)  # b.total would be 35 > 30
+        assert db.get_attr(a, "weight") == 10
+        assert db.get_attr(b, "total") == 20
+
+    def test_violation_via_connect(self):
+        db = Database(constrained_schema())
+        a = db.create("node", weight=80)
+        b = db.create("node", weight=30, cap=100)
+        with pytest.raises(TransactionAborted):
+            db.connect(b, "inputs", a, "outputs")  # total would be 110
+        assert db.view(b).connections("inputs") == []
+        assert db.get_attr(b, "total") == 30
+
+    def test_explicit_transaction_fully_rolled_back(self):
+        db = Database(constrained_schema())
+        a = db.create("node", weight=10, cap=50)
+        db.begin()
+        db.set_attr(a, "weight", 20)
+        with pytest.raises(TransactionAborted):
+            db.set_attr(a, "weight", 60)
+        # The whole transaction (including the first, valid set) is undone.
+        assert db.get_attr(a, "weight") == 10
+
+    def test_commit_audits_fresh_instances(self):
+        # Creation does not trigger evaluation, but commit audits the new
+        # instance's constraints.
+        db = Database(constrained_schema())
+        db.begin()
+        db.create("node", weight=200, cap=100)
+        with pytest.raises(TransactionAborted):
+            db.commit()
+        assert len(db) == 0  # creation rolled back
+
+    def test_valid_commit_passes_audit(self):
+        db = Database(constrained_schema())
+        db.begin()
+        iid = db.create("node", weight=5, cap=100)
+        db.commit()
+        assert db.get_attr(iid, "total") == 5
+
+
+class TestRecoveryAction:
+    def test_recovery_repairs_and_transaction_survives(self):
+        def clamp(db: Database, iid: int) -> None:
+            db.set_attr(iid, "weight", db.get_attr(iid, "cap"))
+
+        db = Database(constrained_schema(recovery=clamp))
+        iid = db.create("node", weight=10, cap=50)
+        db.set_attr(iid, "weight", 75)  # violates; recovery clamps to 50
+        assert db.get_attr(iid, "weight") == 50
+        assert db.get_attr(iid, "total") == 50
+
+    def test_failed_recovery_still_aborts(self):
+        def useless(db: Database, iid: int) -> None:
+            pass  # repairs nothing
+
+        db = Database(constrained_schema(recovery=useless))
+        iid = db.create("node", weight=10, cap=50)
+        with pytest.raises(TransactionAborted):
+            db.set_attr(iid, "weight", 75)
+        assert db.get_attr(iid, "weight") == 10

@@ -1,0 +1,120 @@
+"""Failure handling: rule errors, bad schemas at runtime, error hierarchy."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import AttributeTarget, Local, Rule
+from repro.core.schema import AttrKind, AttributeDef, ObjectClass, Schema
+from repro.errors import (
+    CactisError,
+    ConcurrencyAbort,
+    ConstraintViolation,
+    CycleError,
+    DslCompileError,
+    DslSyntaxError,
+    RuleEvaluationError,
+    SchemaError,
+    TransactionAborted,
+    UnknownInstanceError,
+)
+
+
+def failing_rule_schema() -> Schema:
+    schema = Schema()
+    schema.add_class(
+        ObjectClass(
+            "fragile",
+            attributes=[
+                AttributeDef("x", "integer"),
+                AttributeDef("inverse", "integer", AttrKind.DERIVED),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("inverse"),
+                    {"x": Local("x")},
+                    lambda x: 100 // x,  # raises ZeroDivisionError on x=0
+                )
+            ],
+        )
+    )
+    return schema.freeze()
+
+
+class TestRuleFailures:
+    def test_rule_error_wrapped_and_identified(self):
+        db = Database(failing_rule_schema())
+        iid = db.create("fragile", x=0)
+        with pytest.raises(RuleEvaluationError) as excinfo:
+            db.get_attr(iid, "inverse")
+        assert excinfo.value.slot == (iid, "inverse")
+        assert isinstance(excinfo.value.cause, ZeroDivisionError)
+
+    def test_rule_error_in_primitive_rolls_back(self):
+        db = Database(failing_rule_schema())
+        iid = db.create("fragile", x=4)
+        db.watch(iid, "inverse")  # makes the rule run during propagation
+        with pytest.raises(RuleEvaluationError):
+            db.set_attr(iid, "x", 0)
+        # The failing update was rolled back.
+        assert db.get_attr(iid, "x") == 4
+        assert db.get_attr(iid, "inverse") == 25
+
+    def test_database_usable_after_rule_error(self):
+        db = Database(failing_rule_schema())
+        bad = db.create("fragile", x=0)
+        with pytest.raises(RuleEvaluationError):
+            db.get_attr(bad, "inverse")
+        good = db.create("fragile", x=5)
+        assert db.get_attr(good, "inverse") == 20
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SchemaError,
+            CycleError,
+            ConstraintViolation,
+            TransactionAborted,
+            ConcurrencyAbort,
+            RuleEvaluationError,
+            DslSyntaxError,
+            DslCompileError,
+            UnknownInstanceError,
+        ],
+    )
+    def test_all_derive_from_cactis_error(self, exc_type):
+        assert issubclass(exc_type, CactisError)
+
+    def test_concurrency_abort_is_transaction_aborted(self):
+        assert issubclass(ConcurrencyAbort, TransactionAborted)
+
+    def test_cycle_error_carries_slots(self):
+        error = CycleError([(1, "a"), (2, "b")])
+        assert error.slots == ((1, "a"), (2, "b"))
+        assert "(1, 'a')" in str(error)
+
+    def test_constraint_violation_carries_context(self):
+        error = ConstraintViolation("cap", 7)
+        assert error.constraint_name == "cap"
+        assert error.instance_id == 7
+
+    def test_dsl_syntax_error_position(self):
+        error = DslSyntaxError("bad token", 3, 9)
+        assert (error.line, error.column) == (3, 9)
+        assert "line 3" in str(error)
+
+
+class TestOperationsOnMissingInstances:
+    def test_every_primitive_rejects_unknown_iid(self, db):
+        with pytest.raises(UnknownInstanceError):
+            db.get_attr(999, "weight")
+        with pytest.raises(UnknownInstanceError):
+            db.set_attr(999, "weight", 1)
+        with pytest.raises(UnknownInstanceError):
+            db.delete(999)
+        iid = db.create("node")
+        with pytest.raises(UnknownInstanceError):
+            db.connect(iid, "inputs", 999, "outputs")
+        with pytest.raises(UnknownInstanceError):
+            db.view(999).get("weight")

@@ -1,0 +1,99 @@
+"""Unit tests for instance records."""
+
+import pytest
+
+from repro.core.instance import Connection, Instance
+from repro.errors import ConnectionError_
+
+
+class TestConnections:
+    def test_add_and_query(self):
+        inst = Instance(1, "node")
+        conn = Connection(2, "outputs")
+        inst.add_connection("inputs", conn)
+        assert inst.connections_on("inputs") == [conn]
+        assert inst.is_connected("inputs", conn)
+
+    def test_dangling_port_empty(self):
+        inst = Instance(1, "node")
+        assert inst.connections_on("inputs") == []
+
+    def test_remove_returns_index(self):
+        inst = Instance(1, "node")
+        conns = [Connection(i, "p") for i in (2, 3, 4)]
+        for conn in conns:
+            inst.add_connection("inputs", conn)
+        assert inst.remove_connection("inputs", conns[1]) == 1
+        assert inst.connections_on("inputs") == [conns[0], conns[2]]
+
+    def test_remove_missing_raises(self):
+        inst = Instance(1, "node")
+        with pytest.raises(ConnectionError_):
+            inst.remove_connection("inputs", Connection(9, "p"))
+
+    def test_add_at_index_restores_position(self):
+        inst = Instance(1, "node")
+        a, b, c = (Connection(i, "p") for i in (2, 3, 4))
+        inst.add_connection("inputs", a)
+        inst.add_connection("inputs", c)
+        inst.add_connection("inputs", b, index=1)
+        assert inst.connections_on("inputs") == [a, b, c]
+
+    def test_empty_port_removed_from_map(self):
+        inst = Instance(1, "node")
+        conn = Connection(2, "p")
+        inst.add_connection("inputs", conn)
+        inst.remove_connection("inputs", conn)
+        assert "inputs" not in inst.connections
+
+    def test_all_connections(self):
+        inst = Instance(1, "node")
+        inst.add_connection("a", Connection(2, "x"))
+        inst.add_connection("b", Connection(3, "y"))
+        pairs = inst.all_connections()
+        assert ("a", Connection(2, "x")) in pairs
+        assert ("b", Connection(3, "y")) in pairs
+
+
+class TestRecordSize:
+    def test_grows_with_attributes(self):
+        small = Instance(1, "node")
+        big = Instance(2, "node")
+        big.attrs = {"x": 1, "y": "a long string value here"}
+        assert big.record_size() > small.record_size()
+
+    def test_grows_with_connections(self):
+        inst = Instance(1, "node")
+        before = inst.record_size()
+        inst.add_connection("inputs", Connection(2, "p"))
+        assert inst.record_size() > before
+
+    def test_array_values_sized(self):
+        short = Instance(1, "node")
+        short.attrs = {"a": (1,)}
+        long = Instance(2, "node")
+        long.attrs = {"a": tuple(range(50))}
+        assert long.record_size() > short.record_size()
+
+
+class TestSnapshot:
+    def test_round_trip(self):
+        inst = Instance(5, "node")
+        inst.attrs = {"weight": 3, "total": 7}
+        inst.add_connection("inputs", Connection(2, "outputs"))
+        inst.active_subtypes = {"heavy"}
+        clone = Instance.from_snapshot(inst.snapshot())
+        assert clone.iid == 5
+        assert clone.class_name == "node"
+        assert clone.attrs == inst.attrs
+        assert clone.connections == inst.connections
+        assert clone.active_subtypes == inst.active_subtypes
+
+    def test_snapshot_is_decoupled(self):
+        inst = Instance(5, "node")
+        inst.attrs = {"weight": 3}
+        snap = inst.snapshot()
+        inst.attrs["weight"] = 99
+        inst.add_connection("inputs", Connection(2, "p"))
+        assert snap["attrs"]["weight"] == 3
+        assert snap["connections"] == {}

@@ -1,0 +1,166 @@
+"""The paper's own Section 2.1 example, end to end.
+
+"Thus, the type Persons may have a relationship called Mother, which
+points back to Persons, and a relationship called Cars which points to the
+type Automobiles.  A Car Buff might be defined as the subtype defined by
+the predicate which calculates all Persons who own more than three cars.
+A constraint might be that all Persons must own at least one car."
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.predicates import more_connections_than
+from repro.core.rules import (
+    AttributeTarget,
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    TransmitTarget,
+)
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.errors import TransactionAborted
+
+
+def persons_schema() -> Schema:
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType(
+            "ownership", [FlowDecl("unit", "integer", End.PLUG, default=0)]
+        )
+    )
+    schema.add_relationship_type(
+        RelationshipType(
+            "maternity", [FlowDecl("generation", "integer", End.PLUG, default=0)]
+        )
+    )
+    schema.add_class(
+        ObjectClass(
+            "automobile",
+            attributes=[AttributeDef("model", "string")],
+            ports=[PortDef("owner", "ownership", End.PLUG)],
+            rules=[Rule(TransmitTarget("owner", "unit"), {}, lambda: 1)],
+        )
+    )
+    schema.add_class(
+        ObjectClass(
+            "person",
+            attributes=[
+                AttributeDef("name", "string"),
+                AttributeDef("car_count", "integer", AttrKind.DERIVED),
+                AttributeDef("generation", "integer", AttrKind.DERIVED),
+            ],
+            ports=[
+                PortDef("cars", "ownership", End.SOCKET, multi=True),
+                # "a relationship called Mother, which points back to
+                # Persons": a self-referential relationship type.
+                PortDef("mother", "maternity", End.SOCKET),
+                PortDef("children", "maternity", End.PLUG, multi=True),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("car_count"),
+                    {"units": Received("cars", "unit")},
+                    lambda units: sum(units),
+                ),
+                Rule(
+                    AttributeTarget("generation"),
+                    {"g": Received("mother", "generation")},
+                    lambda g: g + 1,
+                ),
+                Rule(
+                    TransmitTarget("children", "generation"),
+                    {"g": Local("generation")},
+                    lambda g: g,
+                ),
+            ],
+            constraints=[
+                # "all Persons must own at least one car"
+                Constraint(
+                    "must_own_a_car",
+                    {"units": Received("cars", "unit")},
+                    lambda units: sum(units) >= 1,
+                )
+            ],
+        )
+    )
+    # "A Car Buff ... all Persons who own more than three cars"
+    schema.add_class(
+        ObjectClass(
+            "car_buff",
+            supertype="person",
+            predicate=more_connections_than("cars", "unit", 3).as_subtype(
+                "car_buff"
+            ),
+        )
+    )
+    return schema.freeze()
+
+
+@pytest.fixture
+def db():
+    return Database(persons_schema(), pool_capacity=64)
+
+
+def person_with_cars(db, name, n_cars):
+    db.begin(name)
+    person = db.create("person", name=name)
+    cars = []
+    for i in range(n_cars):
+        car = db.create("automobile", model=f"{name}-car-{i}")
+        db.connect(car, "owner", person, "cars")
+        cars.append(car)
+    db.commit()
+    return person, cars
+
+
+class TestPaperExample:
+    def test_carless_person_vetoed_at_commit(self, db):
+        db.begin()
+        db.create("person", name="walker")
+        with pytest.raises(TransactionAborted):
+            db.commit()
+        assert len(db) == 0
+
+    def test_one_car_satisfies_the_constraint(self, db):
+        person, __ = person_with_cars(db, "alice", 1)
+        assert db.get_attr(person, "car_count") == 1
+
+    def test_selling_the_last_car_vetoed(self, db):
+        person, cars = person_with_cars(db, "alice", 1)
+        with pytest.raises(TransactionAborted):
+            db.disconnect(cars[0], "owner", person, "cars")
+        assert db.get_attr(person, "car_count") == 1
+
+    def test_car_buff_threshold(self, db):
+        casual, __ = person_with_cars(db, "casual", 3)
+        buff, __ = person_with_cars(db, "buff", 4)
+        assert db.instances_of("car_buff") == [buff]
+        assert not db.is_member(casual, "car_buff")
+
+    def test_mother_relationship_generations(self, db):
+        grandma, __ = person_with_cars(db, "grandma", 1)
+        mum, __ = person_with_cars(db, "mum", 1)
+        kid, __ = person_with_cars(db, "kid", 1)
+        db.connect(mum, "mother", grandma, "children")
+        db.connect(kid, "mother", mum, "children")
+        assert db.get_attr(grandma, "generation") == 1  # default + 1
+        assert db.get_attr(mum, "generation") == 2
+        assert db.get_attr(kid, "generation") == 3
+
+    def test_buying_cars_flips_membership_live(self, db):
+        person, __ = person_with_cars(db, "upwardly", 3)
+        assert not db.is_member(person, "car_buff")
+        car = db.create("automobile", model="fourth")
+        db.connect(car, "owner", person, "cars")
+        assert db.is_member(person, "car_buff")

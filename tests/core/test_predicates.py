@@ -1,0 +1,138 @@
+"""Predicate-combinator tests."""
+
+import pytest
+
+from repro.core.predicates import (
+    Predicate,
+    attr_between,
+    attr_eq,
+    attr_ge,
+    attr_gt,
+    attr_in,
+    attr_le,
+    attr_lt,
+    attr_ne,
+    attr_satisfies,
+    more_connections_than,
+    received_sum,
+)
+from repro.core.rules import Local
+from repro.errors import SchemaError
+from tests.conftest import give_cars
+
+
+class TestComparisons:
+    def test_attr_comparators(self, db):
+        light = db.create("node", weight=1)
+        heavy = db.create("node", weight=9)
+        assert db.select("node", attr_gt("weight", 5)) == [heavy]
+        assert db.select("node", attr_lt("weight", 5)) == [light]
+        assert db.select("node", attr_ge("weight", 9)) == [heavy]
+        assert db.select("node", attr_le("weight", 1)) == [light]
+        assert db.select("node", attr_eq("weight", 1)) == [light]
+        assert db.select("node", attr_ne("weight", 1)) == [heavy]
+
+    def test_between_and_in(self, db):
+        ids = [db.create("node", weight=w) for w in (1, 5, 9)]
+        assert db.select("node", attr_between("weight", 2, 8)) == [ids[1]]
+        assert db.select("node", attr_in("weight", {1, 9})) == [ids[0], ids[2]]
+
+    def test_satisfies(self, db):
+        even = db.create("node", weight=4)
+        db.create("node", weight=3)
+        assert db.select(
+            "node", attr_satisfies("weight", lambda w: w % 2 == 0)
+        ) == [even]
+
+    def test_derived_attributes_queryable(self, db):
+        from repro.workloads import link
+
+        a = db.create("node", weight=3)
+        b = db.create("node", weight=4)
+        link(db, a, b)  # b.total = 7
+        assert db.select("node", attr_gt("total", 5)) == [b]
+
+
+class TestComposition:
+    def test_and(self, db):
+        ids = [db.create("node", weight=w) for w in (1, 5, 9)]
+        predicate = attr_gt("weight", 2) & attr_lt("weight", 8)
+        assert db.select("node", predicate) == [ids[1]]
+
+    def test_or(self, db):
+        ids = [db.create("node", weight=w) for w in (1, 5, 9)]
+        predicate = attr_lt("weight", 2) | attr_gt("weight", 8)
+        assert db.select("node", predicate) == [ids[0], ids[2]]
+
+    def test_not(self, db):
+        ids = [db.create("node", weight=w) for w in (1, 5)]
+        assert db.select("node", ~attr_eq("weight", 1)) == [ids[1]]
+
+    def test_nested_composition(self, db):
+        ids = [db.create("node", weight=w) for w in range(6)]
+        predicate = (attr_ge("weight", 1) & attr_le("weight", 4)) & ~attr_eq(
+            "weight", 2
+        )
+        assert db.select("node", predicate) == [ids[1], ids[3], ids[4]]
+
+    def test_conflicting_inputs_rejected(self):
+        a = Predicate({"p_x": Local("x")}, lambda p_x: True)
+        b = Predicate({"p_x": Local("y")}, lambda p_x: True)
+        with pytest.raises(SchemaError, match="conflicting"):
+            __ = a & b
+
+    def test_description_composes(self):
+        predicate = attr_gt("w", 1) & ~attr_eq("w", 5)
+        assert "and" in predicate.description
+        assert "not" in predicate.description
+
+
+class TestRelationshipPredicates:
+    def test_more_connections_than(self, person_db):
+        alice = person_db.create("person", name="alice")
+        bob = person_db.create("person", name="bob")
+        give_cars(person_db, alice, 4)
+        give_cars(person_db, bob, 2)
+        buffs = person_db.select("person", more_connections_than("cars", "unit", 3))
+        assert buffs == [alice]
+
+    def test_received_sum(self, db):
+        from repro.workloads import link
+
+        hub = db.create("node", weight=0)
+        for w in (5, 6):
+            up = db.create("node", weight=w)
+            link(db, up, hub)
+        rich = db.select(
+            "node", received_sum("inputs", "total", lambda a, b: a > b, 10, ">")
+        )
+        assert rich == [hub]
+
+    def test_predicate_as_subtype(self, db):
+        """Combinators can define predicate subtypes on a live schema."""
+        from repro.core.predicates import attr_gt as gt
+        from repro.core.schema import ObjectClass
+
+        with db.extend_schema() as schema:
+            schema.add_class(
+                ObjectClass(
+                    "heavy",
+                    supertype="node",
+                    predicate=gt("total", 10).as_subtype("heavy"),
+                )
+            )
+        light = db.create("node", weight=1)
+        heavy = db.create("node", weight=50)
+        assert db.instances_of("heavy") == [heavy]
+
+    def test_predicate_as_constraint(self, db):
+        from repro.errors import TransactionAborted
+
+        with db.extend_schema() as schema:
+            schema.extend_class("node").add_constraint(
+                attr_le("weight", 100).as_constraint("weight_cap")
+            )
+        iid = db.create("node", weight=1)
+        with pytest.raises(TransactionAborted):
+            db.set_attr(iid, "weight", 500)
+        assert db.get_attr(iid, "weight") == 1

@@ -1,0 +1,109 @@
+"""Unit tests for rules, constraints, and predicate declarations."""
+
+import pytest
+
+from repro.core.rules import (
+    AttributeTarget,
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    SelfRef,
+    SubtypePredicate,
+    TransmitTarget,
+    constraint_attr_name,
+    constraint_name_of,
+    is_constraint_attr,
+    is_subtype_attr,
+    subtype_attr_name,
+    subtype_name_of,
+)
+from repro.errors import SchemaError
+
+
+class TestRuleConstruction:
+    def test_default_name_attribute(self):
+        rule = Rule(AttributeTarget("x"), {}, lambda: 1)
+        assert rule.name == "rule:x"
+
+    def test_default_name_transmit(self):
+        rule = Rule(TransmitTarget("p", "v"), {}, lambda: 1)
+        assert rule.name == "rule:p>v"
+
+    def test_explicit_name_kept(self):
+        rule = Rule(AttributeTarget("x"), {}, lambda: 1, name="custom")
+        assert rule.name == "custom"
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SchemaError, match="invalid rule target"):
+            Rule("x", {}, lambda: 1)
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(SchemaError, match="invalid input"):
+            Rule(AttributeTarget("x"), {"a": "not-an-input"}, lambda a: a)
+
+    def test_body_must_be_callable(self):
+        with pytest.raises(SchemaError, match="callable"):
+            Rule(AttributeTarget("x"), {}, 42)
+
+    def test_input_partitions(self):
+        rule = Rule(
+            AttributeTarget("x"),
+            {
+                "a": Local("attr"),
+                "b": Received("port", "value"),
+                "c": SelfRef(),
+            },
+            lambda a, b, c: None,
+        )
+        assert [kw for kw, __ in rule.local_inputs()] == ["a"]
+        assert [kw for kw, __ in rule.received_inputs()] == ["b"]
+
+
+class TestConstraint:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError, match="named"):
+            Constraint("", {}, lambda: True)
+
+    def test_predicate_must_be_callable(self):
+        with pytest.raises(SchemaError, match="callable"):
+            Constraint("c", {}, True)
+
+    def test_as_rule_targets_synthetic_attr(self):
+        constraint = Constraint("positive", {"x": Local("x")}, lambda x: x > 0)
+        rule = constraint.as_rule()
+        assert rule.target == AttributeTarget("__constraint__positive")
+        assert rule.name == "constraint:positive"
+        assert rule.body(x=5) is True
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(SchemaError, match="invalid input"):
+            Constraint("c", {"x": 42}, lambda x: True)
+
+
+class TestSyntheticNames:
+    def test_constraint_round_trip(self):
+        name = constraint_attr_name("limit")
+        assert is_constraint_attr(name)
+        assert constraint_name_of(name) == "limit"
+        assert not is_subtype_attr(name)
+
+    def test_subtype_round_trip(self):
+        name = subtype_attr_name("car_buff")
+        assert is_subtype_attr(name)
+        assert subtype_name_of(name) == "car_buff"
+        assert not is_constraint_attr(name)
+
+    def test_ordinary_names_not_synthetic(self):
+        assert not is_constraint_attr("exp_compl")
+        assert not is_subtype_attr("exp_compl")
+
+
+class TestSubtypePredicate:
+    def test_as_rule(self):
+        pred = SubtypePredicate("vip", {"x": Local("x")}, lambda x: x > 10)
+        rule = pred.as_rule()
+        assert rule.target == AttributeTarget("__subtype__vip")
+        assert rule.name == "subtype:vip"
+        assert rule.body(x=11) is True
+        assert rule.body(x=9) is False

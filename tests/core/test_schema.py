@@ -1,0 +1,271 @@
+"""Unit tests for schema construction and validation."""
+
+import pytest
+
+from repro.core.rules import (
+    AttributeTarget,
+    Local,
+    Received,
+    Rule,
+    SubtypePredicate,
+    TransmitTarget,
+)
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.errors import SchemaError, UnknownTypeError
+
+
+def minimal_schema() -> Schema:
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("r", [FlowDecl("v", "integer", End.PLUG)])
+    )
+    return schema
+
+
+class TestRelationshipType:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            RelationshipType("")
+
+    def test_duplicate_flow_rejected(self):
+        rel = RelationshipType("r", [FlowDecl("v", "integer", End.PLUG)])
+        with pytest.raises(SchemaError, match="already declares"):
+            rel.add_flow(FlowDecl("v", "string", End.SOCKET))
+
+    def test_flow_direction_queries(self):
+        rel = RelationshipType(
+            "r",
+            [
+                FlowDecl("a", "integer", End.PLUG),
+                FlowDecl("b", "integer", End.SOCKET),
+            ],
+        )
+        assert [f.value for f in rel.values_sent_by(End.PLUG)] == ["a"]
+        assert [f.value for f in rel.values_received_by(End.PLUG)] == ["b"]
+        assert [f.value for f in rel.values_sent_by(End.SOCKET)] == ["b"]
+
+    def test_unknown_flow_raises(self):
+        rel = RelationshipType("r")
+        with pytest.raises(SchemaError, match="declares no value"):
+            rel.flow("missing")
+
+    def test_end_opposite(self):
+        assert End.PLUG.opposite is End.SOCKET
+        assert End.SOCKET.opposite is End.PLUG
+
+
+class TestObjectClass:
+    def test_duplicate_attribute_rejected(self):
+        cls = ObjectClass("c", attributes=[AttributeDef("x", "integer")])
+        with pytest.raises(SchemaError, match="already declares attribute"):
+            cls.add_attribute(AttributeDef("x", "string"))
+
+    def test_port_attribute_name_collision(self):
+        cls = ObjectClass("c", attributes=[AttributeDef("x", "integer")])
+        with pytest.raises(SchemaError, match="collides"):
+            cls.add_port(PortDef("x", "r", End.PLUG))
+
+    def test_predicate_requires_supertype(self):
+        with pytest.raises(SchemaError, match="must name a supertype"):
+            ObjectClass(
+                "sub",
+                predicate=SubtypePredicate("sub", {}, lambda: True),
+            )
+
+    def test_predicate_name_must_match(self):
+        with pytest.raises(SchemaError, match="must match"):
+            ObjectClass(
+                "sub",
+                supertype="base",
+                predicate=SubtypePredicate("other", {}, lambda: True),
+            )
+
+
+class TestFreeze:
+    def test_freeze_validates_derived_without_rule(self):
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass(
+                "c", attributes=[AttributeDef("d", "integer", AttrKind.DERIVED)]
+            )
+        )
+        with pytest.raises(SchemaError, match="derived attributes without rules"):
+            schema.freeze()
+
+    def test_rule_on_intrinsic_rejected(self):
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass(
+                "c",
+                attributes=[AttributeDef("x", "integer")],
+                rules=[Rule(AttributeTarget("x"), {}, lambda: 1)],
+            )
+        )
+        with pytest.raises(SchemaError, match="targets intrinsic"):
+            schema.freeze()
+
+    def test_rule_on_unknown_attribute_rejected(self):
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass("c", rules=[Rule(AttributeTarget("ghost"), {}, lambda: 1)])
+        )
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.freeze()
+
+    def test_local_input_must_exist(self):
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass(
+                "c",
+                attributes=[AttributeDef("d", "integer", AttrKind.DERIVED)],
+                rules=[
+                    Rule(AttributeTarget("d"), {"x": Local("ghost")}, lambda x: x)
+                ],
+            )
+        )
+        with pytest.raises(SchemaError, match="unknown attribute 'ghost'"):
+            schema.freeze()
+
+    def test_received_input_port_must_exist(self):
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass(
+                "c",
+                attributes=[AttributeDef("d", "integer", AttrKind.DERIVED)],
+                rules=[
+                    Rule(
+                        AttributeTarget("d"),
+                        {"x": Received("ghost", "v")},
+                        lambda x: x,
+                    )
+                ],
+            )
+        )
+        with pytest.raises(SchemaError, match="unknown port"):
+            schema.freeze()
+
+    def test_received_direction_checked(self):
+        schema = minimal_schema()
+        # Port on the PLUG end cannot *receive* a value sent by the plug.
+        schema.add_class(
+            ObjectClass(
+                "c",
+                attributes=[AttributeDef("d", "integer", AttrKind.DERIVED)],
+                ports=[PortDef("p", "r", End.PLUG)],
+                rules=[
+                    Rule(AttributeTarget("d"), {"x": Received("p", "v")}, lambda x: x)
+                ],
+            )
+        )
+        with pytest.raises(SchemaError, match="sends.*that value|this end \\*sends\\*"):
+            schema.freeze()
+
+    def test_transmit_direction_checked(self):
+        schema = minimal_schema()
+        # Port on the SOCKET end cannot transmit a plug-sent value.
+        schema.add_class(
+            ObjectClass(
+                "c",
+                ports=[PortDef("p", "r", End.SOCKET)],
+                rules=[Rule(TransmitTarget("p", "v"), {}, lambda: 1)],
+            )
+        )
+        with pytest.raises(SchemaError, match="flows plug-to-socket"):
+            schema.freeze()
+
+    def test_inheritance_cycle_detected(self):
+        schema = Schema()
+        schema.add_class(ObjectClass("a", supertype="b"))
+        schema.add_class(ObjectClass("b", supertype="a"))
+        with pytest.raises(SchemaError, match="inheritance cycle"):
+            schema.freeze()
+
+    def test_frozen_schema_rejects_extension(self):
+        schema = minimal_schema()
+        schema.add_class(ObjectClass("c"))
+        schema.freeze()
+        with pytest.raises(SchemaError, match="frozen"):
+            schema.add_class(ObjectClass("d"))
+
+    def test_unfreeze_and_extend(self):
+        schema = minimal_schema()
+        schema.add_class(ObjectClass("c"))
+        schema.freeze()
+        version = schema.version
+        schema.unfreeze()
+        schema.add_class(ObjectClass("d"))
+        schema.freeze()
+        assert schema.version == version + 1
+        assert schema.resolved("d").name == "d"
+
+    def test_duplicate_class_rejected(self):
+        schema = Schema()
+        schema.add_class(ObjectClass("c"))
+        with pytest.raises(SchemaError, match="already defined"):
+            schema.add_class(ObjectClass("c"))
+
+    def test_unknown_class_lookup(self):
+        schema = Schema()
+        schema.freeze()
+        with pytest.raises(UnknownTypeError):
+            schema.resolved("ghost")
+
+
+class TestInheritanceResolution:
+    def build(self) -> Schema:
+        schema = minimal_schema()
+        schema.add_class(
+            ObjectClass(
+                "base",
+                attributes=[
+                    AttributeDef("x", "integer"),
+                    AttributeDef("d", "integer", AttrKind.DERIVED),
+                ],
+                rules=[Rule(AttributeTarget("d"), {"x": Local("x")}, lambda x: x + 1)],
+            )
+        )
+        schema.add_class(
+            ObjectClass(
+                "derived_cls",
+                attributes=[AttributeDef("y", "integer")],
+                supertype="base",
+                rules=[
+                    Rule(
+                        AttributeTarget("d"),
+                        {"x": Local("x"), "y": Local("y")},
+                        lambda x, y: x + y,
+                    )
+                ],
+            )
+        )
+        return schema.freeze()
+
+    def test_subclass_inherits_attributes(self):
+        resolved = self.build().resolved("derived_cls")
+        assert set(resolved.attributes) == {"x", "y", "d"}
+
+    def test_subclass_overrides_rule(self):
+        schema = self.build()
+        base_rule = schema.resolved("base").rule_for["d"]
+        sub_rule = schema.resolved("derived_cls").rule_for["d"]
+        assert base_rule is not sub_rule
+        assert sub_rule.body(x=1, y=10) == 11
+
+    def test_lineage(self):
+        resolved = self.build().resolved("derived_cls")
+        assert resolved.lineage == ("derived_cls", "base")
+
+    def test_is_subclass(self):
+        schema = self.build()
+        assert schema.is_subclass("derived_cls", "base")
+        assert schema.is_subclass("base", "base")
+        assert not schema.is_subclass("base", "derived_cls")

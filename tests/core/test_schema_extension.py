@@ -1,0 +1,97 @@
+"""Dynamic type-structure extension (the paper's "new tools" requirement)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import AttributeTarget, Local, Rule, SubtypePredicate
+from repro.core.schema import AttrKind, AttributeDef, ObjectClass
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.workloads import build_chain
+
+
+class TestExtendSchema:
+    def test_new_class_usable_after_extension(self, db):
+        with db.extend_schema() as schema:
+            schema.add_class(
+                ObjectClass("tag", attributes=[AttributeDef("label", "string")])
+            )
+        iid = db.create("tag", label="v1")
+        assert db.get_attr(iid, "label") == "v1"
+
+    def test_new_derived_attribute_on_existing_class(self, db):
+        nodes = build_chain(db, 3)
+        with db.extend_schema() as schema:
+            cls = schema.extend_class("node")
+            cls.add_attribute(
+                AttributeDef("double_total", "integer", AttrKind.DERIVED)
+            )
+            cls.add_rule(
+                Rule(
+                    AttributeTarget("double_total"),
+                    {"t": Local("total")},
+                    lambda t: 2 * t,
+                )
+            )
+        # Existing instances gain the attribute immediately.
+        assert db.get_attr(nodes[-1], "double_total") == 6
+        db.set_attr(nodes[0], "weight", 10)
+        assert db.get_attr(nodes[-1], "double_total") == 24
+
+    def test_new_intrinsic_attribute_gets_default(self, db):
+        iid = db.create("node", weight=2)
+        with db.extend_schema() as schema:
+            schema.extend_class("node").add_attribute(
+                AttributeDef("owner", "string", default="nobody")
+            )
+        assert db.get_attr(iid, "owner") == "nobody"
+        db.set_attr(iid, "owner", "alice")
+        assert db.get_attr(iid, "owner") == "alice"
+
+    def test_new_predicate_subtype_applies_to_existing_instances(self, db):
+        light = db.create("node", weight=1)
+        heavy = db.create("node", weight=50)
+        with db.extend_schema() as schema:
+            schema.add_class(
+                ObjectClass(
+                    "heavy_node",
+                    supertype="node",
+                    predicate=SubtypePredicate(
+                        "heavy_node",
+                        {"t": Local("total")},
+                        lambda t: t >= 10,
+                    ),
+                )
+            )
+        assert db.instances_of("heavy_node") == [heavy]
+        # And it keeps tracking afterwards.
+        db.set_attr(light, "weight", 100)
+        assert db.instances_of("heavy_node") == [light, heavy]
+
+    def test_extension_failure_leaves_schema_frozen(self, db):
+        with pytest.raises(SchemaError):
+            with db.extend_schema() as schema:
+                schema.add_class(
+                    ObjectClass(
+                        "bad",
+                        attributes=[
+                            AttributeDef("d", "integer", AttrKind.DERIVED)
+                        ],
+                    )
+                )
+        # freeze() raised inside __exit__; the schema is left unfrozen and
+        # the database unusable until repaired -- repair and refreeze.
+        schema = db.schema
+        if not schema.frozen:
+            del schema.classes["bad"]
+            schema.freeze()
+        iid = db.create("node", weight=1)
+        assert db.get_attr(iid, "total") == 1
+
+    def test_old_attributes_still_unknown_elsewhere(self, db):
+        with db.extend_schema() as schema:
+            schema.add_class(
+                ObjectClass("tag", attributes=[AttributeDef("label", "string")])
+            )
+        iid = db.create("node")
+        with pytest.raises(UnknownAttributeError):
+            db.get_attr(iid, "label")

@@ -1,0 +1,39 @@
+"""Unit tests for slot identifiers."""
+
+from repro.core.slots import (
+    attr_slot,
+    describe,
+    is_transmit_name,
+    split_transmit_name,
+    transmit_name,
+    transmit_slot,
+)
+
+
+def test_attr_slot():
+    assert attr_slot(7, "exp_compl") == (7, "exp_compl")
+
+
+def test_transmit_slot_round_trip():
+    slot = transmit_slot(7, "consists_of", "exp_time")
+    assert slot == (7, "consists_of>exp_time")
+    assert is_transmit_name(slot[1])
+    assert split_transmit_name(slot[1]) == ("consists_of", "exp_time")
+
+
+def test_plain_names_are_not_transmit():
+    assert not is_transmit_name("exp_compl")
+
+
+def test_transmit_name_builder():
+    assert transmit_name("p", "v") == "p>v"
+
+
+def test_describe_attribute():
+    text = describe((3, "weight"))
+    assert "instance 3" in text and "weight" in text
+
+
+def test_describe_transmit():
+    text = describe((3, "outputs>total"))
+    assert "outputs" in text and "total" in text and "transmitted" in text

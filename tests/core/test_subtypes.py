@@ -1,0 +1,99 @@
+"""Predicate-subtype membership: the paper's Car_Buff and very_late stories."""
+
+import pytest
+
+from tests.conftest import give_cars
+
+
+class TestMembership:
+    def test_not_member_initially(self, person_db):
+        alice = person_db.create("person", name="alice")
+        assert not person_db.is_member(alice, "car_buff")
+
+    def test_becomes_member_at_four_cars(self, person_db):
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 4)
+        assert person_db.is_member(alice, "car_buff")
+        assert "car_buff" in person_db.view(alice).active_subtypes
+
+    def test_three_cars_is_not_enough(self, person_db):
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 3)
+        assert not person_db.is_member(alice, "car_buff")
+
+    def test_membership_lapses_when_cars_sold(self, person_db):
+        alice = person_db.create("person", name="alice")
+        cars = give_cars(person_db, alice, 4)
+        assert person_db.is_member(alice, "car_buff")
+        person_db.disconnect(cars[0], "owner", alice, "cars")
+        assert not person_db.is_member(alice, "car_buff")
+
+    def test_subtype_attribute_available_to_members(self, person_db):
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 4)
+        assert person_db.get_attr(alice, "club") == "road&track"
+
+    def test_subtype_attribute_unavailable_to_nonmembers(self, person_db):
+        from repro.errors import UnknownAttributeError
+
+        bob = person_db.create("person", name="bob")
+        with pytest.raises(UnknownAttributeError):
+            person_db.get_attr(bob, "club")
+
+    def test_subtype_attr_value_persists_across_flips(self, person_db):
+        alice = person_db.create("person", name="alice")
+        cars = give_cars(person_db, alice, 4)
+        person_db.set_attr(alice, "club", "cannonball")
+        # Flip membership off and back on.
+        person_db.disconnect(cars[0], "owner", alice, "cars")
+        assert not person_db.is_member(alice, "car_buff")
+        person_db.connect(cars[0], "owner", alice, "cars")
+        assert person_db.is_member(alice, "car_buff")
+        assert person_db.get_attr(alice, "club") == "cannonball"
+
+    def test_instances_of_predicate_subtype(self, person_db):
+        alice = person_db.create("person", name="alice")
+        bob = person_db.create("person", name="bob")
+        give_cars(person_db, alice, 5)
+        give_cars(person_db, bob, 1)
+        assert person_db.instances_of("car_buff") == [alice]
+
+    def test_instances_of_supertype_includes_everyone(self, person_db):
+        alice = person_db.create("person", name="alice")
+        bob = person_db.create("person", name="bob")
+        give_cars(person_db, alice, 5)
+        assert person_db.instances_of("person") == [alice, bob]
+
+    def test_automobiles_never_car_buffs(self, person_db):
+        car = person_db.create("automobile", model="gt")
+        assert not person_db.is_member(car, "car_buff")
+
+    def test_is_member_static_classes(self, person_db):
+        alice = person_db.create("person", name="alice")
+        assert person_db.is_member(alice, "person")
+        assert not person_db.is_member(alice, "automobile")
+
+
+class TestDynamicUpdates:
+    def test_membership_tracks_without_queries(self, person_db):
+        """Membership is maintained eagerly (important slots), so the
+        active_subtypes set is current even before any is_member call."""
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 4)
+        # No is_member query yet; the flip happened during propagation.
+        assert "car_buff" in person_db.instance(alice).active_subtypes
+
+    def test_car_count_derived(self, person_db):
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 2)
+        assert person_db.get_attr(alice, "car_count") == 2
+
+    def test_flips_are_undone_with_their_cause(self, person_db):
+        alice = person_db.create("person", name="alice")
+        give_cars(person_db, alice, 3)
+        person_db.begin()
+        give_cars(person_db, alice, 1)
+        person_db.commit()
+        assert person_db.is_member(alice, "car_buff")
+        person_db.undo()  # undoes the fourth car
+        assert not person_db.is_member(alice, "car_buff")

@@ -1,0 +1,230 @@
+"""Distributed-federation tests (Section 5 direction)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.distributed import Federation, FederationError
+from repro.env.milestones import MilestoneManager, milestone_schema
+from repro.workloads import link, sum_node_schema
+
+
+def two_sites():
+    fed = Federation()
+    a = Database(sum_node_schema(), pool_capacity=64)
+    b = Database(sum_node_schema(), pool_capacity=64)
+    fed.add_site("A", a)
+    fed.add_site("B", b)
+    return fed, a, b
+
+
+class TestLinking:
+    def test_cross_site_value_flows_after_sync(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=7)
+        consumer = b.create("node", weight=1)
+        fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        # Before sync the mirror carries the flow default (0).
+        assert b.get_attr(consumer, "total") == 1
+        report = fed.sync()
+        assert report.messages_sent == 1
+        assert b.get_attr(consumer, "total") == 8
+
+    def test_same_site_link_rejected(self):
+        fed, a, __ = two_sites()
+        x = a.create("node")
+        y = a.create("node")
+        with pytest.raises(FederationError, match="same site"):
+            fed.link("A", x, "inputs", "A", y, "outputs")
+
+    def test_unknown_site_rejected(self):
+        fed, a, __ = two_sites()
+        x = a.create("node")
+        with pytest.raises(FederationError, match="unknown site"):
+            fed.link("C", x, "inputs", "A", x, "outputs")
+
+    def test_mirror_shared_between_consumers(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=5)
+        c1 = b.create("node")
+        c2 = b.create("node")
+        l1 = fed.link("B", c1, "inputs", "A", producer, "outputs")
+        l2 = fed.link("B", c2, "inputs", "A", producer, "outputs")
+        assert l1.mirror_iid == l2.mirror_iid
+        fed.sync()
+        assert b.get_attr(c1, "total") == 5
+        assert b.get_attr(c2, "total") == 5
+
+    def test_unlink_stops_flow(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=5)
+        consumer = b.create("node")
+        cross = fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.sync()
+        assert b.get_attr(consumer, "total") == 5
+        fed.unlink(cross)
+        assert b.get_attr(consumer, "total") == 0
+        a.set_attr(producer, "weight", 50)
+        fed.sync()  # mirror updates, but nobody consumes it
+        assert b.get_attr(consumer, "total") == 0
+
+
+class TestChangeOnlyTraffic:
+    def test_quiescent_sync_ships_nothing(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=7)
+        consumer = b.create("node")
+        fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.sync()
+        report = fed.sync()
+        assert report.quiescent
+        assert report.values_checked == 1  # checked, not shipped
+
+    def test_only_changed_values_shipped(self):
+        fed, a, b = two_sites()
+        producers = [a.create("node", weight=i) for i in range(5)]
+        consumers = [b.create("node") for __ in range(5)]
+        for producer, consumer in zip(producers, consumers):
+            fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.sync()
+        a.set_attr(producers[2], "weight", 99)
+        report = fed.sync()
+        assert report.messages_sent == 1
+        assert b.get_attr(consumers[2], "total") == 99
+
+    def test_local_ripple_after_sync(self):
+        """One shipped value drives a whole local derived chain."""
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=3)
+        entry = b.create("node")
+        chain = [entry]
+        for __ in range(4):
+            nxt = b.create("node", weight=1)
+            link(b, chain[-1], nxt)
+            chain.append(nxt)
+        fed.link("B", entry, "inputs", "A", producer, "outputs")
+        fed.sync()
+        assert b.get_attr(chain[-1], "total") == 7  # 3 + 4*1
+
+    def test_undo_on_consumer_site_is_local(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=3)
+        consumer = b.create("node")
+        fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.sync()
+        assert b.get_attr(consumer, "total") == 3
+        b.undo()  # undoes the sync's mirror write, locally
+        assert b.get_attr(consumer, "total") == 0
+        assert a.get_attr(producer, "weight") == 3  # producer untouched
+
+
+class TestChainedSites:
+    def test_three_site_pipeline(self):
+        fed = Federation()
+        dbs = {}
+        for name in ("A", "B", "C"):
+            dbs[name] = Database(sum_node_schema(), pool_capacity=64)
+            fed.add_site(name, dbs[name])
+        na = dbs["A"].create("node", weight=1)
+        nb = dbs["B"].create("node", weight=2)
+        nc = dbs["C"].create("node", weight=4)
+        fed.link("B", nb, "inputs", "A", na, "outputs")
+        fed.link("C", nc, "inputs", "B", nb, "outputs")
+        passes = fed.sync_until_quiescent()
+        assert passes >= 2  # the A->B->C chain needs two waves
+        assert dbs["C"].get_attr(nc, "total") == 7
+
+    def test_cross_site_cycle_detected(self):
+        fed, a, b = two_sites()
+        na = a.create("node", weight=1)
+        nb = b.create("node", weight=1)
+        fed.link("B", nb, "inputs", "A", na, "outputs")
+        fed.link("A", na, "inputs", "B", nb, "outputs")
+        with pytest.raises(FederationError, match="cycle"):
+            fed.sync_until_quiescent(max_passes=8)
+
+
+class TestDistributedMilestones:
+    def test_plan_split_across_two_teams(self):
+        """The Section 5 scenario: private databases, shared schedule."""
+        fed = Federation()
+        team_a = MilestoneManager(Database(milestone_schema(), pool_capacity=64))
+        team_b = MilestoneManager(Database(milestone_schema(), pool_capacity=64))
+        fed.add_site("team-a", team_a.db)
+        fed.add_site("team-b", team_b.db)
+
+        design = team_a.add_milestone("design", scheduled=10, work=8)
+        team_a.add_milestone("a-impl", scheduled=20, work=5)
+        team_a.depends("a-impl", "design")
+
+        b_impl = team_b.add_milestone("b-impl", scheduled=25, work=6)
+        # b-impl waits for team A's design milestone, across sites.
+        fed.link("team-b", b_impl, "depends_on", "team-a", design, "consists_of")
+        fed.sync_until_quiescent()
+        assert team_b.expected("b-impl") == 14  # 8 (remote design) + 6
+
+        team_a.slip("design", 10)  # team A slips privately
+        assert team_b.expected("b-impl") == 14  # not yet shared
+        fed.sync_until_quiescent()
+        assert team_b.expected("b-impl") == 24
+        assert team_b.is_late("b-impl") is False
+        team_a.slip("design", 10)
+        fed.sync_until_quiescent()
+        assert team_b.is_late("b-impl") is True
+
+
+class TestFederationErrors:
+    def test_unlink_unknown_link_rejected(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=1)
+        consumer = b.create("node")
+        cross = fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.unlink(cross)
+        with pytest.raises(FederationError, match="unknown cross-link"):
+            fed.unlink(cross)
+
+    def test_duplicate_site_rejected(self):
+        fed, a, __ = two_sites()
+        with pytest.raises(FederationError, match="already registered"):
+            fed.add_site("A", a)
+
+    def test_flow_disagreement_rejected(self):
+        from repro.core.schema import (
+            AttrKind, AttributeDef, End, FlowDecl, ObjectClass, PortDef,
+            RelationshipType, Schema,
+        )
+
+        # A site whose "dep" relationship carries a *different* flow set.
+        other = Schema()
+        other.add_relationship_type(
+            RelationshipType("dep", [FlowDecl("weird", "integer", End.PLUG)])
+        )
+        other.add_class(ObjectClass(
+            "node",
+            attributes=[AttributeDef("weight", "integer")],
+            ports=[PortDef("inputs", "dep", End.SOCKET, multi=True)],
+        ))
+        odd_db = Database(other.freeze())
+        fed, a, __ = two_sites()
+        fed.add_site("odd", odd_db)
+        consumer = odd_db.create("node")
+        producer = a.create("node")
+        with pytest.raises(FederationError, match="disagree"):
+            fed.link("odd", consumer, "inputs", "A", producer, "outputs")
+
+    def test_same_end_rejected(self):
+        fed, a, b = two_sites()
+        x = a.create("node")
+        y = b.create("node")
+        with pytest.raises(FederationError, match="same end"):
+            fed.link("B", y, "inputs", "A", x, "inputs")
+
+    def test_sync_skips_deleted_mirror(self):
+        fed, a, b = two_sites()
+        producer = a.create("node", weight=2)
+        consumer = b.create("node")
+        cross = fed.link("B", consumer, "inputs", "A", producer, "outputs")
+        fed.sync()
+        fed.unlink(cross)
+        b.delete(cross.mirror_iid)
+        report = fed.sync()  # must not crash on the gone mirror
+        assert report.messages_sent == 0

@@ -1,0 +1,89 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.dsl.lexer import Token, tokenize
+from repro.errors import DslSyntaxError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("Object CLASS end") == [
+            ("kw", "object"),
+            ("kw", "class"),
+            ("kw", "end"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Exp_Compl") == [("ident", "Exp_Compl")]
+
+    def test_integers_and_reals(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].kind == "int" and tokens[0].value == 42
+        assert tokens[1].kind == "real" and tokens[1].value == 3.5
+
+    def test_integer_dot_not_real_without_digits(self):
+        # "1." followed by an ident is an int, then symbol, then ident.
+        assert [t.kind for t in tokenize("1.x")[:-1]] == ["int", "sym", "ident"]
+
+    def test_strings_with_escapes(self):
+        token = tokenize(r'"a\"b\nc"')[0]
+        assert token.kind == "string"
+        assert token.value == 'a"b\nc'
+
+    def test_symbols_longest_match(self):
+        assert kinds(":= <= >= <> !=") == [
+            ("sym", ":="),
+            ("sym", "<="),
+            ("sym", ">="),
+            ("sym", "<>"),
+            ("sym", "!="),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("a /* comment\nwith lines */ b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(DslSyntaxError, match="comment"):
+            tokenize("/* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError, match="string"):
+            tokenize('"open')
+
+    def test_newline_in_string(self):
+        with pytest.raises(DslSyntaxError, match="string"):
+            tokenize('"line\nbreak"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("ok\n  @")
+        assert excinfo.value.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_kw_and_is_sym(self):
+        kw, sym = tokenize("end ;")[:2]
+        assert kw.is_kw("end") and not kw.is_kw("begin")
+        assert sym.is_sym(";") and not sym.is_sym(":")

@@ -1,0 +1,121 @@
+"""The paper's figures, compiled verbatim and behaviour-checked.
+
+Figure 1 (milestones) and Figures 2-4 (make_rule) are carried in the
+library as DSL source; these tests pin their exact semantics so any
+compiler change that would alter the figures' behaviour fails loudly.
+"""
+
+import pytest
+
+from repro.core.atoms import TIME0
+from repro.core.database import Database
+from repro.dsl import compile_schema, parse
+from repro.env.make import figure4_schema_source
+from repro.env.milestones import MILESTONE_SCHEMA
+
+
+class TestFigure1:
+    @pytest.fixture
+    def db(self):
+        return Database(compile_schema(MILESTONE_SCHEMA))
+
+    def test_exp_compl_with_no_dependencies_is_local_work(self, db):
+        m = db.create("milestone", local_work=6, sched_compl=10)
+        # Figure 1: latest starts at TIME0, loop adds nothing.
+        assert db.get_attr(m, "exp_compl") == TIME0 + 6
+
+    def test_exp_compl_takes_latest_dependency(self, db):
+        early = db.create("milestone", local_work=3, sched_compl=5)
+        late = db.create("milestone", local_work=9, sched_compl=12)
+        sink = db.create("milestone", local_work=1, sched_compl=15)
+        db.connect(sink, "depends_on", early, "consists_of")
+        db.connect(sink, "depends_on", late, "consists_of")
+        # later_of picks the 9; + local work 1.
+        assert db.get_attr(sink, "exp_compl") == 10
+
+    def test_late_is_strict_comparison(self, db):
+        m = db.create("milestone", local_work=10, sched_compl=10)
+        # later_than(10, 10) is false: exactly on time is not late.
+        assert db.get_attr(m, "late") is False
+        db.set_attr(m, "local_work", 11)
+        assert db.get_attr(m, "late") is True
+
+    def test_exp_time_transmitted_equals_exp_compl(self, db):
+        m = db.create("milestone", local_work=4, sched_compl=9)
+        assert db.get_transmitted(m, "consists_of", "exp_time") == db.get_attr(
+            m, "exp_compl"
+        )
+
+    def test_transitive_ripple_matches_paper_narrative(self, db):
+        """'Changing the expected completion date for one milestone may have
+        effects that ripple throughout' -- three levels deep."""
+        a = db.create("milestone", local_work=5, sched_compl=10)
+        b = db.create("milestone", local_work=5, sched_compl=20)
+        c = db.create("milestone", local_work=5, sched_compl=30)
+        db.connect(b, "depends_on", a, "consists_of")
+        db.connect(c, "depends_on", b, "consists_of")
+        assert db.get_attr(c, "exp_compl") == 15
+        db.set_attr(a, "local_work", 25)
+        assert db.get_attr(c, "exp_compl") == 35
+        assert db.get_attr(c, "late") is True
+
+
+class TestFigures234:
+    def test_source_parses(self):
+        decl = parse(figure4_schema_source())
+        cls = decl.classes[0]
+        assert cls.name == "make_rule"
+        assert [p.name for p in cls.ports] == ["output", "depends_on"]
+        assert [a.name for a in cls.attrs] == ["file_name", "make_command"]
+        targets = [(r.target_port, r.target_value) for r in cls.rules]
+        assert targets == [("output", "mod_time"), ("output", "up_to_date")]
+
+    def test_figure3_youngest_semantics(self):
+        """mod_time = the latest of own file time and dependencies'."""
+        from repro.env.files import SimulatedFileSystem, make_default_runner
+        from repro.env.make import compile_figure4_schema
+
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        db = Database(compile_figure4_schema(fs, runner))
+        old = db.create("make_rule", file_name="old.c", make_command="")
+        new = db.create("make_rule", file_name="new.c", make_command="")
+        target = db.create("make_rule", file_name="t.o", make_command="")
+        fs.write("old.c", "1")
+        fs.write("new.c", "2")
+        fs.write("t.o", "3")
+        db.connect(target, "depends_on", old, "output")
+        db.connect(target, "depends_on", new, "output")
+        youngest = db.get_transmitted(target, "output", "mod_time")
+        assert youngest == fs.mod_time("t.o")  # t.o written last
+        fs.write("new.c", "2b")  # now new.c is the youngest
+        # External change: invalidate the file-derived values.
+        db.engine.invalidate_derived(
+            [(i, "output>mod_time") for i in (old, new, target)]
+        )
+        assert db.get_transmitted(target, "output", "mod_time") == fs.mod_time(
+            "new.c"
+        )
+
+    def test_figure4_runs_command_only_when_stale(self):
+        from repro.env.files import SimulatedFileSystem, make_default_runner
+        from repro.env.make import compile_figure4_schema
+
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        db = Database(compile_figure4_schema(fs, runner))
+        fs.write("src.c", "body")
+        src = db.create("make_rule", file_name="src.c", make_command="")
+        obj = db.create(
+            "make_rule", file_name="obj.o", make_command="cc -o obj.o src.c"
+        )
+        db.connect(obj, "depends_on", src, "output")
+        db.get_transmitted(obj, "output", "up_to_date")
+        assert runner.journal == ["cc -o obj.o src.c"]
+        # A second evaluation with a current target runs nothing.
+        db.engine.invalidate_derived(
+            [(src, "output>mod_time"), (src, "output>up_to_date"),
+             (obj, "output>mod_time"), (obj, "output>up_to_date")]
+        )
+        db.get_transmitted(obj, "output", "up_to_date")
+        assert runner.journal == ["cc -o obj.o src.c"]

@@ -1,0 +1,206 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.dsl import ast
+from repro.dsl.parser import parse
+from repro.errors import DslSyntaxError
+
+RELATIONSHIP = """
+relationship r is
+    v : time from plug default 3;
+end relationship;
+"""
+
+
+class TestRelationshipDecl:
+    def test_flows_parsed(self):
+        decl = parse(RELATIONSHIP)
+        rel = decl.relationships[0]
+        assert rel.name == "r"
+        flow = rel.flows[0]
+        assert (flow.value, flow.type_name, flow.sent_by, flow.default) == (
+            "v",
+            "time",
+            "plug",
+            3,
+        )
+
+    def test_negative_default(self):
+        decl = parse(
+            "relationship r is v : integer from socket default -1; end;"
+        )
+        assert decl.relationships[0].flows[0].default == -1
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse("relationship r is v : time from nowhere; end;")
+
+
+CLASS = RELATIONSHIP + """
+object class c is
+  relationships
+    ins : r multi socket;
+    outs : r plug;
+  attributes
+    x : integer;
+    d : integer derived;
+    s : string = "hi";
+  rules
+    d = x + 1;
+    outs v = d;
+  constraints
+    positive : x >= 0;
+end object;
+"""
+
+
+class TestClassDecl:
+    def test_sections_parsed(self):
+        cls = parse(CLASS).classes[0]
+        assert cls.name == "c"
+        assert [p.name for p in cls.ports] == ["ins", "outs"]
+        assert cls.ports[0].multi and not cls.ports[1].multi
+        assert [a.name for a in cls.attrs] == ["x", "d", "s"]
+        assert cls.attrs[1].derived
+        assert cls.attrs[2].default == "hi"
+        assert len(cls.rules) == 2
+        assert cls.constraints[0].name == "positive"
+
+    def test_transmit_rule_target(self):
+        cls = parse(CLASS).classes[0]
+        rule = cls.rules[1]
+        assert rule.target_port == "outs" and rule.target_value == "v"
+
+    def test_subtype_with_where(self):
+        decl = parse(
+            CLASS
+            + "object class big subtype of c where d > 10 is "
+            + "attributes flag : boolean; end object;"
+        )
+        sub = decl.classes[1]
+        assert sub.supertype == "c"
+        assert isinstance(sub.where, ast.Binary)
+
+    def test_plain_subclass(self):
+        decl = parse(CLASS + "object class sub subtype of c is end object;")
+        sub = decl.classes[1]
+        assert sub.supertype == "c" and sub.where is None
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(DslSyntaxError, match="section"):
+            parse("object class c is stuff end;")
+
+
+BLOCK_RULE = RELATIONSHIP + """
+object class c is
+  relationships
+    ins : r multi socket;
+  attributes
+    d : time derived;
+  rules
+    d = begin
+        acc : time;
+        acc := TIME0;
+        for each dep related to ins do
+            acc := later_of(acc, dep.v);
+        end for;
+        if acc > 100 then
+            return 100;
+        else
+            return acc;
+        end if;
+    end;
+end object;
+"""
+
+
+class TestStatements:
+    def test_block_rule_structure(self):
+        rule = parse(BLOCK_RULE).classes[0].rules[0]
+        body = rule.body
+        assert isinstance(body, ast.Block)
+        kinds = [type(s).__name__ for s in body.body]
+        assert kinds == ["VarDecl", "Assign", "ForEach", "If"]
+
+    def test_for_each_fields(self):
+        body = parse(BLOCK_RULE).classes[0].rules[0].body
+        loop = body.body[2]
+        assert loop.var == "dep" and loop.port == "ins"
+        assert isinstance(loop.body[0], ast.Assign)
+
+    def test_if_else_bodies(self):
+        body = parse(BLOCK_RULE).classes[0].rules[0].body
+        cond = body.body[3]
+        assert isinstance(cond.then_body[0], ast.Return)
+        assert isinstance(cond.else_body[0], ast.Return)
+
+    def test_expression_statement(self):
+        source = RELATIONSHIP + (
+            "object class c is relationships ins : r multi socket; "
+            "attributes d : integer derived; rules d = begin "
+            "void(1); return 0; end; end;"
+        )
+        body = parse(source).classes[0].rules[0].body
+        assert isinstance(body.body[0], ast.ExprStmt)
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        source = (
+            "object class c is attributes d : integer derived; "
+            f"rules d = {text}; end;"
+        )
+        return parse(source).classes[0].rules[0].body
+
+    def test_precedence_mul_over_add(self):
+        expr = self.parse_expr("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.parse_expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_comparison_canonicalised(self):
+        assert self.parse_expr("a = b").op == "=="
+        assert self.parse_expr("a <> b").op == "!="
+
+    def test_boolean_operators(self):
+        expr = self.parse_expr("a and b or not c")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+        assert expr.right.op == "not"
+
+    def test_unary_minus(self):
+        expr = self.parse_expr("-x + 1")
+        assert expr.op == "+" and expr.left.op == "-"
+
+    def test_call_with_args(self):
+        expr = self.parse_expr("later_of(a, b + 1)")
+        assert isinstance(expr, ast.Call)
+        assert expr.fn == "later_of" and len(expr.args) == 2
+
+    def test_field_ref(self):
+        expr = self.parse_expr("p.v")
+        assert isinstance(expr, ast.FieldRef)
+        assert (expr.base, expr.field_name) == ("p", "v")
+
+    def test_literals(self):
+        assert self.parse_expr("true").value is True
+        assert self.parse_expr("false").value is False
+        assert self.parse_expr('"text"').value == "text"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(DslSyntaxError):
+            parse("object class c is attributes x : integer end;")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(DslSyntaxError, match="relationship"):
+            parse("banana")
+
+    def test_error_reports_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            parse("object class c is\n  attributes\n    x integer;\nend;")
+        assert excinfo.value.line >= 2

@@ -1,0 +1,117 @@
+"""Pretty-printer round-trip tests."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.dsl import compile_schema
+from repro.dsl.printer import UnprintableRule, format_schema
+from repro.env.milestones import MILESTONE_SCHEMA
+from repro.env.project import PROJECT_SCHEMA
+
+
+def behaviour_fingerprint(schema) -> dict:
+    """A structural fingerprint: classes, attrs, ports, rule targets."""
+    result = {}
+    for name in sorted(schema.classes):
+        resolved = schema.resolved(name)
+        result[name] = (
+            sorted(resolved.attributes),
+            sorted(resolved.ports),
+            sorted(resolved.rule_for),
+            sorted(c.name for c in resolved.constraints),
+        )
+    return result
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [MILESTONE_SCHEMA, PROJECT_SCHEMA])
+    def test_structure_survives(self, source):
+        original = compile_schema(source)
+        printed = format_schema(original)
+        reparsed = compile_schema(printed)
+        assert behaviour_fingerprint(original) == behaviour_fingerprint(
+            reparsed
+        )
+
+    def test_milestone_behaviour_survives(self):
+        original = compile_schema(MILESTONE_SCHEMA)
+        reparsed = compile_schema(format_schema(original))
+        values = []
+        for schema in (original, reparsed):
+            db = Database(schema)
+            a = db.create("milestone", local_work=5, sched_compl=4)
+            b = db.create("milestone", local_work=2, sched_compl=10)
+            db.connect(b, "depends_on", a, "consists_of")
+            values.append(
+                (db.get_attr(b, "exp_compl"), db.get_attr(b, "late"))
+            )
+        assert values[0] == values[1] == (7, False)
+
+    def test_double_round_trip_stable(self):
+        schema1 = compile_schema(MILESTONE_SCHEMA)
+        text1 = format_schema(schema1)
+        text2 = format_schema(compile_schema(text1))
+        assert text1 == text2
+
+    def test_subtype_where_printed(self):
+        source = MILESTONE_SCHEMA + """
+        object class very_late_milestone subtype of milestone
+            where exp_compl > sched_compl + 10 is
+          attributes
+            note : string = "escalate";
+        end object;
+        """
+        printed = format_schema(compile_schema(source))
+        assert "subtype of milestone where" in printed
+        reparsed = compile_schema(printed)
+        db = Database(reparsed)
+        m = db.create("milestone", local_work=50, sched_compl=5)
+        assert db.is_member(m, "very_late_milestone")
+
+    def test_constraint_printed(self):
+        printed = format_schema(compile_schema(PROJECT_SCHEMA))
+        assert "nonnegative_cost : local_cost >= 0;" in printed
+
+
+class TestNativeRules:
+    def test_strict_rejects_native_rules(self):
+        from repro.workloads import sum_node_schema
+
+        with pytest.raises(UnprintableRule):
+            format_schema(sum_node_schema())
+
+    def test_lenient_emits_markers(self):
+        from repro.workloads import sum_node_schema
+
+        printed = format_schema(sum_node_schema(), strict=False)
+        assert "/* native rule */" in printed
+
+
+class TestExpressions:
+    def roundtrip_expr(self, expr_text):
+        source = (
+            "object class c is attributes x : integer; y : integer; "
+            f"d : integer; rules d = {expr_text}; end;"
+        )
+        printed = format_schema(compile_schema(source))
+        reparsed = compile_schema(printed)
+        rule1 = compile_schema(source).resolved("c").rule_for["d"]
+        rule2 = reparsed.resolved("c").rule_for["d"]
+        for x, y in [(1, 2), (5, 3), (-4, 0)]:
+            kwargs = {}
+            if "l_x" in rule1.inputs:
+                kwargs["l_x"] = x
+            if "l_y" in rule1.inputs:
+                kwargs["l_y"] = y
+            assert rule1.body(**kwargs) == rule2.body(**kwargs)
+
+    def test_precedence_preserved(self):
+        self.roundtrip_expr("x + y * 2")
+        self.roundtrip_expr("(x + y) * 2")
+        self.roundtrip_expr("x - (y - 1)")
+
+    def test_boolean_and_comparison(self):
+        self.roundtrip_expr("x > 0 and not (y > 0)")
+
+    def test_calls_and_constants(self):
+        self.roundtrip_expr("later_of(x, y) + TIME0")

@@ -1,0 +1,107 @@
+"""Query-language tests."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.dsl.query import compile_query, run_query
+from repro.env.milestones import MilestoneManager
+from repro.errors import DslCompileError, DslSyntaxError
+from repro.workloads import link, sum_node_schema
+
+
+@pytest.fixture
+def db():
+    db = Database(sum_node_schema(), pool_capacity=64)
+    for w in (1, 4, 7, 10):
+        db.create("node", weight=w)
+    return db
+
+
+class TestBasics:
+    def test_select_all(self, db):
+        assert run_query(db, "select node") == db.instances_of("node")
+
+    def test_where_intrinsic(self, db):
+        result = run_query(db, "select node where weight > 5")
+        assert [db.get_attr(i, "weight") for i in result] == [7, 10]
+
+    def test_where_derived(self, db):
+        nodes = db.instances_of("node")
+        link(db, nodes[0], nodes[1])  # totals: 1, 5, 7, 10
+        result = run_query(db, "select node where total >= 5")
+        assert [db.get_attr(i, "total") for i in result] == [5, 7, 10]
+
+    def test_where_boolean_logic(self, db):
+        result = run_query(
+            db, "select node where weight > 2 and not (weight == 7)"
+        )
+        assert [db.get_attr(i, "weight") for i in result] == [4, 10]
+
+    def test_where_with_builtin_function(self, db):
+        result = run_query(db, "select node where later_of(weight, 5) == 5")
+        assert [db.get_attr(i, "weight") for i in result] == [1, 4]
+
+
+class TestOrderingAndLimit:
+    def test_order_by_desc(self, db):
+        result = run_query(db, "select node order by weight desc")
+        assert [db.get_attr(i, "weight") for i in result] == [10, 7, 4, 1]
+
+    def test_order_default_ascending(self, db):
+        result = run_query(db, "select node where weight > 1 order by weight")
+        assert [db.get_attr(i, "weight") for i in result] == [4, 7, 10]
+
+    def test_limit(self, db):
+        result = run_query(db, "select node order by weight desc limit 2")
+        assert [db.get_attr(i, "weight") for i in result] == [10, 7]
+
+    def test_compiled_query_reusable(self, db):
+        query = compile_query(db.schema, "select node where weight >= 7")
+        assert len(query.run(db)) == 2
+        db.create("node", weight=99)
+        assert len(query.run(db)) == 3
+
+
+class TestOnApplications:
+    def test_late_milestones_query(self):
+        mm = MilestoneManager()
+        mm.add_milestone("a", scheduled=10, work=12)
+        mm.add_milestone("b", scheduled=10, work=3)
+        result = run_query(mm.db, "select milestone where late")
+        assert len(result) == 1
+
+    def test_order_by_expected_completion(self):
+        mm = MilestoneManager()
+        mm.add_milestone("a", scheduled=10, work=12)
+        mm.add_milestone("b", scheduled=10, work=3)
+        mm.add_milestone("c", scheduled=10, work=7)
+        result = run_query(
+            mm.db, "select milestone order by exp_compl desc limit 1"
+        )
+        assert mm.db.get_attr(result[0], "local_work") == 12
+
+
+class TestErrors:
+    def test_missing_select(self, db):
+        with pytest.raises(DslSyntaxError, match="select"):
+            run_query(db, "node where weight > 1")
+
+    def test_unknown_class(self, db):
+        with pytest.raises(DslCompileError, match="unknown object class"):
+            run_query(db, "select widget")
+
+    def test_unknown_attribute_in_where(self, db):
+        with pytest.raises(DslCompileError, match="unknown name"):
+            run_query(db, "select node where colour == 1")
+
+    def test_unknown_order_attribute(self, db):
+        with pytest.raises(DslCompileError, match="no attribute"):
+            run_query(db, "select node order by colour")
+
+    def test_trailing_garbage(self, db):
+        with pytest.raises(DslSyntaxError, match="unexpected token"):
+            run_query(db, "select node banana")
+
+    def test_limit_requires_integer(self, db):
+        with pytest.raises(DslSyntaxError, match="integer"):
+            run_query(db, "select node limit many")

@@ -1,0 +1,125 @@
+"""Simulated file system and command runner tests."""
+
+import pytest
+
+from repro.core.atoms import TIME_FUTURE
+from repro.env.files import (
+    FileError,
+    SimulatedFileSystem,
+    make_default_runner,
+    toy_compiler,
+)
+
+
+class TestFileSystem:
+    def test_write_and_read(self):
+        fs = SimulatedFileSystem()
+        fs.write("a.txt", "hello")
+        assert fs.read("a.txt") == "hello"
+        assert fs.exists("a.txt")
+
+    def test_mtimes_monotonic(self):
+        fs = SimulatedFileSystem()
+        t1 = fs.write("a", "1")
+        t2 = fs.write("b", "2")
+        t3 = fs.write("a", "3")
+        assert t1 < t2 < t3
+        assert fs.mod_time("a") == t3
+
+    def test_missing_file_mod_time_is_distant_future(self):
+        fs = SimulatedFileSystem()
+        assert fs.mod_time("ghost") == TIME_FUTURE
+
+    def test_touch_bumps_mtime_keeps_content(self):
+        fs = SimulatedFileSystem()
+        fs.write("a", "body")
+        old = fs.mod_time("a")
+        fs.touch("a")
+        assert fs.mod_time("a") > old
+        assert fs.read("a") == "body"
+
+    def test_touch_creates_empty_file(self):
+        fs = SimulatedFileSystem()
+        fs.touch("new")
+        assert fs.exists("new") and fs.read("new") == ""
+
+    def test_delete(self):
+        fs = SimulatedFileSystem()
+        fs.write("a", "x")
+        fs.delete("a")
+        assert not fs.exists("a")
+        with pytest.raises(FileError):
+            fs.delete("a")
+
+    def test_read_missing_raises(self):
+        fs = SimulatedFileSystem()
+        with pytest.raises(FileError):
+            fs.read("ghost")
+
+    def test_names_sorted(self):
+        fs = SimulatedFileSystem()
+        fs.write("b", "")
+        fs.write("a", "")
+        assert fs.names() == ["a", "b"]
+
+
+class TestCommandRunner:
+    def test_journal_records_commands(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        fs.write("x.c", "src")
+        runner.run("cc -o x.o x.c")
+        assert runner.commands_run() == ["cc -o x.o x.c"]
+        assert fs.exists("x.o")
+
+    def test_unknown_command_rejected(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        with pytest.raises(FileError, match="no handler"):
+            runner.run("rm -rf /")
+
+    def test_empty_command_rejected(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        with pytest.raises(FileError, match="empty"):
+            runner.run("   ")
+
+    def test_duplicate_handler_rejected(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        with pytest.raises(FileError):
+            runner.register("cc", toy_compiler)
+
+    def test_clear_journal(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        runner.run("touch a")
+        runner.clear_journal()
+        assert runner.commands_run() == []
+
+
+class TestToyCompiler:
+    def test_output_embeds_inputs(self):
+        fs = SimulatedFileSystem()
+        fs.write("a.c", "A")
+        fs.write("b.c", "B")
+        toy_compiler(fs, "cc -o out a.c b.c")
+        assert fs.read("out") == "compiled([a.c:A]+[b.c:B])"
+
+    def test_missing_input_rejected(self):
+        fs = SimulatedFileSystem()
+        with pytest.raises(FileError, match="missing input"):
+            toy_compiler(fs, "cc -o out ghost.c")
+
+    def test_bad_shape_rejected(self):
+        fs = SimulatedFileSystem()
+        with pytest.raises(FileError, match="parse"):
+            toy_compiler(fs, "cc out in")
+
+    def test_linker(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        fs.write("a.o", "OA")
+        fs.write("b.o", "OB")
+        runner.run("ld -o app a.o b.o")
+        assert fs.read("app") == "linked(OA+OB)"

@@ -1,0 +1,155 @@
+"""Make-facility tests (experiment E9): selective, ordered recompilation."""
+
+import pytest
+
+from repro.env.files import SimulatedFileSystem, make_default_runner
+from repro.env.make import Figure4Make, MakeError, MakeFacility
+
+
+@pytest.fixture
+def world():
+    fs = SimulatedFileSystem()
+    runner = make_default_runner(fs)
+    for src in ("a.c", "b.c", "lib.h"):
+        fs.write(src, f"src:{src}")
+    mk = MakeFacility(fs, runner)
+    mk.add_rule("lib.h")
+    mk.add_rule("a.c")
+    mk.add_rule("b.c")
+    mk.add_rule("a.o", "cc -o a.o a.c lib.h", depends_on=["a.c", "lib.h"])
+    mk.add_rule("b.o", "cc -o b.o b.c lib.h", depends_on=["b.c", "lib.h"])
+    mk.add_rule("app", "ld -o app a.o b.o", depends_on=["a.o", "b.o"])
+    return fs, runner, mk
+
+
+class TestInitialBuild:
+    def test_builds_everything_in_dependency_order(self, world):
+        fs, runner, mk = world
+        commands = mk.build("app")
+        assert commands[-1] == "ld -o app a.o b.o"
+        assert set(commands[:-1]) == {
+            "cc -o a.o a.c lib.h",
+            "cc -o b.o b.c lib.h",
+        }
+        assert fs.exists("app")
+
+    def test_second_build_is_noop(self, world):
+        __, __, mk = world
+        mk.build("app")
+        assert mk.build("app") == []
+
+    def test_partial_target(self, world):
+        fs, __, mk = world
+        commands = mk.build("a.o")
+        assert commands == ["cc -o a.o a.c lib.h"]
+        assert not fs.exists("app")
+
+
+class TestSelectiveRebuild:
+    def test_leaf_edit_rebuilds_only_affected(self, world):
+        fs, __, mk = world
+        mk.build("app")
+        fs.write("b.c", "src:b.c v2")
+        mk.note_file_changed("b.c")
+        commands = mk.build("app")
+        assert commands == ["cc -o b.o b.c lib.h", "ld -o app a.o b.o"]
+
+    def test_shared_header_rebuilds_both_objects(self, world):
+        fs, __, mk = world
+        mk.build("app")
+        fs.write("lib.h", "src:lib.h v2")
+        mk.note_file_changed("lib.h")
+        commands = mk.build("app")
+        assert len(commands) == 3  # both .o files plus the link
+
+    def test_out_of_date_report(self, world):
+        fs, __, mk = world
+        mk.build("app")
+        assert mk.out_of_date_targets() == []
+        fs.write("a.c", "v2")
+        mk.note_file_changed("a.c")
+        assert mk.out_of_date_targets() == ["a.o", "app"]
+
+    def test_deleted_intermediate_rebuilt(self, world):
+        fs, __, mk = world
+        mk.build("app")
+        fs.delete("a.o")
+        mk.note_file_changed("a.o")
+        commands = mk.build("app")
+        assert "cc -o a.o a.c lib.h" in commands
+
+    def test_needs_rebuild_is_derived(self, world):
+        fs, __, mk = world
+        mk.build("app")
+        assert not mk.needs_rebuild("app")
+        fs.write("a.c", "v3")
+        mk.note_file_changed("a.c")
+        # No explicit recomputation request anywhere in between: the
+        # database's incremental engine supplies the fresh answer.
+        assert mk.needs_rebuild("app")
+
+
+class TestErrors:
+    def test_unknown_target(self, world):
+        __, __, mk = world
+        with pytest.raises(MakeError, match="no rule"):
+            mk.build("ghost")
+
+    def test_duplicate_rule(self, world):
+        __, __, mk = world
+        with pytest.raises(MakeError, match="already exists"):
+            mk.add_rule("a.c")
+
+    def test_missing_source_without_command(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        mk = MakeFacility(fs, runner)
+        mk.add_rule("ghost.c")
+        mk.add_rule("x.o", "cc -o x.o ghost.c", depends_on=["ghost.c"])
+        with pytest.raises(Exception):
+            mk.build("x.o")
+
+    def test_dependency_cycle_rejected(self, world):
+        fs, runner, mk = world
+        # make_rule cycles are data cycles: the connect is refused.
+        from repro.errors import CycleError
+
+        with pytest.raises((MakeError, CycleError)):
+            mk.add_dependency("a.c", "app")
+            mk.build("app")
+
+
+class TestFigure4Literal:
+    @pytest.fixture
+    def f4_world(self):
+        fs = SimulatedFileSystem()
+        runner = make_default_runner(fs)
+        fs.write("x.c", "x src")
+        f4 = Figure4Make(fs, runner)
+        f4.add_rule("x.c")
+        f4.add_rule("x.o", "cc -o x.o x.c", depends_on=["x.c"])
+        f4.add_rule("prog", "ld -o prog x.o", depends_on=["x.o"])
+        return fs, runner, f4
+
+    def test_initial_build(self, f4_world):
+        fs, __, f4 = f4_world
+        commands = f4.build("prog")
+        assert commands == ["cc -o x.o x.c", "ld -o prog x.o"]
+        assert fs.exists("prog")
+
+    def test_noop_rebuild(self, f4_world):
+        __, __, f4 = f4_world
+        f4.build("prog")
+        assert f4.build("prog") == []
+
+    def test_selective_rebuild_after_edit(self, f4_world):
+        fs, __, f4 = f4_world
+        f4.build("prog")
+        fs.write("x.c", "x v2")
+        commands = f4.build("prog")
+        assert commands == ["cc -o x.o x.c", "ld -o prog x.o"]
+
+    def test_unknown_target(self, f4_world):
+        __, __, f4 = f4_world
+        with pytest.raises(MakeError):
+            f4.build("ghost")

@@ -1,0 +1,123 @@
+"""Milestone-manager tests (experiment E8, Figure 1)."""
+
+import pytest
+
+from repro.env.milestones import MilestoneError, MilestoneManager
+
+
+@pytest.fixture
+def project():
+    mm = MilestoneManager()
+    mm.add_milestone("design", scheduled=10, work=8)
+    mm.add_milestone("build", scheduled=25, work=12)
+    mm.add_milestone("test", scheduled=32, work=5)
+    mm.depends("build", "design")
+    mm.depends("test", "build")
+    return mm
+
+
+class TestFigure1Semantics:
+    def test_expected_completion_sums_chain(self, project):
+        assert project.expected("design") == 8
+        assert project.expected("build") == 20
+        assert project.expected("test") == 25
+
+    def test_late_flag(self, project):
+        assert not project.is_late("test")
+        project.slip("design", 10)
+        assert project.expected("test") == 35
+        assert project.is_late("test")
+
+    def test_ripple_through_diamond(self):
+        mm = MilestoneManager()
+        mm.add_milestone("root", scheduled=5, work=2)
+        mm.add_milestone("left", scheduled=10, work=3)
+        mm.add_milestone("right", scheduled=10, work=6)
+        mm.add_milestone("join", scheduled=20, work=1)
+        mm.depends("left", "root")
+        mm.depends("right", "root")
+        mm.depends("join", "left")
+        mm.depends("join", "right")
+        # join waits for the later of left (5) and right (8): 8 + 1 = 9.
+        assert mm.expected("join") == 9
+        mm.slip("left", 10)  # left now 15, becomes the critical input
+        assert mm.expected("join") == 16
+
+    def test_independent_milestone_untouched(self, project):
+        project.add_milestone("docs", scheduled=50, work=1)
+        project.slip("design", 100)
+        assert project.expected("docs") == 1
+
+    def test_drop_dependency(self, project):
+        project.drop_dependency("test", "build")
+        assert project.expected("test") == 5
+
+    def test_reschedule_changes_lateness_only(self, project):
+        project.slip("design", 10)
+        assert project.is_late("test")
+        project.reschedule("test", 40)
+        assert not project.is_late("test")
+        assert project.expected("test") == 35
+
+    def test_report_rows(self, project):
+        rows = project.report()
+        assert [r[0] for r in rows] == ["build", "design", "test"]
+        assert rows[1] == ("design", 10, 8, False)
+
+
+class TestCriticalPath:
+    def test_follows_latest_dependency(self, project):
+        project.add_milestone("docs", scheduled=100, work=1)
+        project.depends("test", "docs")
+        assert project.critical_path("test") == ["design", "build", "test"]
+        project.slip("docs", 30)  # docs (31) now dominates build (20)
+        assert project.critical_path("test") == ["docs", "test"]
+
+    def test_single_node_path(self, project):
+        assert project.critical_path("design") == ["design"]
+
+
+class TestVeryLateExtension:
+    def test_requires_activation(self, project):
+        with pytest.raises(MilestoneError, match="add_very_late_support"):
+            project.very_late_milestones()
+
+    def test_membership_tracks_threshold(self, project):
+        project.add_very_late_support(limit=5)
+        assert project.very_late_milestones() == []
+        project.slip("design", 7)  # design exp 15 vs sched 10: 5 over, not > 5
+        assert project.very_late_milestones() == []
+        project.slip("design", 1)  # now 6 over
+        assert "design" in project.very_late_milestones()
+
+    def test_existing_tools_unaffected(self, project):
+        """Section 4: the extension changes no tool code; the same slip()
+        entry point now also drives very_late membership."""
+        project.add_very_late_support(limit=3)
+        project.slip("build", 20)
+        assert project.is_late("build")  # old tool behaviour intact
+        assert "build" in project.very_late_milestones()
+        assert "test" in project.very_late_milestones()
+
+    def test_recovery_removes_membership(self, project):
+        project.add_very_late_support(limit=3)
+        project.slip("design", 10)
+        assert project.very_late_milestones() != []
+        project.set_work("design", 8)  # back to plan
+        assert project.very_late_milestones() == []
+
+
+class TestErrors:
+    def test_duplicate_name(self, project):
+        with pytest.raises(MilestoneError):
+            project.add_milestone("design", 1, 1)
+
+    def test_unknown_name(self, project):
+        with pytest.raises(MilestoneError):
+            project.expected("ghost")
+
+    def test_dependency_cycle_rejected(self, project):
+        from repro.errors import CycleError
+
+        with pytest.raises(CycleError):
+            project.depends("design", "test")

@@ -1,0 +1,82 @@
+"""Attribute-driven presentation tests."""
+
+import pytest
+
+from repro.env.presentation import ReportView
+from repro.workloads import build_chain, link
+
+
+@pytest.fixture
+def panel(db):
+    nodes = build_chain(db, 3)
+    view = ReportView(db, title="totals")
+    view.add_row("head", nodes[0], "total")
+    view.add_row("tail", nodes[-1], "total", fmt="{:>4}")
+    return db, nodes, view
+
+
+class TestRendering:
+    def test_initial_render(self, panel):
+        db, nodes, view = panel
+        text = view.render()
+        assert "[totals]" in text
+        assert "head : 1" in text
+        assert "tail :    3" in text
+
+    def test_render_reflects_any_mutation_path(self, panel):
+        db, nodes, view = panel
+        view.render()
+        db.set_attr(nodes[0], "weight", 10)  # a "tool" modifies the data
+        text = view.render()
+        assert "tail :   12" in text
+
+    def test_structural_change_reflected(self, panel):
+        db, nodes, view = panel
+        view.render()
+        extra = db.create("node", weight=100)
+        link(db, extra, nodes[-1])
+        assert "tail :  103" in view.render()
+
+    def test_refresh_log_only_on_change(self, panel):
+        db, nodes, view = panel
+        view.render()
+        view.render()
+        view.render()
+        assert len(view.refresh_log) == 1
+        db.set_attr(nodes[1], "weight", 5)
+        view.render()
+        assert len(view.refresh_log) == 2
+
+
+class TestEagerMaintenance:
+    def test_watched_rows_evaluated_during_waves(self, panel):
+        db, nodes, view = panel
+        view.render()
+        db.set_attr(nodes[0], "weight", 42)
+        # The panel's slots were important during the wave: already clean.
+        assert not db.engine.is_out_of_date((nodes[-1], "total"))
+
+    def test_staleness_signal(self, panel):
+        db, nodes, view = panel
+        view.render()
+        assert not view.is_stale()
+        db.set_attr(nodes[0], "weight", 9)
+        assert view.is_stale()
+        view.render()
+        assert not view.is_stale()
+
+
+class TestLifecycle:
+    def test_close_unwatches(self, panel):
+        db, nodes, view = panel
+        view.close()
+        db.set_attr(nodes[0], "weight", 9)
+        # No standing demand left: the slot stays lazily out of date.
+        assert db.engine.is_out_of_date((nodes[-1], "total"))
+
+    def test_remove_rows_for_instance(self, panel):
+        db, nodes, view = panel
+        view.remove_rows_for(nodes[0])
+        assert [r.iid for r in view.rows] == [nodes[-1]]
+        text = view.render()
+        assert "head" not in text

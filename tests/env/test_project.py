@@ -1,0 +1,93 @@
+"""Project master database tests."""
+
+import pytest
+
+from repro.env.project import ProjectDatabase, ProjectError
+from repro.errors import TransactionAborted
+
+
+@pytest.fixture
+def project():
+    p = ProjectDatabase()
+    p.add_component("system", cost=10)
+    p.add_component("backend", cost=20, parent="system")
+    p.add_component("frontend", cost=15, parent="system")
+    p.add_component("auth", cost=8, parent="backend")
+    return p
+
+
+class TestCostRollup:
+    def test_total_cost_recursive(self, project):
+        assert project.total_cost("auth") == 8
+        assert project.total_cost("backend") == 28
+        assert project.total_cost("system") == 53
+
+    def test_cost_change_ripples_up(self, project):
+        project.set_cost("auth", 30)
+        assert project.total_cost("backend") == 50
+        assert project.total_cost("system") == 75
+
+    def test_move_component_adjusts_both_sides(self, project):
+        project.move_component("auth", "frontend")
+        assert project.total_cost("backend") == 20
+        assert project.total_cost("frontend") == 23
+        assert project.total_cost("system") == 53  # overall unchanged
+
+    def test_move_to_root(self, project):
+        project.move_component("auth", None)
+        assert project.total_cost("system") == 45
+
+
+class TestBugTracking:
+    def test_open_bug_weight_aggregates(self, project):
+        project.file_bug("auth", "leak", severity=7)
+        project.file_bug("frontend", "typo", severity=1)
+        assert project.open_bug_weight("auth") == 7
+        assert project.open_bug_weight("backend") == 7
+        assert project.open_bug_weight("system") == 8
+
+    def test_health_thresholds(self, project):
+        assert project.health("system") == "green"
+        project.file_bug("auth", "minor", severity=2)
+        assert project.health("system") == "amber"
+        project.file_bug("auth", "major", severity=9)
+        assert project.health("system") == "red"
+
+    def test_closing_bug_restores_health(self, project):
+        bug = project.file_bug("auth", "leak", severity=12)
+        assert project.health("system") == "red"
+        project.close_bug(bug)
+        assert project.health("system") == "green"
+        project.reopen_bug(bug)
+        assert project.health("system") == "red"
+
+    def test_status_report(self, project):
+        project.file_bug("backend", "slow", severity=3)
+        rows = {row[0]: row for row in project.status_report()}
+        assert rows["backend"] == ("backend", 28, 3, "amber")
+        assert rows["auth"] == ("auth", 8, 0, "green")
+
+
+class TestConstraints:
+    def test_negative_cost_vetoed(self, project):
+        with pytest.raises(TransactionAborted):
+            project.set_cost("auth", -1)
+        assert project.total_cost("auth") == 8
+
+    def test_zero_severity_bug_vetoed(self, project):
+        with pytest.raises(TransactionAborted):
+            project.file_bug("auth", "non-bug", severity=0)
+
+
+class TestErrors:
+    def test_duplicate_component(self, project):
+        with pytest.raises(ProjectError):
+            project.add_component("auth")
+
+    def test_unknown_component(self, project):
+        with pytest.raises(ProjectError):
+            project.total_cost("ghost")
+
+    def test_unknown_bug(self, project):
+        with pytest.raises(ProjectError):
+            project.close_bug(99)

@@ -1,0 +1,103 @@
+"""Requirements-traceability tests."""
+
+import pytest
+
+from repro.env.traceability import TraceabilityError, TraceabilityMatrix
+
+
+@pytest.fixture
+def matrix():
+    m = TraceabilityMatrix()
+    m.add_requirement("login")
+    m.add_requirement("export")
+    m.add_component("auth", implements=["login"])
+    m.add_component("report-writer", implements=["export"])
+    return m
+
+
+class TestStatusDerivation:
+    def test_unimplemented_initially(self, matrix):
+        assert matrix.status("login") == "unimplemented"
+
+    def test_requirement_with_no_component_unimplemented(self, matrix):
+        matrix.add_requirement("audit")
+        assert matrix.status("audit") == "unimplemented"
+
+    def test_untested_once_done(self, matrix):
+        matrix.mark_done("auth")
+        assert matrix.status("login") == "untested"
+
+    def test_failing_then_verified(self, matrix):
+        matrix.mark_done("auth")
+        matrix.record_test("t-login-1", "login", passed=False)
+        assert matrix.status("login") == "failing"
+        matrix.record_test("t-login-1", "login", passed=True)
+        assert matrix.status("login") == "verified"
+
+    def test_all_tests_must_pass(self, matrix):
+        matrix.mark_done("auth")
+        matrix.record_test("a", "login", passed=True)
+        matrix.record_test("b", "login", passed=False)
+        assert matrix.status("login") == "failing"
+        matrix.record_test("b", "login", passed=True)
+        assert matrix.status("login") == "verified"
+
+    def test_multi_component_requirement(self, matrix):
+        matrix.add_component("session-store", implements=["login"])
+        matrix.mark_done("auth")
+        assert matrix.status("login") == "unimplemented"  # one of two done
+        matrix.mark_done("session-store")
+        assert matrix.status("login") == "untested"
+
+    def test_undone_component_regresses_status(self, matrix):
+        matrix.mark_done("auth")
+        matrix.record_test("t", "login", passed=True)
+        assert matrix.status("login") == "verified"
+        matrix.mark_done("auth", done=False)
+        assert matrix.status("login") == "unimplemented"
+
+
+class TestReporting:
+    def test_report_and_summary(self, matrix):
+        matrix.mark_done("auth")
+        matrix.record_test("t", "login", passed=True)
+        assert matrix.report() == [
+            ("export", "unimplemented"),
+            ("login", "verified"),
+        ]
+        assert matrix.summary() == {"unimplemented": 1, "verified": 1}
+        assert matrix.verified_fraction() == 0.5
+
+    def test_empty_matrix_fraction(self):
+        assert TraceabilityMatrix().verified_fraction() == 1.0
+
+
+class TestErrors:
+    def test_duplicates_rejected(self, matrix):
+        with pytest.raises(TraceabilityError):
+            matrix.add_requirement("login")
+        with pytest.raises(TraceabilityError):
+            matrix.add_component("auth", implements=[])
+
+    def test_unknown_names_rejected(self, matrix):
+        with pytest.raises(TraceabilityError):
+            matrix.status("ghost")
+        with pytest.raises(TraceabilityError):
+            matrix.mark_done("ghost")
+        with pytest.raises(TraceabilityError):
+            matrix.record_test("t", "ghost", passed=True)
+
+
+class TestIncrementalBehaviour:
+    def test_test_recording_touches_one_requirement(self, matrix):
+        matrix.mark_done("auth")
+        matrix.mark_done("report-writer")
+        matrix.status("login")
+        matrix.status("export")
+        before = matrix.db.engine.counters.snapshot()
+        matrix.record_test("t", "login", passed=True)
+        matrix.status("login")
+        matrix.status("export")
+        delta = matrix.db.engine.counters.delta_since(before)
+        # Only login's status (plus the new test's transmits) re-evaluated.
+        assert delta.rule_evaluations <= 4

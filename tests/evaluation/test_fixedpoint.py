@@ -1,0 +1,98 @@
+"""Unit tests for the circular (fixed-point) attribute system."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.evaluation.fixedpoint import (
+    CircularAttributeSystem,
+    FixedPointDivergence,
+)
+
+
+class TestAcyclic:
+    def test_simple_dependency(self):
+        system = CircularAttributeSystem()
+        system.set_value("x", 3)
+        system.define("y", ["x"], lambda x: x + 1, bottom=0)
+        values = system.solve()
+        assert values["y"] == 4
+
+    def test_chain(self):
+        system = CircularAttributeSystem()
+        system.set_value("a", 1)
+        system.define("b", ["a"], lambda a: a * 2, bottom=0)
+        system.define("c", ["b"], lambda b: b * 2, bottom=0)
+        assert system.solve()["c"] == 4
+
+
+class TestCyclic:
+    def test_mutual_sets_reach_fixed_point(self):
+        # in(a) = out(b) | {"seed"}; out(b) = in(a)  -- converges.
+        system = CircularAttributeSystem()
+        system.define(
+            "in_a", ["out_b"], lambda ob: (ob or frozenset()) | {"seed"},
+            bottom=frozenset(),
+        )
+        system.define(
+            "out_b", ["in_a"], lambda ia: ia or frozenset(), bottom=frozenset()
+        )
+        values = system.solve()
+        assert values["in_a"] == frozenset({"seed"})
+        assert values["out_b"] == frozenset({"seed"})
+
+    def test_loop_accumulates_to_closure(self):
+        # Transitive closure through a 3-cycle: each node contributes one
+        # element; at the fixed point every node sees all three.
+        system = CircularAttributeSystem()
+        names = ["n0", "n1", "n2"]
+        for i, name in enumerate(names):
+            prev = names[(i - 1) % 3]
+            system.define(
+                name,
+                [prev],
+                lambda p, i=i: (p or frozenset()) | {i},
+                bottom=frozenset(),
+            )
+        values = system.solve()
+        for name in names:
+            assert values[name] == frozenset({0, 1, 2})
+
+    def test_divergent_system_raises(self):
+        system = CircularAttributeSystem()
+        system.define("x", ["x"], lambda x: (x or 0) + 1, bottom=0)
+        with pytest.raises(FixedPointDivergence):
+            system.solve(max_rounds=50)
+
+    def test_iteration_count_reported(self):
+        system = CircularAttributeSystem()
+        system.define("a", ["b"], lambda b: min((b or 0) + 1, 5), bottom=0)
+        system.define("b", ["a"], lambda a: a or 0, bottom=0)
+        system.solve()
+        assert system.iterations >= 2
+        assert system.equation_firings >= system.iterations
+
+
+class TestMisuse:
+    def test_duplicate_definition_rejected(self):
+        system = CircularAttributeSystem()
+        system.define("x", [], lambda: 1, bottom=0)
+        with pytest.raises(SchemaError):
+            system.define("x", [], lambda: 2, bottom=0)
+
+    def test_intrinsic_conflicts_with_equation(self):
+        system = CircularAttributeSystem()
+        system.define("x", [], lambda: 1, bottom=0)
+        with pytest.raises(SchemaError):
+            system.set_value("x", 9)
+
+    def test_value_before_solve_raises(self):
+        system = CircularAttributeSystem()
+        system.define("x", [], lambda: 1, bottom=0)
+        with pytest.raises(SchemaError):
+            system.value("x")
+
+    def test_value_after_solve(self):
+        system = CircularAttributeSystem()
+        system.define("x", [], lambda: 1, bottom=0)
+        system.solve()
+        assert system.value("x") == 1

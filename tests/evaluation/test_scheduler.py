@@ -1,0 +1,120 @@
+"""Unit tests for the chunk scheduler."""
+
+from repro.evaluation.scheduler import Chunk, ChunkScheduler
+
+
+def make_scheduler(resident=frozenset(), policy="greedy", blocks=None):
+    blocks = blocks or {}
+    return ChunkScheduler(
+        is_resident=lambda iid: iid in resident,
+        block_of=lambda iid: blocks.get(iid, iid),
+        policy=policy,
+    )
+
+
+class TestBasicExecution:
+    def test_runs_all_chunks(self):
+        sched = make_scheduler()
+        ran = []
+        for i in range(5):
+            sched.schedule(Chunk(lambda i=i: ran.append(i), iid=i))
+        assert sched.run_to_exhaustion() == 5
+        assert sorted(ran) == [0, 1, 2, 3, 4]
+
+    def test_chunks_scheduled_during_execution_run(self):
+        sched = make_scheduler()
+        ran = []
+
+        def outer():
+            ran.append("outer")
+            sched.schedule(Chunk(lambda: ran.append("inner"), iid=2))
+
+        sched.schedule(Chunk(outer, iid=1))
+        sched.run_to_exhaustion()
+        assert ran == ["outer", "inner"]
+
+    def test_idle_property(self):
+        sched = make_scheduler()
+        assert sched.idle
+        sched.schedule(Chunk(lambda: None, iid=1))
+        assert not sched.idle
+        sched.run_to_exhaustion()
+        assert sched.idle
+
+
+class TestPriorities:
+    def test_greedy_runs_cheapest_first(self):
+        sched = make_scheduler()
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("expensive"), iid=1, priority=9.0))
+        sched.schedule(Chunk(lambda: ran.append("cheap"), iid=2, priority=0.5))
+        sched.run_to_exhaustion()
+        assert ran == ["cheap", "expensive"]
+
+    def test_resident_chunks_run_before_cheap_nonresident(self):
+        sched = make_scheduler(resident={7})
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("cheap"), iid=1, priority=0.0))
+        sched.schedule(Chunk(lambda: ran.append("resident"), iid=7, priority=99.0))
+        sched.run_to_exhaustion()
+        assert ran == ["resident", "cheap"]
+
+    def test_user_requests_preempt_other_queue_work(self):
+        sched = make_scheduler()
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("normal"), iid=1, priority=0.0))
+        sched.schedule(
+            Chunk(lambda: ran.append("user"), iid=2, priority=5.0, user_request=True)
+        )
+        sched.run_to_exhaustion()
+        assert ran == ["user", "normal"]
+
+    def test_fifo_policy_order(self):
+        sched = make_scheduler(policy="fifo")
+        ran = []
+        for i in range(4):
+            sched.schedule(Chunk(lambda i=i: ran.append(i), iid=i, priority=4 - i))
+        sched.run_to_exhaustion()
+        assert ran == [0, 1, 2, 3]
+
+    def test_lifo_policy_order(self):
+        sched = make_scheduler(policy="lifo")
+        ran = []
+        for i in range(4):
+            sched.schedule(Chunk(lambda i=i: ran.append(i), iid=i))
+        sched.run_to_exhaustion()
+        assert ran == [3, 2, 1, 0]
+
+    def test_unknown_policy_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_scheduler(policy="random")
+
+
+class TestBlockPromotion:
+    def test_on_block_loaded_promotes(self):
+        blocks = {1: 10, 2: 20}
+        sched = make_scheduler(blocks=blocks)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("a"), iid=1, priority=1.0))
+        sched.schedule(Chunk(lambda: ran.append("b"), iid=2, priority=0.5))
+        # Block 10 (holding instance 1) becomes resident: promote.
+        sched.on_block_loaded(10)
+        sched.run_to_exhaustion()
+        assert ran == ["a", "b"]
+
+    def test_promotion_does_not_duplicate_execution(self):
+        blocks = {1: 10}
+        sched = make_scheduler(blocks=blocks)
+        count = [0]
+        sched.schedule(Chunk(lambda: count.__setitem__(0, count[0] + 1), iid=1))
+        sched.on_block_loaded(10)
+        sched.run_to_exhaustion()
+        assert count[0] == 1
+
+    def test_clear_drops_everything(self):
+        sched = make_scheduler()
+        sched.schedule(Chunk(lambda: None, iid=1))
+        sched.clear()
+        assert sched.run_to_exhaustion() == 0

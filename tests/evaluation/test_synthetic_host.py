@@ -1,0 +1,124 @@
+"""The engine against a minimal synthetic host.
+
+Validates the :class:`~repro.evaluation.host.EvaluationHost` contract
+independently of the full database: a hand-wired host with three slots
+(one intrinsic, two derived) drives marking, demand, collection, and the
+constraint callback exactly as documented.
+"""
+
+import pytest
+
+from repro.core.rules import AttributeTarget, Local, Rule
+from repro.errors import ConstraintViolation
+from repro.evaluation.engine import IncrementalEngine
+from repro.evaluation.host import DepBinding
+from repro.graph.depgraph import DependencyGraph
+from repro.storage.manager import StorageManager
+
+
+class SyntheticHost:
+    """Three slots on one instance: x (intrinsic) -> d -> q."""
+
+    def __init__(self) -> None:
+        self.depgraph = DependencyGraph()
+        self.storage = StorageManager(block_capacity=256, pool_capacity=4)
+        self.usage = self.storage.usage
+        self.values = {(1, "x"): 10}
+        self.rules = {
+            (1, "d"): Rule(
+                AttributeTarget("d"), {"x": Local("x")}, lambda x: x * 2
+            ),
+            (1, "q"): Rule(
+                AttributeTarget("q"), {"d": Local("d")}, lambda d: d + 1
+            ),
+        }
+        self.depgraph.add_edge((1, "x"), (1, "d"))
+        self.depgraph.add_edge((1, "d"), (1, "q"))
+        self.storage.place(1, 64)
+        self.constraint_results = []
+
+    def rule_for(self, slot):
+        return self.rules.get(slot)
+
+    def resolved_inputs(self, slot):
+        rule = self.rules[slot]
+        return [
+            DepBinding(kw=kw, slots=[(slot[0], decl.attr)])
+            for kw, decl in rule.inputs.items()
+        ]
+
+    def read_slot_value(self, slot):
+        return self.values[slot]
+
+    def write_slot_value(self, slot, value):
+        self.values[slot] = value
+
+    def has_slot_value(self, slot):
+        return slot in self.values
+
+    def receive_port_between(self, consumer, producer):
+        return None  # single instance: all edges are local
+
+    def handle_constraint_result(self, slot, holds):
+        self.constraint_results.append((slot, holds))
+        if not holds:
+            raise ConstraintViolation("synthetic", slot[0])
+
+    def handle_subtype_result(self, slot, member):
+        raise AssertionError("no subtype slots in this host")
+
+
+class TestContract:
+    def test_demand_pulls_the_chain(self):
+        host = SyntheticHost()
+        engine = IncrementalEngine(host)
+        assert engine.demand((1, "q")) == 21
+        assert host.values[(1, "d")] == 20
+
+    def test_marking_then_lazy_recompute(self):
+        host = SyntheticHost()
+        engine = IncrementalEngine(host)
+        engine.demand((1, "q"))
+        host.values[(1, "x")] = 100
+        engine.propagate_intrinsic_change((1, "x"))
+        assert engine.is_out_of_date((1, "d"))
+        assert engine.is_out_of_date((1, "q"))
+        assert host.values[(1, "d")] == 20  # unchanged until demanded
+        assert engine.demand((1, "q")) == 201
+        assert not engine.is_out_of_date((1, "d"))
+
+    def test_each_slot_evaluated_once_per_wave(self):
+        host = SyntheticHost()
+        engine = IncrementalEngine(host)
+        engine.demand((1, "q"))
+        host.values[(1, "x")] = 3
+        engine.propagate_intrinsic_change((1, "x"))
+        before = engine.counters.snapshot()
+        engine.demand((1, "q"))
+        assert engine.counters.delta_since(before).rule_evaluations == 2
+
+    def test_constraint_callback_invoked(self):
+        host = SyntheticHost()
+        host.rules[(1, "__constraint__cap")] = Rule(
+            AttributeTarget("__constraint__cap"),
+            {"d": Local("d")},
+            lambda d: d < 1000,
+        )
+        host.depgraph.add_edge((1, "d"), (1, "__constraint__cap"))
+        engine = IncrementalEngine(host)
+        assert engine.demand((1, "__constraint__cap")) is True
+        assert host.constraint_results == [((1, "__constraint__cap"), True)]
+        host.values[(1, "x")] = 10_000
+        with pytest.raises(ConstraintViolation):
+            engine.propagate_intrinsic_change((1, "x"))
+
+    def test_standing_demand_is_important(self):
+        host = SyntheticHost()
+        engine = IncrementalEngine(host)
+        engine.demand((1, "q"))
+        engine.register_demand((1, "q"))
+        host.values[(1, "x")] = 4
+        engine.propagate_intrinsic_change((1, "x"))
+        # The watched slot was evaluated during the wave.
+        assert host.values[(1, "q")] == 9
+        assert not engine.is_out_of_date((1, "q"))

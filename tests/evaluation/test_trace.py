@@ -1,0 +1,66 @@
+"""Wave-tracer tests."""
+
+from repro.core.database import Database
+from repro.evaluation.trace import WaveTracer
+from repro.workloads import build_chain, sum_node_schema
+
+
+def fresh_db():
+    return Database(sum_node_schema(), pool_capacity=256)
+
+
+class TestTracing:
+    def test_records_marks_and_evaluations(self):
+        db = fresh_db()
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")
+        with WaveTracer(db) as trace:
+            db.set_attr(nodes[0], "weight", 9)
+            db.get_attr(nodes[-1], "total")
+        assert (nodes[0], "weight") in trace.seeds
+        assert (nodes[-1], "total") in [s for s in trace.marked]
+        assert (nodes[-1], "total") in trace.evaluated_slots()
+        assert trace.value_of((nodes[-1], "total")) == 12
+
+    def test_behaviour_unchanged_after_exit(self):
+        db = fresh_db()
+        nodes = build_chain(db, 3)
+        with WaveTracer(db):
+            db.set_attr(nodes[0], "weight", 5)
+        # After the tracer detaches, everything still works and nothing
+        # further is recorded.
+        db.set_attr(nodes[0], "weight", 7)
+        assert db.get_attr(nodes[-1], "total") == 9
+
+    def test_marks_within_could_change_bound(self):
+        db = fresh_db()
+        nodes = build_chain(db, 10)
+        db.get_attr(nodes[-1], "total")
+        tracer = WaveTracer(db)
+        with tracer as trace:
+            db.set_attr(nodes[3], "weight", 2)
+        nodes_bound, edges_bound = tracer.could_change_bound()
+        assert len(trace.marked) <= nodes_bound
+
+    def test_disk_counters_captured(self):
+        db = Database(sum_node_schema(), block_capacity=256, pool_capacity=2)
+        nodes = build_chain(db, 30)
+        db.storage.buffer.clear()
+        with WaveTracer(db) as trace:
+            db.get_attr(nodes[-1], "total")
+        assert trace.disk_reads > 0
+
+    def test_summary_renders(self):
+        db = fresh_db()
+        nodes = build_chain(db, 2)
+        with WaveTracer(db) as trace:
+            db.set_attr(nodes[0], "weight", 3)
+            db.get_attr(nodes[-1], "total")
+        text = trace.summary()
+        assert "seed" in text and "marked" in text and "evaluated" in text
+
+    def test_no_activity_trace_empty(self):
+        db = fresh_db()
+        with WaveTracer(db) as trace:
+            pass
+        assert trace.marked == [] and trace.evaluated == []

@@ -1,0 +1,128 @@
+"""CFG construction and dataflow analysis tests (experiment E11)."""
+
+from repro.env.flow import (
+    build_cfg,
+    dead_stores,
+    live_variables,
+    parse_program,
+    reaching_definitions,
+    uninitialized_uses,
+)
+
+
+def cfg_of(source):
+    return build_cfg(parse_program(source))
+
+
+class TestCfg:
+    def test_straight_line(self):
+        cfg = cfg_of("x = 1; y = x; print(y);")
+        stmts = cfg.statement_nodes()
+        assert [n.kind for n in stmts] == ["assign", "assign", "print"]
+        assert not cfg.has_cycle()
+
+    def test_if_creates_two_paths(self):
+        cfg = cfg_of("if (x > 0) { y = 1; } print(y);")
+        cond = next(n for n in cfg.statement_nodes() if n.kind == "cond")
+        assert len(cond.successors) == 2  # then-branch and fall-through
+
+    def test_while_creates_back_edge(self):
+        cfg = cfg_of("while (i < 3) { i = i + 1; }")
+        assert cfg.has_cycle()
+
+    def test_defs_and_uses_recorded(self):
+        cfg = cfg_of("x = y + 1;")
+        node = cfg.statement_nodes()[0]
+        assert node.defines == "x"
+        assert node.uses == frozenset({"y"})
+
+    def test_entry_exit_wiring(self):
+        cfg = cfg_of("x = 1;")
+        assert cfg.nodes[cfg.entry].successors
+        assert cfg.nodes[cfg.exit].predecessors
+
+
+class TestReachingDefinitions:
+    def test_straight_line_reaches(self):
+        cfg = cfg_of("x = 1; y = x;")
+        rd = reaching_definitions(cfg)
+        use = cfg.statement_nodes()[1]
+        def_node = cfg.statement_nodes()[0]
+        assert rd.definitions_reaching(use.node_id, "x") == {def_node.node_id}
+
+    def test_redefinition_kills(self):
+        cfg = cfg_of("x = 1; x = 2; y = x;")
+        rd = reaching_definitions(cfg)
+        use = cfg.statement_nodes()[2]
+        second_def = cfg.statement_nodes()[1]
+        assert rd.definitions_reaching(use.node_id, "x") == {second_def.node_id}
+
+    def test_branches_merge(self):
+        cfg = cfg_of("if (c > 0) { x = 1; } else { x = 2; } y = x;")
+        rd = reaching_definitions(cfg)
+        use = next(n for n in cfg.statement_nodes() if n.defines == "y")
+        assert len(rd.definitions_reaching(use.node_id, "x")) == 2
+
+    def test_loop_def_reaches_condition(self):
+        cfg = cfg_of("i = 0; while (i < 3) { i = i + 1; }")
+        rd = reaching_definitions(cfg)
+        cond = next(n for n in cfg.statement_nodes() if n.kind == "cond")
+        # Both the initial def and the loop-body def reach the condition.
+        assert len(rd.definitions_reaching(cond.node_id, "i")) == 2
+
+
+class TestLiveVariables:
+    def test_variable_live_until_last_use(self):
+        cfg = cfg_of("x = 1; print(x);")
+        lv = live_variables(cfg)
+        def_node = cfg.statement_nodes()[0]
+        assert "x" in lv.live_out[def_node.node_id]
+
+    def test_dead_after_final_use(self):
+        cfg = cfg_of("x = 1; print(x); y = 2;")
+        lv = live_variables(cfg)
+        print_node = cfg.statement_nodes()[1]
+        assert "x" not in lv.live_out[print_node.node_id]
+
+    def test_loop_variable_live_around_loop(self):
+        cfg = cfg_of("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        lv = live_variables(cfg)
+        body = next(n for n in cfg.statement_nodes() if n.defines == "i" and n.uses)
+        assert "i" in lv.live_out[body.node_id]
+
+
+class TestDiagnostics:
+    def test_uninitialized_use_detected(self):
+        findings = uninitialized_uses(cfg_of("print(y);"))
+        assert len(findings) == 1
+        assert "y" in findings[0].message
+
+    def test_conditional_initialisation_flagged(self):
+        findings = uninitialized_uses(
+            cfg_of("if (c > 0) { x = 1; } print(x);")
+        )
+        # The condition reads 'c' (never assigned) and 'x' may be unset.
+        flagged = {f.message.split("'")[1] for f in findings}
+        assert "c" in flagged
+        # x *has* a reaching definition along one path, so the may-analysis
+        # does not flag it; this is reaching-defs semantics.
+        assert "x" not in flagged
+
+    def test_clean_program_no_findings(self):
+        findings = uninitialized_uses(cfg_of("x = 1; print(x);"))
+        assert findings == []
+
+    def test_dead_store_detected(self):
+        findings = dead_stores(cfg_of("x = 1; x = 2; print(x);"))
+        assert len(findings) == 1
+        assert findings[0].label == "x = 1"
+
+    def test_store_used_in_loop_not_dead(self):
+        findings = dead_stores(
+            cfg_of("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        )
+        assert findings == []
+
+    def test_trailing_store_is_dead(self):
+        findings = dead_stores(cfg_of("x = 1; print(x); x = 2;"))
+        assert [f.label for f in findings] == ["x = 2"]

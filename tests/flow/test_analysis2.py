@@ -1,0 +1,113 @@
+"""Constant propagation and available expressions tests."""
+
+from repro.env.flow import (
+    attach_rhs_asts,
+    available_expressions,
+    build_cfg,
+    constant_folds,
+    constant_propagation,
+    parse_program,
+    redundant_computations,
+)
+
+
+def analysed_cfg(source):
+    program = parse_program(source)
+    cfg = build_cfg(program)
+    attach_rhs_asts(cfg, program)
+    return cfg
+
+
+class TestConstantPropagation:
+    def test_straight_line_constants(self):
+        cfg = analysed_cfg("x = 2; y = x + 3; z = y * 2;")
+        cp = constant_propagation(cfg)
+        z_node = next(n for n in cfg.statement_nodes() if n.defines == "z")
+        assert cp.constant_at(z_node.node_id, "y") == 5
+
+    def test_branch_conflict_becomes_top(self):
+        cfg = analysed_cfg(
+            "if (c > 0) { x = 1; } else { x = 2; } y = x;"
+        )
+        cp = constant_propagation(cfg)
+        y_node = next(n for n in cfg.statement_nodes() if n.defines == "y")
+        assert cp.constant_at(y_node.node_id, "x") is None
+
+    def test_branch_agreement_stays_constant(self):
+        cfg = analysed_cfg(
+            "if (c > 0) { x = 7; } else { x = 7; } y = x;"
+        )
+        cp = constant_propagation(cfg)
+        y_node = next(n for n in cfg.statement_nodes() if n.defines == "y")
+        assert cp.constant_at(y_node.node_id, "x") == 7
+
+    def test_loop_modified_variable_is_top(self):
+        cfg = analysed_cfg("i = 0; while (i < 3) { i = i + 1; } y = i;")
+        cp = constant_propagation(cfg)
+        y_node = next(n for n in cfg.statement_nodes() if n.defines == "y")
+        assert cp.constant_at(y_node.node_id, "i") is None
+
+    def test_loop_invariant_stays_constant(self):
+        cfg = analysed_cfg(
+            "k = 5; i = 0; while (i < 3) { i = i + k; } y = k;"
+        )
+        cp = constant_propagation(cfg)
+        y_node = next(n for n in cfg.statement_nodes() if n.defines == "y")
+        assert cp.constant_at(y_node.node_id, "k") == 5
+
+    def test_constant_folds_found(self):
+        cfg = analysed_cfg("x = 2; y = x * 10; z = y + unknown;")
+        folds = dict(
+            (label, value) for __, label, value in constant_folds(cfg)
+        )
+        assert folds["x = 2"] == 2
+        assert folds["y = (x * 10)"] == 20
+        assert not any("unknown" in label for label in folds)
+
+    def test_division_by_zero_not_folded(self):
+        cfg = analysed_cfg("x = 0; y = 10 / x;")
+        folds = [label for __, label, __ in constant_folds(cfg)]
+        assert "x = 0" in folds
+        assert not any(label.startswith("y") for label in folds)
+
+
+class TestAvailableExpressions:
+    def test_recomputed_expression_available(self):
+        cfg = analysed_cfg("a = x + y; b = x + y;")
+        redundant = redundant_computations(cfg)
+        assert any(expr == "(x + y)" for __, __, expr in redundant)
+
+    def test_redefinition_kills_availability(self):
+        cfg = analysed_cfg("a = x + y; x = 1; b = x + y;")
+        redundant = redundant_computations(cfg)
+        assert not any(expr == "(x + y)" for __, __, expr in redundant)
+
+    def test_must_semantics_across_branches(self):
+        # Computed on only one branch: not available afterwards.
+        cfg = analysed_cfg(
+            "if (c > 0) { a = x + y; } b = x + y;"
+        )
+        redundant = redundant_computations(cfg)
+        b_hits = [r for r in redundant if r[1].startswith("b")]
+        assert b_hits == []
+
+    def test_available_when_computed_on_all_branches(self):
+        cfg = analysed_cfg(
+            "if (c > 0) { a = x + y; } else { d = x + y; } b = x + y;"
+        )
+        redundant = redundant_computations(cfg)
+        assert any(r[1].startswith("b") for r in redundant)
+
+    def test_loop_invariant_available_on_back_edge(self):
+        cfg = analysed_cfg(
+            "a = x + y; i = 0; while (i < 3) { b = x + y; i = i + 1; }"
+        )
+        redundant = redundant_computations(cfg)
+        assert any(r[1].startswith("b") for r in redundant)
+
+    def test_analysis_converges(self):
+        cfg = analysed_cfg(
+            "i = 0; while (i < 9) { j = 0; while (j < 9) { j = j + 1; } i = i + 1; }"
+        )
+        result = available_expressions(cfg)
+        assert result.iterations >= 2

@@ -1,0 +1,71 @@
+"""Mini-language parser tests."""
+
+import pytest
+
+from repro.env.flow import minilang as ml
+from repro.errors import DslSyntaxError
+
+
+class TestParsing:
+    def test_assignment(self):
+        prog = ml.parse_program("x = 1 + 2 * 3;")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ml.Assign)
+        assert stmt.name == "x"
+        assert isinstance(stmt.value, ml.BinOp) and stmt.value.op == "+"
+
+    def test_if_else(self):
+        prog = ml.parse_program("if (x > 0) { y = 1; } else { y = 2; }")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ml.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        prog = ml.parse_program("if (x > 0) { y = 1; }")
+        assert prog.body[0].else_body == ()
+
+    def test_while(self):
+        prog = ml.parse_program("while (i < 10) { i = i + 1; }")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ml.While)
+        assert isinstance(stmt.body[0], ml.Assign)
+
+    def test_print(self):
+        prog = ml.parse_program("print(x + 1);")
+        assert isinstance(prog.body[0], ml.Print)
+
+    def test_nested_blocks(self):
+        prog = ml.parse_program(
+            "while (a < 3) { if (b == 0) { b = 1; } a = a + 1; }"
+        )
+        loop = prog.body[0]
+        assert isinstance(loop.body[0], ml.If)
+        assert isinstance(loop.body[1], ml.Assign)
+
+    def test_parenthesised_expression(self):
+        prog = ml.parse_program("x = (1 + 2) * 3;")
+        assert prog.body[0].value.op == "*"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(DslSyntaxError):
+            ml.parse_program("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            ml.parse_program("while (1 < 2) { x = 1;")
+
+    def test_garbage(self):
+        with pytest.raises(DslSyntaxError):
+            ml.parse_program("$$$")
+
+
+class TestVariablesUsed:
+    def test_collects_reads(self):
+        prog = ml.parse_program("x = a + b * a;")
+        assert ml.variables_used(prog.body[0].value) == {"a", "b"}
+
+    def test_constants_have_no_variables(self):
+        prog = ml.parse_program("x = 1 + 2;")
+        assert ml.variables_used(prog.body[0].value) == set()

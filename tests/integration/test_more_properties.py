@@ -1,0 +1,145 @@
+"""Additional property-based suites: versions, clustering, DSL round trips."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.database import Database
+from repro.dsl import compile_schema
+from repro.dsl.printer import format_schema
+from repro.storage.clustering import greedy_cluster
+from repro.storage.usage import UsageStats
+from repro.versions import VersionStream
+from repro.workloads import build_random_dag, sum_node_schema
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=25,
+)
+
+
+class TestVersionProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=9999),
+    )
+    @settings(**COMMON)
+    def test_every_version_restores_its_exact_state(
+        self, n_versions, edits_per_version, seed
+    ):
+        db = Database(sum_node_schema(), pool_capacity=256)
+        stream = VersionStream(db)
+        nodes = build_random_dag(db, 10, 0.3, seed=seed)
+        rng = random.Random(seed)
+        states = {}
+        stream.tag("v0")
+        states["v0"] = [db.get_attr(n, "total") for n in nodes]
+        for v in range(1, n_versions + 1):
+            for __ in range(edits_per_version):
+                db.set_attr(rng.choice(nodes), "weight", rng.randrange(100))
+            name = f"v{v}"
+            stream.tag(name)
+            states[name] = [db.get_attr(n, "total") for n in nodes]
+        # Visit versions in a random order; each must restore exactly.
+        names = list(states)
+        rng.shuffle(names)
+        for name in names:
+            stream.checkout(name)
+            assert [db.get_attr(n, "total") for n in nodes] == states[name]
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=9999),
+    )
+    @settings(**COMMON)
+    def test_branches_are_independent(self, n_branches, seed):
+        db = Database(sum_node_schema(), pool_capacity=256)
+        stream = VersionStream(db)
+        nodes = build_random_dag(db, 6, 0.3, seed=seed)
+        stream.tag("base")
+        rng = random.Random(seed)
+        expected = {}
+        for branch in range(n_branches):
+            stream.checkout("base")
+            target = rng.choice(nodes)
+            value = 1000 + branch
+            db.set_attr(target, "weight", value)
+            name = f"branch{branch}"
+            stream.tag(name)
+            expected[name] = (target, value)
+        for name, (target, value) in expected.items():
+            stream.checkout(name)
+            assert db.get_attr(target, "weight") == value
+
+
+class TestClusteringProperties:
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=9999),
+        st.integers(min_value=40, max_value=200),
+    )
+    @settings(**COMMON)
+    def test_layout_is_a_partition_respecting_capacity(
+        self, n_instances, seed, capacity
+    ):
+        rng = random.Random(seed)
+        sizes = {
+            iid: rng.randrange(10, min(40, capacity) + 1)
+            for iid in range(n_instances)
+        }
+        edges = [
+            (rng.randrange(n_instances), rng.randrange(n_instances))
+            for __ in range(n_instances)
+        ]
+        adjacency: dict[int, list] = {}
+        for a, b in edges:
+            if a != b:
+                adjacency.setdefault(a, []).append(("p", b))
+                adjacency.setdefault(b, []).append(("p", a))
+        usage = UsageStats()
+        for __ in range(n_instances):
+            usage.note_instance_access(rng.randrange(n_instances))
+        layout = greedy_cluster(
+            sizes, lambda i: adjacency.get(i, []), usage, capacity
+        )
+        flat = [iid for group in layout for iid in group]
+        assert sorted(flat) == sorted(sizes)  # partition: all, exactly once
+        for group in layout:
+            assert sum(sizes[i] for i in group) <= capacity
+
+
+class TestDslRoundTripProperties:
+    @st.composite
+    def expression(draw, depth=0):
+        if depth > 3 or draw(st.booleans()):
+            return draw(
+                st.sampled_from(["x", "y", "1", "2", "10", "TIME0"])
+            )
+        op = draw(st.sampled_from(["+", "-", "*", "and", "or", "<", ">="]))
+        left = draw(TestDslRoundTripProperties.expression(depth=depth + 1))
+        right = draw(TestDslRoundTripProperties.expression(depth=depth + 1))
+        if op in ("and", "or"):
+            return f"({left} > 0 {op} {right} > 0)"
+        return f"({left} {op} {right})"
+
+    @given(expression())
+    @settings(**COMMON)
+    def test_print_parse_preserves_semantics(self, expr_text):
+        source = (
+            "object class c is attributes x : integer; y : integer; "
+            f"d : integer; rules d = {expr_text}; end;"
+        )
+        original = compile_schema(source)
+        reparsed = compile_schema(format_schema(original))
+        rule_a = original.resolved("c").rule_for["d"]
+        rule_b = reparsed.resolved("c").rule_for["d"]
+        for x in (0, 1, 7):
+            for y in (0, 3):
+                kwargs = {}
+                if "l_x" in rule_a.inputs:
+                    kwargs["l_x"] = x
+                if "l_y" in rule_a.inputs:
+                    kwargs["l_y"] = y
+                assert rule_a.body(**kwargs) == rule_b.body(**kwargs)

@@ -1,0 +1,104 @@
+"""Unit tests for disk blocks and the simulated disk."""
+
+import pytest
+
+from repro.errors import BlockOverflowError, StorageError
+from repro.storage.block import Block
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+
+class TestBlock:
+    def test_add_and_remove(self):
+        block = Block(0, capacity=100)
+        block.add(1, 40)
+        assert 1 in block and block.free == 60
+        assert block.remove(1) == 40
+        assert block.free == 100
+
+    def test_overflowing_record_rejected(self):
+        block = Block(0, capacity=100)
+        with pytest.raises(BlockOverflowError):
+            block.add(1, 101)
+
+    def test_full_block_rejects(self):
+        block = Block(0, capacity=100)
+        block.add(1, 80)
+        with pytest.raises(StorageError, match="free"):
+            block.add(2, 30)
+
+    def test_duplicate_resident_rejected(self):
+        block = Block(0, capacity=100)
+        block.add(1, 10)
+        with pytest.raises(StorageError, match="already stored"):
+            block.add(1, 10)
+
+    def test_remove_absent_rejected(self):
+        block = Block(0, capacity=100)
+        with pytest.raises(StorageError):
+            block.remove(9)
+
+    def test_resize_in_place(self):
+        block = Block(0, capacity=100)
+        block.add(1, 40)
+        assert block.resize(1, 60)
+        assert block.used == 60
+        assert block.resize(1, 10)
+        assert block.used == 10
+
+    def test_resize_overflow_returns_false(self):
+        block = Block(0, capacity=100)
+        block.add(1, 40)
+        block.add(2, 40)
+        assert not block.resize(1, 70)
+        assert block.used == 80  # unchanged
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(StorageError):
+            Block(0, capacity=0)
+
+
+class TestSimulatedDisk:
+    def test_allocate_and_counters(self):
+        disk = SimulatedDisk(block_capacity=256)
+        block = disk.allocate_block()
+        disk.read(block.block_id)
+        disk.write(block.block_id)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.total_io == 2
+
+    def test_release_recycles_ids(self):
+        disk = SimulatedDisk()
+        a = disk.allocate_block()
+        disk.release_block(a.block_id)
+        b = disk.allocate_block()
+        assert b.block_id == a.block_id
+
+    def test_release_nonempty_rejected(self):
+        disk = SimulatedDisk()
+        block = disk.allocate_block()
+        block.add(1, 10)
+        with pytest.raises(StorageError, match="non-empty"):
+            disk.release_block(block.block_id)
+
+    def test_unknown_block_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(StorageError):
+            disk.read(42)
+
+    def test_occupancy(self):
+        disk = SimulatedDisk(block_capacity=100)
+        assert disk.occupancy() == 0.0
+        block = disk.allocate_block()
+        block.add(1, 50)
+        assert disk.occupancy() == pytest.approx(0.5)
+
+    def test_stats_snapshot_delta(self):
+        disk = SimulatedDisk()
+        block = disk.allocate_block()
+        disk.read(block.block_id)
+        snap = disk.stats.snapshot()
+        disk.read(block.block_id)
+        disk.read(block.block_id)
+        delta = disk.stats.delta_since(snap)
+        assert delta.reads == 2 and delta.writes == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def pool_with_blocks(capacity: int, n_blocks: int):
+    disk = SimulatedDisk(256)
+    ids = [disk.allocate_block().block_id for __ in range(n_blocks)]
+    return disk, BufferPool(disk, capacity=capacity), ids
+
+
+class TestFetch:
+    def test_miss_reads_from_disk(self):
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0])
+        assert disk.stats.reads == 1
+        assert pool.stats.misses == 1
+        assert pool.is_resident(ids[0])
+
+    def test_hit_does_not_read(self):
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[0])
+        assert disk.stats.reads == 1
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self):
+        disk, pool, ids = pool_with_blocks(2, 3)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        pool.fetch(ids[2])  # evicts ids[0]
+        assert not pool.is_resident(ids[0])
+        assert pool.is_resident(ids[1]) and pool.is_resident(ids[2])
+        assert pool.stats.evictions == 1
+
+    def test_touch_refreshes_lru_position(self):
+        disk, pool, ids = pool_with_blocks(2, 3)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        pool.fetch(ids[0])  # refresh 0; 1 becomes LRU
+        pool.fetch(ids[2])
+        assert pool.is_resident(ids[0])
+        assert not pool.is_resident(ids[1])
+
+    def test_dirty_eviction_writes_back(self):
+        disk, pool, ids = pool_with_blocks(1, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.fetch(ids[1])  # evicts dirty ids[0]
+        assert disk.stats.writes == 1
+        assert pool.stats.dirty_writebacks == 1
+
+    def test_clean_eviction_does_not_write(self):
+        disk, pool, ids = pool_with_blocks(1, 2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        assert disk.stats.writes == 0
+
+    def test_on_load_callback(self):
+        disk = SimulatedDisk(256)
+        block = disk.allocate_block()
+        loaded = []
+        pool = BufferPool(disk, capacity=2, on_load=loaded.append)
+        pool.fetch(block.block_id)
+        pool.fetch(block.block_id)  # hit: no second callback
+        assert loaded == [block.block_id]
+
+
+class TestControl:
+    def test_mark_dirty_requires_residency(self):
+        disk, pool, ids = pool_with_blocks(2, 1)
+        with pytest.raises(StorageError):
+            pool.mark_dirty(ids[0])
+        pool.fetch(ids[0])
+        pool.mark_dirty(ids[0])
+
+    def test_flush_writes_dirty_frames_once(self):
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.fetch(ids[1])
+        pool.flush()
+        assert disk.stats.writes == 1
+        pool.flush()  # now clean: no further writes
+        assert disk.stats.writes == 1
+
+    def test_clear_empties_pool(self):
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.clear()
+        assert not pool.is_resident(ids[0])
+        assert disk.stats.writes == 1  # flushed on clear
+
+    def test_hit_rate(self):
+        disk, pool, ids = pool_with_blocks(4, 1)
+        assert pool.stats.hit_rate == 0.0
+        pool.fetch(ids[0])
+        pool.fetch(ids[0])
+        pool.fetch(ids[0])
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_capacity_must_be_positive(self):
+        disk = SimulatedDisk()
+        with pytest.raises(StorageError):
+            BufferPool(disk, capacity=0)

@@ -1,0 +1,114 @@
+"""Tests for the paper's greedy clustering algorithm (E5)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.clustering import (
+    greedy_cluster,
+    locality_score,
+    worst_case_estimates,
+)
+from repro.storage.usage import UsageStats
+
+
+def ring_neighbors(edges):
+    """Build a neighbor oracle from undirected (a, b) pairs."""
+    adjacency: dict[int, list[tuple[str, int]]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(("p", b))
+        adjacency.setdefault(b, []).append(("p", a))
+    return lambda iid: adjacency.get(iid, [])
+
+
+class TestGreedyCluster:
+    def test_every_instance_assigned_exactly_once(self):
+        sizes = {i: 10 for i in range(10)}
+        neighbors = ring_neighbors([(i, i + 1) for i in range(9)])
+        layout = greedy_cluster(sizes, neighbors, UsageStats(), block_capacity=35)
+        flat = [iid for group in layout for iid in group]
+        assert sorted(flat) == list(range(10))
+
+    def test_respects_block_capacity(self):
+        sizes = {i: 10 for i in range(10)}
+        neighbors = ring_neighbors([])
+        layout = greedy_cluster(sizes, neighbors, UsageStats(), block_capacity=25)
+        for group in layout:
+            assert sum(sizes[i] for i in group) <= 25
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(StorageError):
+            greedy_cluster({1: 100}, ring_neighbors([]), UsageStats(), 50)
+
+    def test_most_referenced_instance_seeds_first_block(self):
+        sizes = {1: 10, 2: 10, 3: 10}
+        usage = UsageStats()
+        for __ in range(5):
+            usage.note_instance_access(3)
+        layout = greedy_cluster(sizes, ring_neighbors([]), usage, 30)
+        assert layout[0][0] == 3
+
+    def test_hot_relationship_pulls_neighbor_into_block(self):
+        # 1 is hot; relationship 1-3 is crossed often, 1-2 never.
+        sizes = {1: 10, 2: 10, 3: 10}
+        usage = UsageStats()
+        usage.note_instance_access(1)
+        for __ in range(5):
+            usage.note_crossing(1, "to3")
+        adjacency = {
+            1: [("to2", 2), ("to3", 3)],
+            2: [("to1", 1)],
+            3: [("to1", 1)],
+        }
+        layout = greedy_cluster(
+            sizes, lambda iid: adjacency.get(iid, []), usage, block_capacity=20
+        )
+        assert layout[0] == [1, 3]
+
+    def test_connected_cluster_packs_together(self):
+        # Two 4-cliques joined by one weak edge: blocks of capacity 4 should
+        # each hold one clique when crossings concentrate inside cliques.
+        sizes = {i: 10 for i in range(8)}
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a, b) for a in range(4, 8) for b in range(a + 1, 8)]
+        edges.append((0, 4))  # weak inter-clique edge
+        neighbors = ring_neighbors(edges)
+        usage = UsageStats()
+        for a, b in edges[:-1]:
+            for __ in range(3):
+                usage.note_crossing(a, "p")
+                usage.note_crossing(b, "p")
+        layout = greedy_cluster(sizes, neighbors, usage, block_capacity=40)
+        groups = [set(g) for g in layout]
+        assert {0, 1, 2, 3} in groups
+        assert {4, 5, 6, 7} in groups
+
+
+class TestLocalityScore:
+    def test_perfect_locality(self):
+        neighbors = ring_neighbors([(1, 2)])
+        usage = UsageStats()
+        usage.note_crossing(1, "p")
+        assert locality_score([[1, 2]], neighbors, usage) == 1.0
+
+    def test_zero_locality(self):
+        neighbors = ring_neighbors([(1, 2)])
+        usage = UsageStats()
+        usage.note_crossing(1, "p")
+        assert locality_score([[1], [2]], neighbors, usage) == 0.0
+
+    def test_no_observations_scores_one(self):
+        assert locality_score([[1]], ring_neighbors([]), UsageStats()) == 1.0
+
+
+class TestWorstCaseEstimates:
+    def test_counts_distinct_peer_blocks(self):
+        adjacency = {1: [("p", 2), ("p", 3)], 2: [], 3: []}
+        block_of = {1: 0, 2: 1, 3: 1}.__getitem__
+        estimates = worst_case_estimates([1, 2, 3], lambda i: adjacency.get(i, []), block_of)
+        assert estimates[(1, "p")] == 1.0  # both peers share block 1
+
+    def test_spread_peers_increase_estimate(self):
+        adjacency = {1: [("p", 2), ("p", 3)]}
+        block_of = {1: 0, 2: 1, 3: 2}.__getitem__
+        estimates = worst_case_estimates([1], lambda i: adjacency.get(i, []), block_of)
+        assert estimates[(1, "p")] == 2.0

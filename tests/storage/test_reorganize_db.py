@@ -1,0 +1,88 @@
+"""Database-level reorganisation tests (the paper's self-adaptive loop)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.workloads import (
+    build_software_project,
+    skewed_access_pattern,
+    sum_node_schema,
+)
+
+
+@pytest.fixture
+def trained():
+    db = Database(sum_node_schema(), block_capacity=512, pool_capacity=4)
+    project = build_software_project(
+        db, n_components=6, modules_per_component=8, cross_links=2, seed=5
+    )
+    for iid in skewed_access_pattern(project, 200, seed=6):
+        db.get_attr(iid, "total")
+    return db, project
+
+
+class TestReorganize:
+    def test_values_unchanged_by_reorganisation(self, trained):
+        db, project = trained
+        before = {
+            iid: db.get_attr(iid, "total") for iid in project.all_nodes
+        }
+        db.reorganize()
+        after = {iid: db.get_attr(iid, "total") for iid in project.all_nodes}
+        assert before == after
+
+    def test_every_instance_still_placed(self, trained):
+        db, project = trained
+        db.reorganize()
+        for iid in project.all_nodes:
+            assert db.storage.is_placed(iid)
+
+    def test_usage_counters_reset_for_next_epoch(self, trained):
+        db, project = trained
+        assert db.usage.access_count(project.all_nodes[0]) >= 0
+        db.reorganize()
+        assert all(
+            db.usage.access_count(iid) == 0 for iid in project.all_nodes
+        )
+
+    def test_worst_case_estimates_installed(self, trained):
+        db, project = trained
+        db.reorganize()
+        # Every connected port has a cluster-time worst-case estimate.
+        sampled = 0
+        for iid in project.all_nodes:
+            for port, __ in db.neighbors(iid):
+                assert (iid, port) in db.usage.worst_case
+                sampled += 1
+        assert sampled > 0
+
+    def test_reorganisation_reduces_reads_on_trained_pattern(self, trained):
+        db, project = trained
+        accesses = skewed_access_pattern(project, 200, seed=6)
+
+        def epoch_reads():
+            db.storage.buffer.clear()
+            before = db.storage.disk.stats.snapshot()
+            for iid in accesses:
+                db.get_attr(iid, "total")
+            return db.storage.disk.stats.delta_since(before).reads
+
+        unclustered = epoch_reads()
+        # Retrain counters (cleared by the measurement setup is fine: the
+        # epoch above re-recorded them) and reorganise.
+        db.reorganize()
+        clustered = epoch_reads()
+        assert clustered <= unclustered
+
+    def test_updates_work_after_reorganisation(self, trained):
+        db, project = trained
+        db.reorganize()
+        target = project.components[0][0]
+        downstream = project.components[0][-1]
+        old = db.get_attr(downstream, "total")
+        db.set_attr(target, "weight", 500)
+        assert db.get_attr(downstream, "total") > old
+
+    def test_reorganize_empty_database(self):
+        db = Database(sum_node_schema())
+        assert db.reorganize() == []

@@ -1,0 +1,38 @@
+"""Transaction-history retention tests."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import TransactionError
+from repro.workloads import sum_node_schema
+
+
+class TestHistoryLimit:
+    def test_history_trimmed_to_limit(self):
+        db = Database(sum_node_schema())
+        db.txn.history_limit = 3
+        iid = db.create("node")
+        for value in range(10):
+            db.set_attr(iid, "weight", value + 1)
+        assert len(db.txn.history) == 3
+
+    def test_undo_beyond_limit_rejected(self):
+        db = Database(sum_node_schema())
+        db.txn.history_limit = 2
+        iid = db.create("node")
+        db.set_attr(iid, "weight", 1)
+        db.set_attr(iid, "weight", 2)
+        db.set_attr(iid, "weight", 3)
+        db.undo()
+        db.undo()
+        with pytest.raises(TransactionError, match="no committed"):
+            db.undo()
+        # The retained levels were honoured.
+        assert db.get_attr(iid, "weight") == 1
+
+    def test_unlimited_by_default(self):
+        db = Database(sum_node_schema())
+        iid = db.create("node")
+        for value in range(20):
+            db.set_attr(iid, "weight", value + 1)
+        assert len(db.txn.history) == 21  # create + 20 sets

@@ -1,0 +1,176 @@
+"""Multi-user scheduling under timestamp CC (experiment E7)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import TransactionAborted
+from repro.txn.manager import MultiUserScheduler
+from repro.workloads import sum_node_schema
+
+
+def fresh_db() -> Database:
+    return Database(sum_node_schema(), pool_capacity=64)
+
+
+class TestNonConflicting:
+    def test_disjoint_scripts_commit_without_restarts(self):
+        db = fresh_db()
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+
+        def script_a(s):
+            s.set_attr(a, "weight", 10)
+            yield
+            assert s.get_attr(a, "weight") == 10
+
+        def script_b(s):
+            s.set_attr(b, "weight", 20)
+            yield
+            assert s.get_attr(b, "weight") == 20
+
+        result = MultiUserScheduler(db).run([("A", script_a), ("B", script_b)])
+        assert sorted(result.committed) == ["A", "B"]
+        assert result.restarts == 0
+        assert db.get_attr(a, "weight") == 10
+        assert db.get_attr(b, "weight") == 20
+
+    def test_single_script_behaves_like_transaction(self):
+        db = fresh_db()
+        made = []
+
+        def script(s):
+            made.append(s.create("node", weight=5))
+            yield
+            s.set_attr(made[0], "weight", 6)
+
+        result = MultiUserScheduler(db).run([("only", script)])
+        assert result.committed == ["only"]
+        assert db.get_attr(made[0], "weight") == 6
+
+
+class TestConflicting:
+    def test_write_write_conflict_restarts_older(self):
+        db = fresh_db()
+        x = db.create("node", weight=0)
+
+        def writer(value):
+            def script(s):
+                yield  # let the other writer go first sometimes
+                s.set_attr(x, "weight", value)
+                yield
+
+            return script
+
+        scheduler = MultiUserScheduler(db)
+        result = scheduler.run([("W1", writer(1)), ("W2", writer(2))])
+        assert sorted(result.committed) == ["W1", "W2"]
+        # Both committed; final value is one of the two writes.
+        assert db.get_attr(x, "weight") in (1, 2)
+
+    def test_conflicting_read_write_forces_restart(self):
+        db = fresh_db()
+        x = db.create("node", weight=0)
+
+        def reader(s):
+            # Read after yielding, so the writer's younger write lands first.
+            yield
+            yield
+            s.get_attr(x, "weight")
+
+        def writer(s):
+            s.set_attr(x, "weight", 5)
+            yield
+
+        scheduler = MultiUserScheduler(db)
+        result = scheduler.run([("R", reader), ("W", writer)])
+        assert sorted(result.committed) == ["R", "W"]
+        assert result.restarts >= 1
+
+    def test_restart_reexecutes_whole_script(self):
+        db = fresh_db()
+        x = db.create("node", weight=0)
+        attempts = []
+
+        def victim(s):
+            attempts.append(s.ts)
+            yield
+            yield
+            s.get_attr(x, "weight")
+            yield
+
+        def aggressor(s):
+            yield
+            s.set_attr(x, "weight", 9)
+
+        MultiUserScheduler(db).run([("victim", victim), ("aggressor", aggressor)])
+        # Restarted scripts run again with a fresh, larger timestamp.
+        assert len(attempts) >= 2
+        assert attempts[-1] > attempts[0]
+
+    def test_rolled_back_writes_invisible(self):
+        db = fresh_db()
+        x = db.create("node", weight=0)
+        y = db.create("node", weight=0)
+
+        def doomed(s):
+            s.set_attr(y, "weight", 99)  # will be rolled back on restart
+            yield
+            yield
+            yield
+            s.get_attr(x, "weight")  # conflicts with aggressor's write
+            yield
+
+        def aggressor(s):
+            yield
+            s.set_attr(x, "weight", 1)
+
+        result = MultiUserScheduler(db).run(
+            [("doomed", doomed), ("aggressor", aggressor)]
+        )
+        assert sorted(result.committed) == ["aggressor", "doomed"]
+        # The final committed run of `doomed` re-applied its write.
+        assert db.get_attr(y, "weight") == 99
+
+    def test_max_restarts_enforced(self):
+        db = fresh_db()
+        x = db.create("node", weight=0)
+
+        def always_conflicts(s):
+            yield
+            s.get_attr(x, "weight")
+
+        def hammer(s):
+            for __ in range(50):
+                s.set_attr(x, "weight", s.ts)
+                yield
+
+        with pytest.raises(TransactionAborted, match="restarts"):
+            MultiUserScheduler(db).run(
+                [("victim", always_conflicts), ("hammer", hammer)],
+                max_restarts=0,
+            )
+
+
+class TestSeededInterleaving:
+    def test_seeded_runs_are_reproducible(self):
+        outcomes = []
+        for __ in range(2):
+            db = fresh_db()
+            x = db.create("node", weight=0)
+
+            def w1(s):
+                yield
+                s.set_attr(x, "weight", 1)
+                yield
+
+            def w2(s):
+                yield
+                s.set_attr(x, "weight", 2)
+                yield
+
+            result = MultiUserScheduler(db, seed=1234).run(
+                [("W1", w1), ("W2", w2)]
+            )
+            outcomes.append((tuple(result.committed), result.restarts,
+                             db.get_attr(x, "weight")))
+        assert outcomes[0] == outcomes[1]

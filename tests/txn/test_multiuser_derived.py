@@ -1,0 +1,91 @@
+"""Multi-user sessions interacting with derived data and constraints."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import Constraint, Local
+from repro.errors import TransactionAborted
+from repro.txn.manager import MultiUserScheduler
+from repro.workloads import build_chain, link, sum_node_schema
+
+
+class TestDerivedReadsUnderCC:
+    def test_session_reads_see_fresh_derived_values(self):
+        db = Database(sum_node_schema(), pool_capacity=64)
+        nodes = build_chain(db, 4)
+        observed = []
+
+        def writer(session):
+            session.set_attr(nodes[0], "weight", 10)
+            yield
+
+        def reader(session):
+            yield
+            yield  # let the writer commit first under round-robin
+            observed.append(session.get_attr(nodes[-1], "total"))
+
+        result = MultiUserScheduler(db).run(
+            [("writer", writer), ("reader", reader)]
+        )
+        assert sorted(result.committed) == ["reader", "writer"]
+        # The reader ran after the writer's update; the derived value it
+        # saw reflects it (13 = 10 + 3 ones).
+        assert observed[-1] == 13
+
+    def test_aborted_writer_leaves_derived_consistent(self):
+        db = Database(sum_node_schema(), pool_capacity=64)
+        nodes = build_chain(db, 3)
+        db.get_attr(nodes[-1], "total")
+
+        def doomed(session):
+            session.set_attr(nodes[0], "weight", 100)
+            yield
+            yield
+            yield
+            session.get_attr(nodes[1], "total")  # conflicts below
+            yield
+
+        def aggressor(session):
+            yield
+            session.set_attr(nodes[1], "weight", 7)
+
+        MultiUserScheduler(db).run([("doomed", doomed), ("aggressor", aggressor)])
+        # Whatever the interleaving, the final derived value equals the
+        # recomputation from final intrinsics.
+        expected = sum(db.get_attr(n, "weight") for n in nodes)
+        assert db.get_attr(nodes[-1], "total") == expected
+
+
+class TestConstraintsUnderCC:
+    def constrained_db(self):
+        from repro.workloads.topologies import sum_node_schema as base
+
+        schema = base()
+        schema.unfreeze()
+        schema.extend_class("node").add_constraint(
+            Constraint("cap", {"t": Local("total")}, lambda t: t <= 100)
+        )
+        schema.freeze()
+        return Database(schema, pool_capacity=64)
+
+    def test_violating_session_aborts_cleanly(self):
+        db = self.constrained_db()
+        a = db.create("node", weight=10)
+        b = db.create("node", weight=10)
+        link(db, a, b)
+
+        def violator(session):
+            yield
+            with pytest.raises(TransactionAborted):
+                session.set_attr(a, "weight", 500)
+
+        def bystander(session):
+            session.set_attr(b, "weight", 20)
+            yield
+
+        result = MultiUserScheduler(db).run(
+            [("violator", violator), ("bystander", bystander)]
+        )
+        assert sorted(result.committed) == ["bystander", "violator"]
+        assert db.get_attr(a, "weight") == 10
+        assert db.get_attr(b, "total") == 30

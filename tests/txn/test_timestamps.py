@@ -1,0 +1,81 @@
+"""Basic timestamp-ordering protocol unit tests."""
+
+import pytest
+
+from repro.errors import ConcurrencyAbort
+from repro.txn.timestamps import TimestampManager
+
+
+class TestProtocol:
+    def test_timestamps_monotonic(self):
+        tsm = TimestampManager()
+        assert tsm.new_timestamp() < tsm.new_timestamp()
+
+    def test_read_after_older_write_ok(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t1, 7)
+        tsm.check_read(t2, 7)  # younger reads older write: fine
+
+    def test_read_of_younger_write_aborts(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t2, 7)
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_read(t1, 7)
+
+    def test_write_after_younger_read_aborts(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_read(t2, 7)
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_write(t1, 7)
+
+    def test_write_after_younger_write_aborts(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t2, 7)
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_write(t1, 7)
+
+    def test_serial_transaction_passes_all_checks(self):
+        tsm = TimestampManager()
+        t1 = tsm.new_timestamp()
+        tsm.check_read(t1, 1)
+        tsm.check_write(t1, 1)
+        tsm.check_read(t1, 1)
+        t2 = tsm.new_timestamp()
+        tsm.check_read(t2, 1)
+        tsm.check_write(t2, 1)
+
+    def test_independent_instances_never_conflict(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t2, 1)
+        tsm.check_write(t1, 2)  # different instance: fine
+
+    def test_read_marks_advance_monotonically(self):
+        tsm = TimestampManager()
+        t1, t2, t3 = (tsm.new_timestamp() for __ in range(3))
+        tsm.check_read(t3, 7)
+        tsm.check_read(t1, 7)  # reading older is fine
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_write(t2, 7)  # t3 already read
+
+
+class TestStats:
+    def test_rejections_counted(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t2, 7)
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_read(t1, 7)
+        assert tsm.stats.read_rejections == 1
+        assert tsm.stats.abort_rate > 0
+
+    def test_forget_instance_clears_marks(self):
+        tsm = TimestampManager()
+        t1, t2 = tsm.new_timestamp(), tsm.new_timestamp()
+        tsm.check_write(t2, 7)
+        tsm.forget_instance(7)
+        tsm.check_read(t1, 7)  # marks gone: no conflict

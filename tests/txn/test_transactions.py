@@ -1,0 +1,170 @@
+"""Transaction lifecycle, autocommit, and the Undo meta-action."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.workloads import build_chain, link
+
+
+class TestExplicitTransactions:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        iid = db.create("node", weight=3)
+        db.commit()
+        assert db.get_attr(iid, "weight") == 3
+
+    def test_abort_discards_changes(self, db):
+        base = db.create("node", weight=1)
+        db.begin()
+        other = db.create("node", weight=9)
+        db.set_attr(base, "weight", 100)
+        db.abort()
+        assert db.get_attr(base, "weight") == 1
+        assert not db.exists(other)
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.abort()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_abort_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.abort()
+
+    def test_context_manager_commits(self, db):
+        with db.transaction():
+            iid = db.create("node", weight=5)
+        assert db.get_attr(iid, "weight") == 5
+
+    def test_context_manager_aborts_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create("node", weight=5)
+                raise RuntimeError("boom")
+        assert len(db) == 0
+
+    def test_labels_recorded(self, db):
+        db.begin("alpha")
+        db.create("node")
+        delta = db.commit()
+        assert delta.label == "alpha"
+
+
+class TestAutocommit:
+    def test_each_primitive_is_a_transaction(self, db):
+        db.create("node")
+        db.create("node")
+        assert len(db.txn.history) == 2
+
+    def test_composite_primitive_is_one_transaction(self, db):
+        a, b = db.create("node"), db.create("node")
+        link(db, a, b)
+        history_before = len(db.txn.history)
+        db.delete(a)  # disconnect + delete: one autocommit transaction
+        assert len(db.txn.history) == history_before + 1
+
+    def test_undo_autocommitted_primitive(self, db):
+        iid = db.create("node", weight=2)
+        db.set_attr(iid, "weight", 9)
+        db.undo()
+        assert db.get_attr(iid, "weight") == 2
+
+
+class TestUndo:
+    def test_undo_without_history_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.undo()
+
+    def test_undo_during_transaction_rejected(self, db):
+        db.begin()
+        db.create("node")
+        with pytest.raises(TransactionError):
+            db.undo()
+        db.abort()
+
+    def test_undo_walks_history_backwards(self, db):
+        iid = db.create("node", weight=1)
+        db.set_attr(iid, "weight", 2)
+        db.set_attr(iid, "weight", 3)
+        db.undo()
+        assert db.get_attr(iid, "weight") == 2
+        db.undo()
+        assert db.get_attr(iid, "weight") == 1
+        db.undo()  # undoes the create
+        assert not db.exists(iid)
+
+    def test_undo_structural_change(self, db):
+        a, b = db.create("node", weight=1), db.create("node", weight=2)
+        link(db, a, b)
+        assert db.get_attr(b, "total") == 3
+        db.undo()
+        assert db.get_attr(b, "total") == 2
+        assert db.view(b).connections("inputs") == []
+
+    def test_undo_delete_restores_connections_and_values(self, db):
+        nodes = build_chain(db, 3)
+        assert db.get_attr(nodes[2], "total") == 3
+        db.delete(nodes[1])
+        assert db.get_attr(nodes[2], "total") == 1
+        db.undo()
+        assert db.exists(nodes[1])
+        assert db.view(nodes[1]).connections("inputs") == [nodes[0]]
+        assert db.get_attr(nodes[2], "total") == 3
+
+    def test_undo_restores_connection_order(self, db):
+        hub = db.create("node")
+        ups = [db.create("node", weight=i) for i in range(3)]
+        for u in ups:
+            db.connect(hub, "inputs", u, "outputs")
+        db.disconnect(hub, "inputs", ups[1], "outputs")
+        db.undo()
+        assert db.view(hub).connections("inputs") == ups
+
+    def test_undo_of_multi_record_transaction(self, db):
+        a = db.create("node", weight=1)
+        db.begin()
+        b = db.create("node", weight=2)
+        link(db, a, b)
+        db.set_attr(a, "weight", 50)
+        db.commit()
+        assert db.get_attr(b, "total") == 52
+        db.undo()
+        assert db.get_attr(a, "weight") == 1
+        assert not db.exists(b)
+
+    def test_undo_ripple_correctness(self, db):
+        """Undo restores values whose ripple was far larger than the delta."""
+        nodes = build_chain(db, 100)
+        original = db.get_attr(nodes[-1], "total")
+        db.set_attr(nodes[0], "weight", 1000)
+        assert db.get_attr(nodes[-1], "total") == original + 999
+        db.undo()
+        assert db.get_attr(nodes[-1], "total") == original
+
+
+class TestDeltaEconomy:
+    """E6: delta size proportional to the *initial* changes, not the ripple."""
+
+    def test_delta_one_record_regardless_of_ripple(self, db):
+        nodes = build_chain(db, 500)
+        db.get_attr(nodes[-1], "total")
+        db.begin()
+        db.set_attr(nodes[0], "weight", 77)  # ripples through 500 nodes
+        delta = db.commit()
+        assert len(delta) == 1
+        assert delta.touched_instances() == {nodes[0]}
+
+    def test_delta_size_scales_with_primitive_count_only(self, db):
+        sizes = {}
+        for chain_len in (10, 300):
+            nodes = build_chain(db, chain_len)
+            db.get_attr(nodes[-1], "total")
+            db.begin()
+            db.set_attr(nodes[0], "weight", 42)
+            sizes[chain_len] = db.commit().size_estimate()
+        assert sizes[10] == sizes[300]

@@ -1,0 +1,103 @@
+"""Configuration-management tests."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import VersionError
+from repro.versions import ConfigurationManager, VersionStream
+from repro.workloads import build_chain, sum_node_schema
+
+
+@pytest.fixture
+def two_components():
+    """Two databases ('kernel', 'tools'), each with v1/v2 versions."""
+    manager = ConfigurationManager()
+    handles = {}
+    for name in ("kernel", "tools"):
+        db = Database(sum_node_schema(), pool_capacity=64)
+        stream = VersionStream(db, name=name)
+        nodes = build_chain(db, 3)
+        stream.tag("v1")
+        db.set_attr(nodes[0], "weight", 10)
+        stream.tag("v2")
+        manager.add_component(name, stream)
+        handles[name] = (db, stream, nodes)
+    return manager, handles
+
+
+class TestDefinition:
+    def test_define_validates_bindings(self, two_components):
+        manager, __ = two_components
+        config = manager.define("rel", {"kernel": "v1", "tools": "v2"})
+        assert config.version_of("kernel") == "v1"
+
+    def test_unknown_component_rejected(self, two_components):
+        manager, __ = two_components
+        with pytest.raises(VersionError):
+            manager.define("bad", {"ghost": "v1"})
+
+    def test_unknown_version_rejected(self, two_components):
+        manager, __ = two_components
+        with pytest.raises(VersionError):
+            manager.define("bad", {"kernel": "v99"})
+
+    def test_duplicate_configuration_rejected(self, two_components):
+        manager, __ = two_components
+        manager.define("rel", {"kernel": "v1"})
+        with pytest.raises(VersionError):
+            manager.define("rel", {"kernel": "v2"})
+
+    def test_duplicate_component_rejected(self, two_components):
+        manager, handles = two_components
+        with pytest.raises(VersionError):
+            manager.add_component("kernel", handles["kernel"][1])
+
+    def test_snapshot_captures_current_versions(self, two_components):
+        manager, handles = two_components
+        handles["kernel"][1].checkout("v1")
+        config = manager.snapshot("now")
+        assert config.version_of("kernel") == "v1"
+        assert config.version_of("tools") == "v2"
+
+
+class TestMaterialize:
+    def test_materialize_checks_out_components(self, two_components):
+        manager, handles = two_components
+        manager.define("rel", {"kernel": "v1", "tools": "v2"})
+        manager.materialize("rel")
+        kdb, __, knodes = handles["kernel"]
+        tdb, __, tnodes = handles["tools"]
+        assert kdb.get_attr(knodes[0], "weight") == 1  # v1
+        assert tdb.get_attr(tnodes[0], "weight") == 10  # v2
+
+    def test_materialize_unknown_rejected(self, two_components):
+        manager, __ = two_components
+        with pytest.raises(VersionError):
+            manager.materialize("ghost")
+
+
+class TestQueries:
+    def test_diff(self, two_components):
+        manager, __ = two_components
+        manager.define("a", {"kernel": "v1", "tools": "v1"})
+        manager.define("b", {"kernel": "v1", "tools": "v2"})
+        assert manager.diff("a", "b") == {"tools": ("v1", "v2")}
+
+    def test_diff_with_missing_binding(self, two_components):
+        manager, __ = two_components
+        manager.define("a", {"kernel": "v1"})
+        manager.define("b", {"kernel": "v1", "tools": "v2"})
+        assert manager.diff("a", "b") == {"tools": (None, "v2")}
+
+    def test_configurations_containing(self, two_components):
+        manager, __ = two_components
+        manager.define("a", {"kernel": "v1", "tools": "v1"})
+        manager.define("b", {"kernel": "v2", "tools": "v1"})
+        assert manager.configurations_containing("tools", "v1") == ["a", "b"]
+        assert manager.configurations_containing("kernel", "v1") == ["a"]
+
+    def test_config_unknown_component_access(self, two_components):
+        manager, __ = two_components
+        config = manager.define("a", {"kernel": "v1"})
+        with pytest.raises(VersionError):
+            config.version_of("tools")

@@ -1,0 +1,133 @@
+"""Version stream tests (experiment E10)."""
+
+import pytest
+
+from repro.errors import VersionError
+from repro.versions import VersionStream
+from repro.workloads import build_chain
+
+
+@pytest.fixture
+def versioned(db):
+    stream = VersionStream(db)
+    nodes = build_chain(db, 4)
+    stream.tag("v1")
+    return db, stream, nodes
+
+
+class TestTagging:
+    def test_tag_collects_pending_deltas(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 5)
+        db.set_attr(nodes[1], "weight", 6)
+        version = stream.tag("v2")
+        assert version.record_count() == 2
+        assert stream.pending == []
+
+    def test_duplicate_name_rejected(self, versioned):
+        __, stream, __ = versioned
+        with pytest.raises(VersionError):
+            stream.tag("v1")
+
+    def test_lineage(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 5)
+        stream.tag("v2")
+        assert stream.lineage("v2") == [0, 1, 2]
+
+
+class TestCheckout:
+    def test_round_trip(self, versioned):
+        db, stream, nodes = versioned
+        original = db.get_attr(nodes[-1], "total")
+        db.set_attr(nodes[0], "weight", 100)
+        stream.tag("v2")
+        stream.checkout("v1")
+        assert db.get_attr(nodes[-1], "total") == original
+        stream.checkout("v2")
+        assert db.get_attr(nodes[-1], "total") == original + 99
+
+    def test_checkout_to_current_is_noop(self, versioned):
+        db, stream, nodes = versioned
+        value = db.get_attr(nodes[-1], "total")
+        stream.checkout("v1")
+        assert db.get_attr(nodes[-1], "total") == value
+
+    def test_checkout_blocked_by_pending(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 9)
+        with pytest.raises(VersionError, match="pending"):
+            stream.checkout("v1")
+
+    def test_checkout_discard_pending(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 9)
+        stream.checkout("v1", discard_pending=True)
+        assert db.get_attr(nodes[0], "weight") == 1
+
+    def test_structural_changes_cross_versions(self, versioned):
+        db, stream, nodes = versioned
+        db.delete(nodes[1])
+        stream.tag("pruned")
+        assert not db.exists(nodes[1])
+        stream.checkout("v1")
+        assert db.exists(nodes[1])
+        assert db.get_attr(nodes[-1], "total") == 4
+        stream.checkout("pruned")
+        assert not db.exists(nodes[1])
+
+    def test_unknown_version_rejected(self, versioned):
+        __, stream, __ = versioned
+        with pytest.raises(VersionError):
+            stream.checkout("ghost")
+        with pytest.raises(VersionError):
+            stream.version(99)
+
+
+class TestBranching:
+    def test_branch_from_old_version(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 100)
+        stream.tag("v2")
+        stream.checkout("v1")
+        db.set_attr(nodes[1], "weight", 50)
+        branch = stream.tag("branch")
+        assert branch.parent == stream.version("v1").version_id
+        assert sorted(v.name for v in stream.tips()) == ["branch", "v2"]
+
+    def test_cross_branch_checkout(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 100)
+        stream.tag("v2")
+        stream.checkout("v1")
+        db.set_attr(nodes[1], "weight", 50)
+        stream.tag("branch")
+        stream.checkout("v2")
+        assert db.get_attr(nodes[0], "weight") == 100
+        assert db.get_attr(nodes[1], "weight") == 1
+        stream.checkout("branch")
+        assert db.get_attr(nodes[0], "weight") == 1
+        assert db.get_attr(nodes[1], "weight") == 50
+
+    def test_distance_counts_replayed_records(self, versioned):
+        db, stream, nodes = versioned
+        db.set_attr(nodes[0], "weight", 2)
+        stream.tag("v2")
+        db.set_attr(nodes[0], "weight", 3)
+        db.set_attr(nodes[1], "weight", 3)
+        stream.tag("v3")
+        assert stream.distance("v1", "v2") == 1
+        assert stream.distance("v1", "v3") == 3
+        assert stream.distance("v3", "v3") == 0
+
+
+class TestDeltaEconomyAcrossVersions:
+    def test_version_size_independent_of_ripple(self, db):
+        stream = VersionStream(db)
+        nodes = build_chain(db, 200)
+        db.get_attr(nodes[-1], "total")
+        stream.tag("base")
+        db.set_attr(nodes[0], "weight", 7)  # ripples through 200 nodes
+        version = stream.tag("tweak")
+        assert version.record_count() == 1
+        assert version.change_size() < 200

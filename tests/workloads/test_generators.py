@@ -1,0 +1,119 @@
+"""Workload generator tests: determinism and structural properties."""
+
+from repro.core.database import Database
+from repro.workloads import (
+    build_chain,
+    build_diamond_ladder,
+    build_fan,
+    build_grid,
+    build_random_dag,
+    build_software_project,
+    build_tree,
+    random_update_script,
+    skewed_access_pattern,
+    sum_node_schema,
+)
+
+
+def fresh_db():
+    return Database(sum_node_schema(), pool_capacity=256)
+
+
+class TestTopologies:
+    def test_chain_totals(self):
+        db = fresh_db()
+        nodes = build_chain(db, 7, weight=2)
+        assert db.get_attr(nodes[-1], "total") == 14
+
+    def test_ladder_structure(self):
+        db = fresh_db()
+        ladder = build_diamond_ladder(db, depth=3)
+        assert len(ladder["all"]) == 1 + 3 * 3
+        # bottom total: top contributes along both arms of each diamond.
+        assert db.get_attr(ladder["bottom"], "total") > 0
+
+    def test_tree_root_sums_leaves(self):
+        db = fresh_db()
+        tree = build_tree(db, depth=2, fanout=2)
+        # 1 root + 2 + 4 nodes, every weight 1, values flow to the root.
+        assert db.get_attr(tree["root"], "total") == 7
+
+    def test_fan_consumers_independent(self):
+        db = fresh_db()
+        fan = build_fan(db, width=5)
+        for consumer in fan["consumers"]:
+            assert db.get_attr(consumer, "total") == 2
+
+    def test_grid_shape(self):
+        db = fresh_db()
+        grid = build_grid(db, 3, 4)
+        assert len(grid["grid"]) == 3 and len(grid["grid"][0]) == 4
+        assert db.get_attr(grid["sink"], "total") > 0
+
+
+class TestRandomDag:
+    def test_deterministic_per_seed(self):
+        values = []
+        for __ in range(2):
+            db = fresh_db()
+            nodes = build_random_dag(db, 25, edge_prob=0.3, seed=5)
+            values.append([db.get_attr(n, "total") for n in nodes])
+        assert values[0] == values[1]
+
+    def test_different_seeds_differ(self):
+        totals = []
+        for seed in (1, 2):
+            db = fresh_db()
+            nodes = build_random_dag(db, 25, edge_prob=0.3, seed=seed)
+            totals.append([db.get_attr(n, "total") for n in nodes])
+        assert totals[0] != totals[1]
+
+    def test_acyclic_by_construction(self):
+        db = fresh_db()
+        nodes = build_random_dag(db, 40, edge_prob=0.5, seed=3)
+        # All totals computable implies no cycles anywhere.
+        for node in nodes:
+            db.get_attr(node, "total")
+
+    def test_max_parents_respected(self):
+        db = fresh_db()
+        nodes = build_random_dag(db, 40, edge_prob=1.0, seed=3, max_parents=2)
+        for node in nodes:
+            assert len(db.view(node).connections("inputs")) <= 2
+
+
+class TestSoftwareProject:
+    def test_component_structure(self):
+        db = fresh_db()
+        project = build_software_project(db, n_components=4, modules_per_component=6)
+        assert len(project.components) == 4
+        assert len(project.all_nodes) == 24
+        assert project.component_of(project.components[2][0]) == 2
+
+    def test_skewed_access_concentrates(self):
+        db = fresh_db()
+        project = build_software_project(db, n_components=6, modules_per_component=8)
+        accesses = skewed_access_pattern(
+            project, 1000, hot_components=2, hot_fraction=0.9, seed=4
+        )
+        hot = set(project.components[0]) | set(project.components[1])
+        hot_hits = sum(1 for a in accesses if a in hot)
+        assert hot_hits > 800
+
+    def test_access_pattern_deterministic(self):
+        db = fresh_db()
+        project = build_software_project(db)
+        a = skewed_access_pattern(project, 100, seed=9)
+        b = skewed_access_pattern(project, 100, seed=9)
+        assert a == b
+
+
+class TestUpdateScripts:
+    def test_script_deterministic(self):
+        assert random_update_script([1, 2, 3], 20, seed=1) == random_update_script(
+            [1, 2, 3], 20, seed=1
+        )
+
+    def test_script_shape(self):
+        script = random_update_script([1, 2], 50, seed=2, query_fraction=0.0)
+        assert all(op == "set" for op, __, __ in script)
