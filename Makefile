@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench examples results ci clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+ci: ## what .github/workflows/ci.yml runs
+	python -m compileall -q src
+	PYTHONPATH=src python -m pytest -x -q
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

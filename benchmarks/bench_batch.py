@@ -1,0 +1,278 @@
+"""BENCH -- batched propagation waves and the resident fast path.
+
+Not one of the paper's experiments: this benchmark seeds the *performance
+trajectory* of the reproduction (ROADMAP north star).  It compares three
+execution modes of the incremental engine on E1/E2-shaped workloads:
+
+* ``per-update (chunked)`` -- ``fast_path=False``: the original behaviour,
+  one marking wave per primitive update, every unit of work a scheduled
+  ``Chunk``;
+* ``per-update (fast lane)`` -- resident work rides the allocation-free
+  fast lane, still one wave per update;
+* ``batch (fast lane)`` -- the whole update script inside ``db.batch()``:
+  one coalesced wave at close.
+
+All three modes must produce identical final attribute values and identical
+total rule-evaluation counts (the paper's claim shapes are untouched); the
+modes differ only in chunk allocations, wave count, and wall-clock.  The
+numbers are committed to ``results/BENCH_core.json`` so later PRs can show
+a delta against this PR's baseline.
+"""
+
+import time
+
+from benchmarks.common import report, report_json
+from repro.core.database import Database
+from repro.workloads import build_chain, sum_node_schema
+from repro.workloads.generators import (
+    build_random_dag,
+    random_update_script,
+    run_update_script,
+)
+
+N_NODES = 300
+N_UPDATES = 1_000
+DAG_SEED = 7
+SCRIPT_SEED = 11
+ROUNDS = 5
+
+MODES = [
+    ("per-update (chunked)", False, False),
+    ("per-update (fast lane)", True, False),
+    ("batch (fast lane)", True, True),
+]
+
+
+def _fresh_dag(fast_path: bool):
+    # Large pool: everything stays resident, isolating propagation overhead
+    # from I/O (the quantity this fast path attacks).
+    db = Database(sum_node_schema(), pool_capacity=4096, fast_path=fast_path)
+    nodes = build_random_dag(db, N_NODES, edge_prob=0.2, seed=DAG_SEED)
+    # Evaluate everything once so the update phase starts clean and pays
+    # for real marking (graph construction leaves derived slots marked,
+    # which would let cut-short hide the traversal entirely).
+    for iid in nodes:
+        db.get_attr(iid, "total")
+    return db, nodes
+
+
+def _run_bulk_load(fast_path: bool, batch: bool) -> dict:
+    """One mode of the 1,000-update bulk load; returns counters + timing."""
+    script = None
+    best = float("inf")
+    result: dict = {}
+    for _ in range(ROUNDS):
+        db, nodes = _fresh_dag(fast_path)
+        script = random_update_script(
+            nodes, N_UPDATES, seed=SCRIPT_SEED, query_fraction=0.0
+        )
+        before = db.engine.counters.snapshot()
+        start = time.perf_counter()
+        run_update_script(db, script, batch=batch)
+        elapsed = time.perf_counter() - start
+        update_delta = db.engine.counters.delta_since(before)
+        finals = tuple(db.get_attr(iid, "total") for iid in nodes)
+        total_delta = db.engine.counters.delta_since(before)
+        if elapsed < best:
+            best = elapsed
+            result = {
+                "wall_seconds_best": elapsed,
+                "chunk_executions": update_delta.chunk_executions,
+                "fast_path_hits": update_delta.fast_path_hits,
+                "waves": update_delta.waves,
+                "slots_marked": update_delta.slots_marked,
+                "mark_edge_visits": update_delta.mark_edge_visits,
+                "rule_evaluations_total": total_delta.rule_evaluations,
+                "finals": finals,
+            }
+        else:
+            result["wall_seconds_best"] = min(result["wall_seconds_best"], elapsed)
+    return result
+
+
+def test_bulk_load_batched_vs_per_update(benchmark):
+    """1,000-update bulk load: >=3x fewer chunk executions under batch()."""
+
+    def setup():
+        db, nodes = _fresh_dag(True)
+        script = random_update_script(
+            nodes, N_UPDATES, seed=SCRIPT_SEED, query_fraction=0.0
+        )
+        return (db, script), {}
+
+    def run(db, script):
+        run_update_script(db, script, batch=True)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    results = {name: _run_bulk_load(fp, b) for name, fp, b in MODES}
+    chunked = results["per-update (chunked)"]
+    fast = results["per-update (fast lane)"]
+    batched = results["batch (fast lane)"]
+
+    # Identical observable outcomes across all three modes.
+    assert fast["finals"] == chunked["finals"]
+    assert batched["finals"] == chunked["finals"]
+    assert fast["rule_evaluations_total"] == chunked["rule_evaluations_total"]
+    assert batched["rule_evaluations_total"] == chunked["rule_evaluations_total"]
+    assert fast["slots_marked"] == chunked["slots_marked"]
+    assert batched["slots_marked"] == chunked["slots_marked"]
+
+    # The headline: batching + fast lane eliminates chunk scheduling.
+    assert batched["chunk_executions"] * 3 <= chunked["chunk_executions"]
+    assert batched["waves"] < chunked["waves"]
+    assert batched["wall_seconds_best"] < chunked["wall_seconds_best"]
+
+    rows = [
+        [
+            name,
+            results[name]["waves"],
+            results[name]["chunk_executions"],
+            results[name]["fast_path_hits"],
+            results[name]["slots_marked"],
+            results[name]["rule_evaluations_total"],
+            f"{results[name]['wall_seconds_best'] * 1e3:.1f}",
+        ]
+        for name, __, __ in MODES
+    ]
+    report(
+        "BENCH_batch",
+        f"{N_UPDATES} bulk updates over a {N_NODES}-node random DAG",
+        [
+            "mode",
+            "waves",
+            "chunks",
+            "fast hits",
+            "marked",
+            "rule evals (incl. reads)",
+            "best ms",
+        ],
+        rows,
+    )
+    report_json(
+        "core",
+        "bulk_load_random_dag",
+        {
+            "workload": {
+                "nodes": N_NODES,
+                "updates": N_UPDATES,
+                "dag_seed": DAG_SEED,
+                "script_seed": SCRIPT_SEED,
+                "rounds": ROUNDS,
+            },
+            "modes": {
+                name: {k: v for k, v in results[name].items() if k != "finals"}
+                for name, __, __ in MODES
+            },
+            "speedup_vs_chunked": round(
+                chunked["wall_seconds_best"] / batched["wall_seconds_best"], 3
+            ),
+            "chunk_reduction_vs_chunked": (
+                round(
+                    chunked["chunk_executions"]
+                    / max(1, batched["chunk_executions"]),
+                    1,
+                )
+            ),
+        },
+    )
+
+
+def test_chain_watched_consumer(benchmark):
+    """E2-shaped: a watched consumer makes per-update waves quadratic.
+
+    A standing demand (``db.watch``) is *important*, so every per-update
+    wave re-evaluates the whole chain under it; a batch evaluates the
+    chain once at close.  Rule-evaluation counts legitimately differ here
+    -- that is the point: batching turns N re-evaluations of the same
+    region into one.  Final values still match exactly.
+    """
+    length = 200
+    updates = 200
+
+    def run_mode(batch: bool) -> dict:
+        best = float("inf")
+        result: dict = {}
+        for _ in range(3):
+            db = Database(sum_node_schema(), pool_capacity=4096)
+            nodes = build_chain(db, length)
+            db.watch(nodes[-1], "total")
+            before = db.engine.counters.snapshot()
+            start = time.perf_counter()
+            if batch:
+                with db.batch():
+                    for value in range(updates):
+                        db.set_attr(nodes[0], "weight", value + 2)
+            else:
+                for value in range(updates):
+                    db.set_attr(nodes[0], "weight", value + 2)
+            elapsed = time.perf_counter() - start
+            delta = db.engine.counters.delta_since(before)
+            final = db.get_attr(nodes[-1], "total")
+            if elapsed < best:
+                best = elapsed
+                result = {
+                    "wall_seconds_best": elapsed,
+                    "rule_evaluations": delta.rule_evaluations,
+                    "slots_marked": delta.slots_marked,
+                    "waves": delta.waves,
+                    "final": final,
+                }
+            else:
+                result["wall_seconds_best"] = min(
+                    result["wall_seconds_best"], elapsed
+                )
+        return result
+
+    def setup():
+        db = Database(sum_node_schema(), pool_capacity=4096)
+        nodes = build_chain(db, length)
+        db.watch(nodes[-1], "total")
+        return (db, nodes), {}
+
+    def run(db, nodes):
+        with db.batch():
+            for value in range(updates):
+                db.set_attr(nodes[0], "weight", value + 2)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    per_update = run_mode(batch=False)
+    batched = run_mode(batch=True)
+    assert batched["final"] == per_update["final"]
+    assert batched["rule_evaluations"] < per_update["rule_evaluations"]
+    assert batched["wall_seconds_best"] < per_update["wall_seconds_best"]
+
+    report(
+        "BENCH_batch",
+        f"{updates} updates under a watched {length}-chain (evals differ by design)",
+        ["mode", "waves", "rule evals", "marked", "final", "best ms"],
+        [
+            [
+                name,
+                r["waves"],
+                r["rule_evaluations"],
+                r["slots_marked"],
+                r["final"],
+                f"{r['wall_seconds_best'] * 1e3:.1f}",
+            ]
+            for name, r in (
+                ("per-update", per_update),
+                ("batch", batched),
+            )
+        ],
+    )
+    report_json(
+        "core",
+        "watched_chain_repeated_update",
+        {
+            "workload": {"chain_length": length, "updates": updates},
+            "modes": {
+                "per-update": per_update,
+                "batch": batched,
+            },
+            "speedup_vs_per_update": round(
+                per_update["wall_seconds_best"] / batched["wall_seconds_best"], 3
+            ),
+        },
+    )

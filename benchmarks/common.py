@@ -10,12 +10,14 @@ for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 _emitted: set[str] = set()
+_json_docs: dict[str, dict[str, Any]] = {}
 
 
 def report(experiment: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -53,3 +55,24 @@ def fresh_results(experiment: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w"):
         pass
+
+
+def report_json(document: str, section: str, payload: dict[str, Any]) -> str:
+    """Merge a machine-readable section into ``results/BENCH_<document>.json``.
+
+    The text tables from :func:`report` are for humans and EXPERIMENTS.md;
+    this emitter seeds the *performance trajectory*: each benchmark stores
+    its wall-clock numbers and work counts under a stable section key, so
+    later PRs can diff ``BENCH_core.json`` against the committed copy and
+    show a delta.  The whole document is rewritten on every call (sections
+    accumulate within one pytest session), keeping the file valid JSON at
+    all times.
+    """
+    doc = _json_docs.setdefault(document, {})
+    doc[section] = payload
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{document}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -198,8 +198,10 @@ class MakeFacility:
         self.db.set_attr(self._iid(file_name), "file_mtime", self._mtime(file_name))
 
     def sync_all(self) -> None:
-        for file_name in self._rule_of:
-            self.note_file_changed(file_name)
+        """Re-synchronise every registered file's mtime in one batched wave."""
+        with self.db.batch():
+            for file_name in self._rule_of:
+                self.note_file_changed(file_name)
 
     # -- queries ------------------------------------------------------------
 

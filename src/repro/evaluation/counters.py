@@ -9,7 +9,7 @@ like with like.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -29,32 +29,29 @@ class EvalCounters:
     chunk_executions: int = 0
     #: evaluations of a slot whose recomputed value equalled the old value.
     unchanged_evaluations: int = 0
+    #: units of work executed through the resident fast lane -- these would
+    #: each have been a Chunk allocation + chunk execution without it.
+    fast_path_hits: int = 0
+    #: propagation waves actually run (batching coalesces many primitive
+    #: updates into one wave).
+    waves: int = 0
+    #: primitive updates whose marking was deferred into a pending batch.
+    batched_updates: int = 0
 
     def snapshot(self) -> "EvalCounters":
         return EvalCounters(
-            self.rule_evaluations,
-            self.slots_marked,
-            self.mark_edge_visits,
-            self.demands,
-            self.chunk_executions,
-            self.unchanged_evaluations,
+            **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
     def delta_since(self, earlier: "EvalCounters") -> "EvalCounters":
         """Counter difference between now and an earlier :meth:`snapshot`."""
         return EvalCounters(
-            self.rule_evaluations - earlier.rule_evaluations,
-            self.slots_marked - earlier.slots_marked,
-            self.mark_edge_visits - earlier.mark_edge_visits,
-            self.demands - earlier.demands,
-            self.chunk_executions - earlier.chunk_executions,
-            self.unchanged_evaluations - earlier.unchanged_evaluations,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     def reset(self) -> None:
-        self.rule_evaluations = 0
-        self.slots_marked = 0
-        self.mark_edge_visits = 0
-        self.demands = 0
-        self.chunk_executions = 0
-        self.unchanged_evaluations = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)

@@ -27,6 +27,31 @@ requests that cross a relationship record observed disk I/O into the
 relationship's decaying average; marking uses cluster-time worst-case
 estimates (the paper notes marking cannot observe a return trip).
 
+Two engineered fast paths sit on top of the paper's algorithm; both
+preserve its observable semantics exactly:
+
+**Resident fast path.**  A unit of work whose instance's block is already
+in the buffer pool needs no I/O-aware ordering -- under the greedy policy
+it would sit in the very-high deque regardless.  Such work is enqueued as
+a bare ``(kind, slot, extra)`` tuple via the scheduler's fast lane instead
+of allocating a closure-carrying Chunk.  Fast entries occupy the same
+queue positions a resident Chunk would, so the execution order -- and with
+it every buffer touch and disk read (the E4/E5 quantities) -- is
+bit-identical; only the allocation and dispatch overhead disappears.  The
+moment a non-resident instance appears the work falls back to ordinary
+chunked scheduling.
+
+**Batched waves.**  :meth:`begin_batch` / :meth:`end_batch` (driven by
+``Database.batch()`` and batch-scoped transactions) defer phase 1 across
+many primitive updates and run one coalesced wave whose seeds are the
+union of the changed slots.  Marking still cuts short at already-marked
+slots; important slots (constraints, standing demands) are still evaluated
+-- at batch close instead of once per update, which generalises the
+paper's O(1) second-assignment property from "the same attribute twice" to
+"any bulk update".  A demand arriving mid-batch flushes the deferred
+marking first, so reads always observe the same values they would have
+seen under per-update waves.
+
 Cycles: a wave that deadlocks (every pending evaluation waiting on another)
 has hit a data cycle; the engine extracts it from the wait-for graph and
 raises :class:`repro.errors.CycleError`, since "Cactis does not support data
@@ -43,9 +68,15 @@ from repro.core.slots import Slot, describe
 from repro.errors import CycleError, RuleEvaluationError
 from repro.evaluation.counters import EvalCounters
 from repro.evaluation.host import DepBinding, EvaluationHost
-from repro.evaluation.scheduler import Chunk, ChunkScheduler, Policy
+from repro.evaluation.scheduler import Chunk, ChunkScheduler, FastEntry, Policy
 
 _LOCAL_EDGE_PRIORITY = 0.0  # same-instance edges: no extra block needed
+
+# Fast-lane entry kinds (tuple tag; see ChunkScheduler.schedule_fast).
+_MARK = 0
+_REQUEST = 1
+_COLLECT = 2
+_COMPUTE = 3
 
 
 @dataclass
@@ -66,6 +97,7 @@ class IncrementalEngine:
         host: EvaluationHost,
         policy: Policy = "greedy",
         eager: bool = False,
+        fast_path: bool = True,
     ) -> None:
         self.host = host
         self.policy = policy
@@ -73,6 +105,12 @@ class IncrementalEngine:
         #: wave instead of deferring unimportant slots (the design choice
         #: the paper's laziness claim is about; see bench_ablations).
         self.eager = eager
+        #: engineering switch: route resident work through the allocation-free
+        #: fast lane.  Off reproduces the original everything-is-a-Chunk
+        #: waves (the bench_batch baseline).  Only the greedy policy has a
+        #: residency-ordered queue to merge into, so the fast lane engages
+        #: under greedy only; fifo/lifo keep their fixed traversal orders.
+        self.fast_path = fast_path
         self.counters = EvalCounters()
         self.out_of_date: set[Slot] = set()
         self.standing_demands: set[Slot] = set()
@@ -80,6 +118,7 @@ class IncrementalEngine:
             is_resident=host.storage.is_resident,
             block_of=host.storage.block_of,
             policy=policy,
+            fast_runner=self._run_fast,
         )
         # Wire buffer-pool loads to chunk promotion ("very high priority
         # queue" of Section 2.3).
@@ -87,6 +126,14 @@ class IncrementalEngine:
         self._pending: dict[Slot, _Pending] = {}
         self._waiters: dict[Slot, list[Slot]] = {}
         self._important_found: list[Slot] = []
+        # Batched-wave state: while _batch_depth > 0, primitive changes are
+        # buffered (deduplicated, insertion-ordered) instead of launching a
+        # wave each; the union wave runs at batch close (or on demand).
+        self._batch_depth = 0
+        self._batch_intrinsic: list[Slot] = []
+        self._batch_derived: list[Slot] = []
+        self._batch_seen_intrinsic: set[Slot] = set()
+        self._batch_seen_derived: set[Slot] = set()
 
     # ------------------------------------------------------------------
     # importance
@@ -110,6 +157,65 @@ class IncrementalEngine:
         return slot in self.out_of_date
 
     # ------------------------------------------------------------------
+    # batched waves
+    # ------------------------------------------------------------------
+
+    @property
+    def in_batch(self) -> bool:
+        return self._batch_depth > 0
+
+    def begin_batch(self) -> None:
+        """Start (or nest into) a batch: defer marking until the close."""
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Close one batch level; the outermost close runs the union wave."""
+        if self._batch_depth <= 0:
+            raise RuntimeError("end_batch without a matching begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth:
+            return
+        self._flush_batch_marks()
+        self._finish_wave()
+
+    def abandon_batch(self) -> None:
+        """Unwind one batch level on an exception path.
+
+        Deferred marking is still flushed -- out-of-date marks are only
+        ever conservative, and the enclosing rollback (if any) re-marks
+        through its own inverse updates -- but importance evaluation is
+        skipped: the primitive is already unwinding.
+        """
+        if self._batch_depth <= 0:
+            return
+        self._batch_depth -= 1
+        if self._batch_depth:
+            return
+        self._flush_batch_marks()
+
+    def _flush_batch_marks(self) -> None:
+        """Run the deferred phase-1 marking now (batch close or mid-batch read)."""
+        if not (self._batch_intrinsic or self._batch_derived):
+            return
+        intrinsic, self._batch_intrinsic = self._batch_intrinsic, []
+        derived, self._batch_derived = self._batch_derived, []
+        self._batch_seen_intrinsic.clear()
+        self._batch_seen_derived.clear()
+        self.counters.waves += 1
+        placed = self.host.storage.is_placed
+        for slot in intrinsic:
+            # An instance deleted after its update was buffered has no
+            # dependents left (edges were removed with it); skip cleanly.
+            if placed(slot[0]):
+                self._schedule_dependent_marks(slot)
+        for slot in derived:
+            if placed(slot[0]):
+                self._schedule_mark(slot, crossing_port=None)
+        self.scheduler.run_to_exhaustion()
+        # Important slots found stay queued in _important_found; the batch
+        # close (or the caller's own evaluation) picks them up.
+
+    # ------------------------------------------------------------------
     # phase 1: marking
     # ------------------------------------------------------------------
 
@@ -117,8 +223,16 @@ class IncrementalEngine:
         """React to a primitive update of an intrinsic attribute.
 
         Marks everything dependent on ``slot`` out of date (phase 1), then
-        evaluates the important slots discovered (phase 2).
+        evaluates the important slots discovered (phase 2).  Inside a batch
+        the seed is buffered instead; the union wave runs at batch close.
         """
+        if self._batch_depth:
+            self.counters.batched_updates += 1
+            if slot not in self._batch_seen_intrinsic:
+                self._batch_seen_intrinsic.add(slot)
+                self._batch_intrinsic.append(slot)
+            return
+        self.counters.waves += 1
         self._schedule_dependent_marks(slot)
         self._run_marking_then_evaluate()
 
@@ -128,12 +242,24 @@ class IncrementalEngine:
         The given derived slots' inputs changed shape, so they are marked
         directly, then their dependents transitively.
         """
+        if self._batch_depth:
+            self.counters.batched_updates += 1
+            for slot in slots:
+                if slot not in self._batch_seen_derived:
+                    self._batch_seen_derived.add(slot)
+                    self._batch_derived.append(slot)
+            return
+        self.counters.waves += 1
         for slot in slots:
             self._schedule_mark(slot, crossing_port=None)
         self._run_marking_then_evaluate()
 
     def _run_marking_then_evaluate(self) -> None:
         self.scheduler.run_to_exhaustion()
+        self._finish_wave()
+
+    def _finish_wave(self) -> None:
+        """Phase 2 for the important slots phase 1 collected."""
         important = self._important_found
         self._important_found = []
         if important:
@@ -142,15 +268,26 @@ class IncrementalEngine:
             self.evaluate_all_out_of_date()
 
     def _schedule_dependent_marks(self, slot: Slot) -> None:
-        for dependent in self.host.depgraph.dependents(slot):
+        for dependent in self.host.depgraph.iter_dependents(slot):
             self.counters.mark_edge_visits += 1
             if dependent in self.out_of_date:
                 continue  # cut short: already marked
             self._schedule_mark_chunk(slot, dependent)
 
+    def _fast_ok(self, iid: int) -> bool:
+        """True when work on ``iid`` may ride the allocation-free fast lane."""
+        return (
+            self.fast_path
+            and self.policy == "greedy"
+            and self.host.storage.is_resident(iid)
+        )
+
     def _schedule_mark(self, slot: Slot, crossing_port: str | None) -> None:
         if slot in self.out_of_date:
             self.counters.mark_edge_visits += 1
+            return
+        if self._fast_ok(slot[0]):
+            self.scheduler.schedule_fast((_MARK, slot, crossing_port))
             return
         priority = (
             self.host.usage.worst_case_io(slot[0], crossing_port)
@@ -168,9 +305,25 @@ class IncrementalEngine:
             crossing_port = self.host.receive_port_between(dst, src)
         self._schedule_mark(dst, crossing_port)
 
+    def _run_fast(self, entry: FastEntry) -> None:
+        """Execute one fast-lane entry (the scheduler's fast_runner hook)."""
+        kind, slot, extra = entry
+        self.counters.fast_path_hits += 1
+        if kind == _MARK:
+            self._mark_body(slot, extra)
+        elif kind == _REQUEST:
+            self._request_body(slot)
+        elif kind == _COLLECT:
+            self._collect_body(slot)
+        else:
+            self._compute_body(slot)
+
     def _mark(self, slot: Slot, crossing_port: str | None) -> None:
         """Chunk body: mark one slot and fan out to its dependents."""
         self.counters.chunk_executions += 1
+        self._mark_body(slot, crossing_port)
+
+    def _mark_body(self, slot: Slot, crossing_port: str | None) -> None:
         if slot in self.out_of_date:
             return  # raced with another path; cut short
         self.out_of_date.add(slot)
@@ -181,7 +334,7 @@ class IncrementalEngine:
             self.host.usage.note_crossing(slot[0], crossing_port)
         if self.is_important(slot):
             self._important_found.append(slot)
-        for dependent in self.host.depgraph.dependents(slot):
+        for dependent in self.host.depgraph.iter_dependents(slot):
             self.counters.mark_edge_visits += 1
             if dependent in self.out_of_date:
                 continue
@@ -197,8 +350,13 @@ class IncrementalEngine:
         "If the user explicitly requests the value of attributes (i.e.
         makes a query) they become important, and new computations of out of
         date attributes may be invoked in order to obtain correct values."
+
+        Inside a batch, the deferred marking is flushed first so the read
+        observes exactly the values per-update waves would have produced.
         """
         self.counters.demands += 1
+        if self._batch_depth:
+            self._flush_batch_marks()
         if self._slot_ready(slot):
             self.host.storage.touch(slot[0])
             return self.host.read_slot_value(slot)
@@ -207,6 +365,8 @@ class IncrementalEngine:
 
     def evaluate_slots(self, slots: Iterable[Slot], user_request: bool = False) -> None:
         """Run phase 2 for the given slots (and everything they require)."""
+        if self._batch_depth:
+            self._flush_batch_marks()
         for slot in slots:
             self._schedule_request(slot, priority=0.0, user_request=user_request)
         self.scheduler.run_to_exhaustion()
@@ -229,6 +389,9 @@ class IncrementalEngine:
     def _schedule_request(
         self, slot: Slot, priority: float, user_request: bool = False
     ) -> None:
+        if self._fast_ok(slot[0]):
+            self.scheduler.schedule_fast((_REQUEST, slot, None))
+            return
         self.scheduler.schedule(
             Chunk(
                 lambda s=slot: self._request(s),
@@ -241,6 +404,9 @@ class IncrementalEngine:
     def _request(self, slot: Slot) -> None:
         """Chunk body: first half of an evaluation (gather dependencies)."""
         self.counters.chunk_executions += 1
+        self._request_body(slot)
+
+    def _request_body(self, slot: Slot) -> None:
         if slot in self._pending:
             return  # someone else already requested it
         if self._slot_ready(slot):
@@ -287,6 +453,9 @@ class IncrementalEngine:
             self._schedule_compute(slot)
 
     def _schedule_collect(self, slot: Slot, priority: float) -> None:
+        # A collect is scheduled precisely because the slot is *not*
+        # resident, so it never rides the fast lane at schedule time (it
+        # may still be promoted when its block is loaded).
         self.scheduler.schedule(
             Chunk(lambda s=slot: self._collect(s), slot[0], priority)
         )
@@ -294,17 +463,23 @@ class IncrementalEngine:
     def _collect(self, slot: Slot) -> None:
         """Chunk body: fetch one clean value from disk for its waiters."""
         self.counters.chunk_executions += 1
+        self._collect_body(slot)
+
+    def _collect_body(self, slot: Slot) -> None:
         if slot not in self._waiters:
             return  # every waiter was already satisfied (or abandoned)
         if not self._slot_ready(slot):
             # Invalidated between scheduling and execution: fall back to a
             # full evaluation request.
-            self._request(slot)
+            self._request_body(slot)
             return
         self.host.storage.touch(slot[0])
         self._notify_waiters(slot, self.host.read_slot_value(slot))
 
     def _schedule_compute(self, slot: Slot) -> None:
+        if self._fast_ok(slot[0]):
+            self.scheduler.schedule_fast((_COMPUTE, slot, None))
+            return
         # All inputs are in hand; only the slot's own block is needed.
         self.scheduler.schedule(
             Chunk(lambda s=slot: self._compute(s), slot[0], _LOCAL_EDGE_PRIORITY)
@@ -313,6 +488,9 @@ class IncrementalEngine:
     def _compute(self, slot: Slot) -> None:
         """Chunk body: second half of an evaluation (run the rule)."""
         self.counters.chunk_executions += 1
+        self._compute_body(slot)
+
+    def _compute_body(self, slot: Slot) -> None:
         pend = self._pending.pop(slot, None)
         if pend is None:
             return  # already computed via another path
@@ -374,7 +552,8 @@ class IncrementalEngine:
 
         Queued chunks and pending evaluations are dropped; out-of-date
         marks are kept, so the abandoned slots simply recompute on the
-        next demand.
+        next demand.  Deferred batch seeds are kept too -- their marking
+        is only ever conservative and still flushes at batch close.
         """
         self.scheduler.clear()
         self._pending.clear()

@@ -15,6 +15,15 @@ OWL technique).  Order is chosen to minimise disk access:
 The policy is pluggable so experiment E4 can compare the paper's greedy
 order against fixed FIFO (breadth-first) and LIFO (depth-first) traversal
 orders: all policies compute identical values, only the I/O differs.
+
+**Fast lane.**  Work whose block is already resident never needs the
+priority machinery: the engine may enqueue it as a plain tuple via
+:meth:`ChunkScheduler.schedule_fast` instead of allocating a
+closure-carrying :class:`Chunk`.  Fast entries live in the same very-high
+deque as resident chunks, so execution order -- and therefore every
+buffer-pool touch and disk read -- is identical to scheduling a Chunk;
+only the per-unit allocation and dispatch cost disappears.  Fast entries
+are executed by the ``fast_runner`` callback the engine installs.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from typing import Callable, Literal
 
 Policy = Literal["greedy", "fifo", "lifo"]
 
+#: engine work carried through the fast lane: ``(kind, slot, extra)``.
+FastEntry = tuple
 
 class Chunk:
     """One schedulable unit of work.
@@ -37,7 +48,7 @@ class Chunk:
     computations", which receive a special (best) priority class.
     """
 
-    __slots__ = ("run", "iid", "priority", "user_request", "cancelled")
+    __slots__ = ("run", "iid", "priority", "user_request", "cancelled", "block_id")
 
     def __init__(
         self,
@@ -51,6 +62,10 @@ class Chunk:
         self.priority = priority
         self.user_request = user_request
         self.cancelled = False
+        #: block the chunk is indexed under in ``_by_block`` (None when not
+        #: indexed); lets a pop prune the index so a chunk that loads its
+        #: own block cannot be promoted into a second execution.
+        self.block_id: int | None = None
 
 
 class ChunkScheduler:
@@ -61,19 +76,24 @@ class ChunkScheduler:
         is_resident: Callable[[int], bool],
         block_of: Callable[[int], int],
         policy: Policy = "greedy",
+        fast_runner: Callable[[FastEntry], None] | None = None,
     ) -> None:
         if policy not in ("greedy", "fifo", "lifo"):
             raise ValueError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
         self._is_resident = is_resident
         self._block_of = block_of
-        self._high: deque[Chunk] = deque()
+        #: executes fast-lane entries; installed by the engine.
+        self.fast_runner = fast_runner
+        self._high: deque[Chunk | FastEntry] = deque()
         self._heap: list[tuple[int, float, int, Chunk]] = []
         self._fifo: deque[Chunk] = deque()
         self._lifo: list[Chunk] = []
         self._by_block: dict[int, list[Chunk]] = {}
         self._seq = 0
         self.executed = 0
+        #: fast-lane entries executed (no Chunk was allocated for these).
+        self.fast_executed = 0
 
     # -- scheduling ------------------------------------------------------------
 
@@ -99,12 +119,38 @@ class ChunkScheduler:
         else:
             self._lifo.append(chunk)
 
+    def schedule_fast(self, entry: FastEntry) -> None:
+        """Queue resident work as a bare tuple in the very-high deque.
+
+        The caller guarantees the entry's instance is resident (greedy
+        policy only); the entry occupies the same FIFO position a resident
+        Chunk would, so traversal order is unchanged.
+        """
+        self._high.append(entry)
+
     def _index_by_block(self, chunk: Chunk) -> None:
         try:
             block_id = self._block_of(chunk.iid)
         except Exception:
             return  # unplaced instance: never promoted, still runs from policy queue
         self._by_block.setdefault(block_id, []).append(chunk)
+        chunk.block_id = block_id
+
+    def _unindex(self, chunk: Chunk) -> None:
+        """Remove a popped chunk from the block index (it is now consumed)."""
+        block_id = chunk.block_id
+        if block_id is None:
+            return
+        chunk.block_id = None
+        waiting = self._by_block.get(block_id)
+        if waiting is None:
+            return
+        try:
+            waiting.remove(chunk)
+        except ValueError:
+            return
+        if not waiting:
+            del self._by_block[block_id]
 
     def on_block_loaded(self, block_id: int) -> None:
         """Buffer-pool callback: promote chunks waiting on this block."""
@@ -114,6 +160,7 @@ class ChunkScheduler:
         if not waiting:
             return
         for chunk in waiting:
+            chunk.block_id = None
             if not chunk.cancelled:
                 # Mark the original queue entry stale and requeue high.
                 promoted = Chunk(chunk.run, chunk.iid, chunk.priority, chunk.user_request)
@@ -122,32 +169,48 @@ class ChunkScheduler:
 
     # -- execution ------------------------------------------------------------
 
-    def _pop(self) -> Chunk | None:
+    def _pop(self) -> Chunk | FastEntry | None:
         while self._high:
-            chunk = self._high.popleft()
-            if not chunk.cancelled:
-                return chunk
+            entry = self._high.popleft()
+            if type(entry) is tuple:
+                return entry
+            if not entry.cancelled:
+                entry.cancelled = True  # consumed: immune to promotion
+                return entry
         if self.policy == "greedy":
             while self._heap:
                 __, __, __, chunk = heapq.heappop(self._heap)
                 if not chunk.cancelled:
+                    # Consume: a chunk that loads its own block must not be
+                    # promoted into a duplicate execution (see the regression
+                    # test in tests/evaluation/test_scheduler.py).
+                    chunk.cancelled = True
+                    self._unindex(chunk)
                     return chunk
             return None
         queue = self._fifo if self.policy == "fifo" else self._lifo
         while queue:
             chunk = queue.popleft() if self.policy == "fifo" else queue.pop()
             if not chunk.cancelled:
+                chunk.cancelled = True
                 return chunk
         return None
 
     def run_to_exhaustion(self) -> int:
-        """Execute chunks until no queue has work; returns chunks executed."""
+        """Execute entries until no queue has work; returns units executed."""
         executed = 0
         while True:
-            chunk = self._pop()
-            if chunk is None:
+            entry = self._pop()
+            if entry is None:
                 return executed
-            chunk.run()
+            if type(entry) is tuple:
+                runner = self.fast_runner
+                assert runner is not None, "fast entry queued without a fast_runner"
+                runner(entry)
+                executed += 1
+                self.fast_executed += 1
+                continue
+            entry.run()
             executed += 1
             self.executed += 1
 

@@ -64,9 +64,10 @@ class WaveTrace:
 class WaveTracer:
     """Context manager capturing engine activity on one database.
 
-    Implemented by shimming the engine's ``_mark``/``_compute`` chunk
-    bodies and the host's write path for the duration of the window; the
-    shims delegate to the originals, so behaviour is unchanged.
+    Implemented by shimming the engine's ``_mark_body``/``_compute_body``
+    work bodies (shared by chunked and fast-lane execution) for the
+    duration of the window; the shims delegate to the originals, so
+    behaviour is unchanged.
     """
 
     def __init__(self, db: "Database") -> None:
@@ -82,8 +83,8 @@ class WaveTracer:
         self._reads_at_start = stats.reads
         self._writes_at_start = stats.writes
 
-        original_mark = engine._mark
-        original_compute = engine._compute
+        original_mark = engine._mark_body
+        original_compute = engine._compute_body
         original_propagate = engine.propagate_intrinsic_change
         trace = self.trace
 
@@ -106,12 +107,12 @@ class WaveTracer:
             original_propagate(slot)
 
         self._originals = {
-            "_mark": original_mark,
-            "_compute": original_compute,
+            "_mark_body": original_mark,
+            "_compute_body": original_compute,
             "propagate_intrinsic_change": original_propagate,
         }
-        engine._mark = traced_mark  # type: ignore[method-assign]
-        engine._compute = traced_compute  # type: ignore[method-assign]
+        engine._mark_body = traced_mark  # type: ignore[method-assign]
+        engine._compute_body = traced_compute  # type: ignore[method-assign]
         engine.propagate_intrinsic_change = traced_propagate  # type: ignore[method-assign]
         return self.trace
 

@@ -22,6 +22,9 @@ from typing import Iterable, Iterator
 
 from repro.core.slots import Slot
 
+#: shared empty adjacency for slots with no edges (avoids per-call allocation).
+_EMPTY: dict[Slot, None] = {}
+
 
 class DependencyGraph:
     """A directed graph over slots with O(1) edge add/remove."""
@@ -75,6 +78,19 @@ class DependencyGraph:
         """Slots read by ``slot``'s rule, in edge-insertion order."""
         return list(self._dependencies.get(slot, ()))
 
+    def iter_dependents(self, slot: Slot) -> Iterable[Slot]:
+        """Like :meth:`dependents` but without the list copy.
+
+        Safe only when the caller does not mutate the graph while
+        iterating -- true for the engine's marking fan-out, which is the
+        hot path this exists for.
+        """
+        return self._dependents.get(slot, _EMPTY)
+
+    def iter_dependencies(self, slot: Slot) -> Iterable[Slot]:
+        """Like :meth:`dependencies` but without the list copy."""
+        return self._dependencies.get(slot, _EMPTY)
+
     def has_dependents(self, slot: Slot) -> bool:
         return slot in self._dependents
 
@@ -112,16 +128,14 @@ def could_change(graph: DependencyGraph, seeds: Iterable[Slot]) -> tuple[set[Slo
     amortised overhead bound
     ``O(Nodes(Could_Change(A)) + Edges(Could_Change(A)))``.
     """
-    reached: dict[Slot, None] = {}
+    reached = set(seeds)
     edges = 0
-    stack = list(seeds)
-    seen = set(stack)
+    stack = list(reached)
     while stack:
         slot = stack.pop()
-        reached[slot] = None
-        for dst in graph.dependents(slot):
+        for dst in graph.iter_dependents(slot):
             edges += 1
-            if dst not in seen:
-                seen.add(dst)
+            if dst not in reached:
+                reached.add(dst)
                 stack.append(dst)
-    return set(reached), edges
+    return reached, edges

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import (
     ConstraintViolation,
+    CycleError,
+    RuleEvaluationError,
     TransactionAborted,
     TransactionError,
 )
@@ -52,6 +54,12 @@ class TransactionManager:
         self._commit_listeners: list[Callable[[Delta], None]] = []
         self._rolling_back = False
         self._autocommit_pending = False
+        #: default for ``begin(batch=None)``: batch propagation across every
+        #: explicit transaction (set via ``Database(auto_batch_transactions=)``).
+        self.auto_batch = False
+        #: True while the active explicit transaction holds an open engine
+        #: batch (closed at commit, abandoned at abort).
+        self._engine_batched = False
 
     # -- state -------------------------------------------------------------
 
@@ -112,18 +120,49 @@ class TransactionManager:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def begin(self, label: str = "") -> int:
-        """Open an explicit transaction; nesting is not supported."""
+    def begin(self, label: str = "", batch: bool | None = None) -> int:
+        """Open an explicit transaction; nesting is not supported.
+
+        With ``batch=True`` (or ``batch=None`` while :attr:`auto_batch` is
+        set), the transaction opens an engine batch: primitive updates
+        defer their propagation into one coalesced wave that runs at
+        commit, just before the constraint audit.  Reads inside the
+        transaction flush the deferred marking, so values stay exact.
+        """
         if self._active is not None:
             raise TransactionError("a transaction is already active")
         self._active = Delta(txn_id=self._next_txn_id, label=label)
         self._next_txn_id += 1
+        if batch is None:
+            batch = self.auto_batch
+        if batch:
+            begin_batch = getattr(self.db.engine, "begin_batch", None)
+            if begin_batch is not None:
+                begin_batch()
+                self._engine_batched = True
         return self._active.txn_id
+
+    def _close_engine_batch(self) -> None:
+        """Run the deferred wave of a batched transaction (commit path)."""
+        if not self._engine_batched:
+            return
+        self._engine_batched = False
+        try:
+            self.db.engine.end_batch()
+        except ConstraintViolation as violation:
+            self.db.engine.reset_wave()
+            self.abort()
+            raise TransactionAborted(str(violation)) from violation
+        except (CycleError, RuleEvaluationError):
+            self.db.engine.reset_wave()
+            self.abort()
+            raise
 
     def commit(self) -> Delta:
         """Audit constraints, then commit the active transaction."""
         if self._active is None:
             raise TransactionError("no active transaction to commit")
+        self._close_engine_batch()
         try:
             self.db.audit_constraints()
         except ConstraintViolation as violation:
@@ -143,6 +182,13 @@ class TransactionManager:
         """Roll back and discard the active transaction."""
         if self._active is None:
             raise TransactionError("no active transaction to abort")
+        if self._engine_batched:
+            # Flush deferred marks (conservative, never wrong), skip the
+            # wave tail: the state they describe is about to be rolled back.
+            self._engine_batched = False
+            abandon = getattr(self.db.engine, "abandon_batch", None)
+            if abandon is not None:
+                abandon()
         delta = self._active
         self._active = None
         self._autocommit_pending = False

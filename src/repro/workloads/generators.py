@@ -153,12 +153,29 @@ def random_update_script(
     return script
 
 
-def run_update_script(db: Database, script: list[tuple[str, int, int]]) -> list[int]:
-    """Execute a script; returns the values observed by the gets."""
+def run_update_script(
+    db: Database, script: list[tuple[str, int, int]], batch: bool = False
+) -> list[int]:
+    """Execute a script; returns the values observed by the gets.
+
+    With ``batch=True`` the whole script runs inside one ``db.batch()``
+    block: sets coalesce into a single propagation wave while gets still
+    observe exact values (a mid-batch read flushes deferred marking).
+    Property tests replay the same script both ways and assert identical
+    observations.
+    """
     observed: list[int] = []
-    for op, iid, value in script:
-        if op == "set":
-            db.set_attr(iid, "weight", value)
-        else:
-            observed.append(db.get_attr(iid, "total"))
+
+    def run() -> None:
+        for op, iid, value in script:
+            if op == "set":
+                db.set_attr(iid, "weight", value)
+            else:
+                observed.append(db.get_attr(iid, "total"))
+
+    if batch:
+        with db.batch():
+            run()
+    else:
+        run()
     return observed

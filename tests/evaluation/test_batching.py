@@ -1,0 +1,328 @@
+"""Batched propagation waves: ``Database.batch`` and batched transactions.
+
+The batch API defers phase-1 marking across many primitive updates and
+runs one coalesced wave at close.  These tests pin its contract: deferral
+and coalescing are observable only through the counters -- values, marks
+at close, and constraint outcomes are identical to per-update waves.
+"""
+
+import pytest
+
+from repro.baselines.triggers import depth_first_factory
+from repro.core.database import Database
+from repro.core.rules import (
+    AttributeTarget,
+    Constraint,
+    Local,
+    Received,
+    Rule,
+    TransmitTarget,
+)
+from repro.core.schema import (
+    AttrKind,
+    AttributeDef,
+    End,
+    FlowDecl,
+    ObjectClass,
+    PortDef,
+    RelationshipType,
+    Schema,
+)
+from repro.errors import TransactionAborted, UnknownAttributeError
+from repro.workloads import build_chain, link, sum_node_schema
+
+
+def constrained_schema() -> Schema:
+    schema = Schema()
+    schema.add_relationship_type(
+        RelationshipType("dep", [FlowDecl("total", "integer", End.PLUG)])
+    )
+    schema.add_class(
+        ObjectClass(
+            "node",
+            attributes=[
+                AttributeDef("weight", "integer"),
+                AttributeDef("cap", "integer", default=100),
+                AttributeDef("total", "integer", AttrKind.DERIVED),
+            ],
+            ports=[
+                PortDef("inputs", "dep", End.SOCKET, multi=True),
+                PortDef("outputs", "dep", End.PLUG, multi=True),
+            ],
+            rules=[
+                Rule(
+                    AttributeTarget("total"),
+                    {"w": Local("weight"), "ins": Received("inputs", "total")},
+                    lambda w, ins: w + sum(ins),
+                ),
+                Rule(
+                    TransmitTarget("outputs", "total"),
+                    {"t": Local("total")},
+                    lambda t: t,
+                ),
+            ],
+            constraints=[
+                Constraint(
+                    "under_cap",
+                    {"total": Local("total"), "cap": Local("cap")},
+                    lambda total, cap: total <= cap,
+                )
+            ],
+        )
+    )
+    return schema.freeze()
+
+
+class TestDeferralAndCoalescing:
+    def test_marking_deferred_until_close(self, db):
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")  # clean
+        with db.batch():
+            db.set_attr(nodes[0], "weight", 9)
+            assert (nodes[-1], "total") not in db.engine.out_of_date
+        assert (nodes[-1], "total") in db.engine.out_of_date
+
+    def test_one_wave_for_many_updates(self, db):
+        nodes = build_chain(db, 6)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        with db.batch():
+            for iid in nodes:
+                db.set_attr(iid, "weight", 3)
+        delta = db.engine.counters.delta_since(before)
+        assert delta.waves == 1
+        assert delta.batched_updates == len(nodes)
+        assert db.get_attr(nodes[-1], "total") == 3 * len(nodes)
+
+    def test_values_identical_to_per_update(self):
+        def run(batch: bool) -> list[int]:
+            db = Database(sum_node_schema())
+            nodes = build_chain(db, 8)
+            link(db, nodes[2], nodes[6])
+            db.get_attr(nodes[-1], "total")
+            updates = [(nodes[i % 8], (i * 7) % 23 + 1) for i in range(40)]
+            if batch:
+                with db.batch():
+                    for iid, value in updates:
+                        db.set_attr(iid, "weight", value)
+            else:
+                for iid, value in updates:
+                    db.set_attr(iid, "weight", value)
+            return [db.get_attr(iid, "total") for iid in nodes]
+
+        assert run(batch=True) == run(batch=False)
+
+    def test_nested_batches_flush_once_at_outermost_close(self, db):
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        with db.batch():
+            db.set_attr(nodes[0], "weight", 2)
+            with db.batch():
+                db.set_attr(nodes[1], "weight", 3)
+            # Inner close must not run the wave.
+            assert (nodes[-1], "total") not in db.engine.out_of_date
+        assert db.engine.counters.delta_since(before).waves == 1
+
+    def test_connect_and_disconnect_batch_too(self, db):
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+        c = db.create("node", weight=4)
+        link(db, a, c)
+        db.get_attr(c, "total")
+        before = db.engine.counters.snapshot()
+        with db.batch():
+            link(db, b, c)
+            db.set_attr(a, "weight", 10)
+        assert db.engine.counters.delta_since(before).waves == 1
+        assert db.get_attr(c, "total") == 16
+
+
+class TestMidBatchReads:
+    def test_read_inside_batch_sees_fresh_value(self, db):
+        nodes = build_chain(db, 5)
+        db.get_attr(nodes[-1], "total")
+        with db.batch():
+            db.set_attr(nodes[0], "weight", 50)
+            assert db.get_attr(nodes[-1], "total") == 50 + 4
+
+    def test_read_flush_keeps_later_updates_batched(self, db):
+        nodes = build_chain(db, 5)
+        db.get_attr(nodes[-1], "total")
+        with db.batch():
+            db.set_attr(nodes[0], "weight", 50)
+            db.get_attr(nodes[-1], "total")  # flushes the first seed
+            db.set_attr(nodes[1], "weight", 7)
+            # The post-read update is deferred again until close.
+            assert (nodes[-1], "total") not in db.engine.out_of_date
+        assert db.get_attr(nodes[-1], "total") == 50 + 7 + 3
+
+
+class TestImportanceAtClose:
+    def test_standing_demand_evaluated_once_at_close(self, db):
+        nodes = build_chain(db, 10)
+        db.watch(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        for value in range(2, 7):
+            db.set_attr(nodes[0], "weight", value)
+        per_update = db.engine.counters.delta_since(before).rule_evaluations
+
+        before = db.engine.counters.snapshot()
+        with db.batch():
+            for value in range(2, 7):
+                db.set_attr(nodes[0], "weight", value)
+        batched = db.engine.counters.delta_since(before).rule_evaluations
+        assert batched < per_update
+        assert db.get_attr(nodes[-1], "total") == 6 + 9
+
+    def test_constraint_violation_at_close_rolls_back_whole_batch(self):
+        db = Database(constrained_schema())
+        a = db.create("node", weight=10, cap=100)
+        b = db.create("node", weight=5, cap=40)
+        db.connect(a, "outputs", b, "inputs")
+        db.get_attr(b, "total")
+        with pytest.raises(TransactionAborted):
+            with db.batch():
+                db.set_attr(a, "weight", 20)   # fine on its own
+                db.set_attr(b, "weight", 30)   # 20 + 30 > cap 40
+        # The *whole* batch rolled back, including the innocent update.
+        assert db.get_attr(a, "weight") == 10
+        assert db.get_attr(b, "weight") == 5
+        assert db.get_attr(b, "total") == 15
+
+    def test_batch_overshoot_resolved_within_batch_commits(self):
+        db = Database(constrained_schema())
+        iid = db.create("node", weight=10, cap=50)
+        db.get_attr(iid, "total")
+        # Per-update waves would veto the first assignment; the batch only
+        # checks the constraint against the *final* state at close.
+        with db.batch():
+            db.set_attr(iid, "weight", 80)
+            db.set_attr(iid, "weight", 30)
+        assert db.get_attr(iid, "weight") == 30
+        assert db.get_attr(iid, "total") == 30
+
+
+class TestErrorPaths:
+    def test_exception_inside_batch_flushes_marks(self, db):
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")
+        with pytest.raises(UnknownAttributeError):
+            with db.batch():
+                db.set_attr(nodes[0], "weight", 9)
+                db.set_attr(nodes[0], "no_such_attr", 1)
+        # The first update survives (it was valid) and its staleness was
+        # not lost in the unwind.
+        assert db.get_attr(nodes[0], "weight") == 9
+        assert db.get_attr(nodes[-1], "total") == 9 + 3
+
+    def test_engine_usable_after_batch_abort(self):
+        db = Database(constrained_schema())
+        iid = db.create("node", weight=10, cap=50)
+        with pytest.raises(TransactionAborted):
+            with db.batch():
+                db.set_attr(iid, "weight", 60)
+        db.set_attr(iid, "weight", 45)
+        assert db.get_attr(iid, "total") == 45
+
+
+class TestBatchedTransactions:
+    def test_transaction_batch_defers_to_commit(self, db):
+        nodes = build_chain(db, 5)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        with db.transaction(batch=True):
+            for iid in nodes:
+                db.set_attr(iid, "weight", 2)
+            assert (nodes[-1], "total") not in db.engine.out_of_date
+        assert db.engine.counters.delta_since(before).waves == 1
+        assert db.get_attr(nodes[-1], "total") == 10
+
+    def test_batched_transaction_constraint_aborts(self):
+        db = Database(constrained_schema())
+        iid = db.create("node", weight=10, cap=50)
+        db.get_attr(iid, "total")
+        with pytest.raises(TransactionAborted):
+            with db.transaction(batch=True):
+                db.set_attr(iid, "weight", 60)
+        assert db.get_attr(iid, "weight") == 10
+        assert not db.txn.in_transaction
+
+    def test_explicit_abort_of_batched_transaction(self, db):
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")
+        db.begin(batch=True)
+        db.set_attr(nodes[0], "weight", 42)
+        db.abort()
+        assert db.get_attr(nodes[0], "weight") == 1
+        assert db.get_attr(nodes[-1], "total") == 4
+
+    def test_auto_batch_database_setting(self):
+        db = Database(sum_node_schema(), auto_batch_transactions=True)
+        nodes = build_chain(db, 5)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        with db.transaction():
+            for iid in nodes:
+                db.set_attr(iid, "weight", 2)
+        assert db.engine.counters.delta_since(before).waves == 1
+        # Opt out per-transaction.
+        before = db.engine.counters.snapshot()
+        with db.transaction(batch=False):
+            db.set_attr(nodes[0], "weight", 3)
+            db.set_attr(nodes[1], "weight", 3)
+        assert db.engine.counters.delta_since(before).waves == 2
+
+    def test_unbatched_transaction_still_immediate(self, db):
+        nodes = build_chain(db, 3)
+        db.get_attr(nodes[-1], "total")
+        with db.transaction():
+            db.set_attr(nodes[0], "weight", 9)
+            assert (nodes[-1], "total") in db.engine.out_of_date
+
+
+class TestBaselinesAndFastPath:
+    def test_batch_is_noop_for_baseline_engines(self):
+        db = Database(sum_node_schema(), engine_factory=depth_first_factory())
+        nodes = build_chain(db, 4)
+        with db.batch():
+            db.set_attr(nodes[0], "weight", 6)
+        assert db.get_attr(nodes[-1], "total") == 6 + 3
+
+    def test_fast_path_off_matches_fast_path_on(self):
+        def run(fast_path: bool):
+            db = Database(sum_node_schema(), fast_path=fast_path)
+            nodes = build_chain(db, 8)
+            db.get_attr(nodes[-1], "total")
+            for value in (5, 9):
+                db.set_attr(nodes[0], "weight", value)
+            counters = db.engine.counters
+            return (
+                [db.get_attr(iid, "total") for iid in nodes],
+                counters.rule_evaluations,
+                counters.slots_marked,
+                counters.mark_edge_visits,
+            )
+
+        assert run(fast_path=True) == run(fast_path=False)
+
+    def test_fast_path_hits_replace_chunk_executions(self):
+        db = Database(sum_node_schema(), pool_capacity=4096)
+        nodes = build_chain(db, 6)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 7)
+        delta = db.engine.counters.delta_since(before)
+        # Everything is resident: marking rode the fast lane exclusively.
+        assert delta.fast_path_hits > 0
+        assert delta.chunk_executions == 0
+
+    def test_non_greedy_policies_keep_chunked_waves(self):
+        db = Database(sum_node_schema(), policy="fifo", pool_capacity=4096)
+        nodes = build_chain(db, 6)
+        db.get_attr(nodes[-1], "total")
+        before = db.engine.counters.snapshot()
+        db.set_attr(nodes[0], "weight", 7)
+        delta = db.engine.counters.delta_since(before)
+        assert delta.fast_path_hits == 0
+        assert delta.chunk_executions > 0

@@ -118,3 +118,66 @@ class TestBlockPromotion:
         sched.schedule(Chunk(lambda: None, iid=1))
         sched.clear()
         assert sched.run_to_exhaustion() == 0
+
+    def test_chunk_loading_own_block_runs_once(self):
+        """Regression: a heap-popped chunk whose body loads its own block
+        must not be promoted by on_block_loaded into a second execution."""
+        blocks = {1: 10}
+        sched = make_scheduler(blocks=blocks)
+        count = [0]
+
+        def body():
+            count[0] += 1
+            # The chunk's work faults in its own block (touch -> buffer
+            # load -> promotion callback), exactly what _mark does.
+            sched.on_block_loaded(10)
+
+        sched.schedule(Chunk(body, iid=1, priority=1.0))
+        sched.run_to_exhaustion()
+        assert count[0] == 1
+
+    def test_pop_prunes_block_index(self):
+        blocks = {1: 10, 2: 10}
+        sched = make_scheduler(blocks=blocks)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("a"), iid=1, priority=0.5))
+        sched.schedule(Chunk(lambda: ran.append("b"), iid=2, priority=1.0))
+        sched.run_to_exhaustion()
+        # Both consumed from the heap; the shared block's index entry must
+        # be gone so a later load promotes nothing.
+        sched.on_block_loaded(10)
+        assert sched.run_to_exhaustion() == 0
+        assert ran == ["a", "b"]
+
+
+class TestFastLane:
+    def test_fast_entries_execute_via_runner(self):
+        seen = []
+        sched = ChunkScheduler(
+            is_resident=lambda iid: True,
+            block_of=lambda iid: iid,
+            policy="greedy",
+            fast_runner=seen.append,
+        )
+        sched.schedule_fast((0, (1, "a"), None))
+        sched.schedule_fast((1, (2, "b"), None))
+        assert sched.run_to_exhaustion() == 2
+        assert seen == [(0, (1, "a"), None), (1, (2, "b"), None)]
+        assert sched.fast_executed == 2
+        assert sched.executed == 0
+
+    def test_fast_entries_interleave_with_resident_chunks_in_order(self):
+        ran = []
+        sched = ChunkScheduler(
+            is_resident=lambda iid: True,
+            block_of=lambda iid: iid,
+            policy="greedy",
+            fast_runner=lambda entry: ran.append(entry[1]),
+        )
+        sched.schedule(Chunk(lambda: ran.append("chunk1"), iid=1))
+        sched.schedule_fast((0, "fast1", None))
+        sched.schedule(Chunk(lambda: ran.append("chunk2"), iid=2))
+        sched.schedule_fast((0, "fast2", None))
+        sched.run_to_exhaustion()
+        # The fast lane shares the very-high deque: strict FIFO order.
+        assert ran == ["chunk1", "fast1", "chunk2", "fast2"]

@@ -64,6 +64,36 @@ class TestEdges:
         assert set(g.slots()) == {A, B, C}
 
 
+class TestIteratorViews:
+    def test_iter_dependents_matches_list_view(self):
+        g = DependencyGraph()
+        g.add_edge(A, D)
+        g.add_edge(A, B)
+        g.add_edge(A, C)
+        assert list(g.iter_dependents(A)) == g.dependents(A)
+        assert list(g.iter_dependencies(B)) == g.dependencies(B)
+
+    def test_iter_views_empty_for_unknown_slot(self):
+        g = DependencyGraph()
+        assert list(g.iter_dependents(A)) == []
+        assert list(g.iter_dependencies(A)) == []
+
+    def test_iter_view_is_live_not_a_copy(self):
+        g = DependencyGraph()
+        g.add_edge(A, B)
+        view = g.iter_dependents(A)
+        g.add_edge(A, C)
+        assert list(view) == [B, C]
+
+    def test_empty_view_shared_and_not_polluted(self):
+        g = DependencyGraph()
+        empty = g.iter_dependents(A)
+        g.add_edge(A, B)
+        # A fresh lookup sees the edge; the old empty view stays empty.
+        assert list(g.iter_dependents(A)) == [B]
+        assert list(empty) == []
+
+
 class TestCouldChange:
     def test_linear_chain(self):
         g = DependencyGraph()
