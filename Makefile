@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench examples results ci clean
+.PHONY: install test bench bench-recovery examples results ci clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -11,9 +11,13 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
+bench-recovery: ## durability cost + recovery latency -> benchmarks/results/BENCH_recovery.json
+	PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py --benchmark-only -q
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m pytest tests/persistence -q
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

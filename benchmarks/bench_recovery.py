@@ -1,0 +1,199 @@
+"""BENCH -- durability cost and recovery time of the WAL subsystem.
+
+Not one of the paper's experiments: Cactis kept its database in ordinary
+files and the paper is silent on crash recovery, so this benchmark prices
+the subsystem the reproduction adds on top.  Two questions:
+
+* **What does durability cost at commit time?**  The same update script
+  runs against an in-memory database, a WAL without fsync (``sync=False``,
+  crash-consistent against process death only), and the fully durable
+  ``sync=True`` configuration.  The gap between the last two is the price
+  of the fsync, the gap to the first is the price of logging at all.
+* **What does recovery cost at open time?**  Recovery replays the WAL
+  tail; its latency should scale linearly with the number of unfolded
+  commits, and a checkpoint should collapse it to the cost of loading the
+  image.
+
+Numbers land in ``results/BENCH_recovery.json`` so later PRs can diff the
+durability overhead against this PR's baseline.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.common import report, report_json
+from repro.core.database import Database
+from repro.persistence.faults import database_fingerprint
+from repro.workloads import build_chain, sum_node_schema
+
+N_NODES = 40
+N_COMMITS = 200
+ROUNDS = 3
+WAL_LENGTHS = [100, 400, 1600]
+
+
+def _run_commits(db, n_commits: int) -> None:
+    with db.transaction("build"):
+        nodes = build_chain(db, N_NODES, weight=1)
+    for i in range(n_commits):
+        with db.transaction(f"update-{i}"):
+            db.set_attr(nodes[i % N_NODES], "weight", i)
+
+
+def _timed_commit_run(mode: str) -> dict:
+    best = float("inf")
+    stats = None
+    for __ in range(ROUNDS):
+        workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+        try:
+            if mode == "in-memory":
+                db = Database(sum_node_schema())
+            else:
+                db = Database.open(
+                    os.path.join(workdir, "db"),
+                    sum_node_schema(),
+                    sync=(mode == "wal+fsync"),
+                )
+            start = time.perf_counter()
+            _run_commits(db, N_COMMITS)
+            best = min(best, time.perf_counter() - start)
+            if db.persistence is not None:
+                stats = {
+                    "commits_logged": db.persistence.stats.commits_logged,
+                    "wal_bytes": db.persistence.wal_bytes,
+                    "fsyncs": db.persistence._wal.syncs,
+                }
+                db.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return {"wall_seconds_best": best, **(stats or {})}
+
+
+def test_commit_throughput_durability_cost(benchmark):
+    """Price the WAL: in-memory vs flushed log vs fsync-per-commit."""
+
+    def setup():
+        workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+        db = Database.open(os.path.join(workdir, "db"), sum_node_schema(), sync=False)
+        return (db, workdir), {}
+
+    def run(db, workdir):
+        _run_commits(db, N_COMMITS)
+        db.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+
+    modes = ["in-memory", "wal", "wal+fsync"]
+    results = {mode: _timed_commit_run(mode) for mode in modes}
+
+    # Every logged configuration paid one append per commit; only the
+    # durable one paid fsyncs.
+    assert results["wal"]["commits_logged"] == N_COMMITS + 1  # +1 for the build
+    assert results["wal"]["fsyncs"] == 0
+    assert results["wal+fsync"]["fsyncs"] == N_COMMITS + 1
+
+    rows = [
+        [
+            mode,
+            results[mode].get("commits_logged", 0),
+            results[mode].get("fsyncs", 0),
+            results[mode].get("wal_bytes", 0),
+            f"{results[mode]['wall_seconds_best'] * 1e3:.1f}",
+        ]
+        for mode in modes
+    ]
+    report(
+        "BENCH_recovery",
+        f"{N_COMMITS} commits over a {N_NODES}-node chain",
+        ["mode", "commits logged", "fsyncs", "WAL bytes", "best ms"],
+        rows,
+    )
+    report_json(
+        "recovery",
+        "commit_throughput",
+        {
+            "workload": {"nodes": N_NODES, "commits": N_COMMITS, "rounds": ROUNDS},
+            "modes": results,
+            "logging_overhead_vs_memory": round(
+                results["wal"]["wall_seconds_best"]
+                / results["in-memory"]["wall_seconds_best"],
+                2,
+            ),
+            "fsync_overhead_vs_wal": round(
+                results["wal+fsync"]["wall_seconds_best"]
+                / results["wal"]["wall_seconds_best"],
+                2,
+            ),
+        },
+    )
+
+
+def test_recovery_time_vs_wal_length(benchmark):
+    """Recovery replays the tail; a checkpoint collapses it to an image load."""
+
+    def _build(workdir: str, commits: int, checkpoint: bool) -> None:
+        db = Database.open(os.path.join(workdir, "db"), sum_node_schema(), sync=False)
+        _run_commits(db, commits)
+        if checkpoint:
+            db.checkpoint()
+        db.close()
+
+    def _recover(workdir: str):
+        start = time.perf_counter()
+        db = Database.open(os.path.join(workdir, "db"), sum_node_schema(), sync=False)
+        elapsed = time.perf_counter() - start
+        report_obj = db.persistence.stats.recovery
+        db.close()
+        return elapsed, report_obj, db
+
+    def setup():
+        workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+        _build(workdir, WAL_LENGTHS[0], checkpoint=False)
+        return (workdir,), {}
+
+    def run(workdir):
+        _recover(workdir)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+
+    rows = []
+    curves = {}
+    for commits in WAL_LENGTHS:
+        for checkpoint in (False, True):
+            workdir = tempfile.mkdtemp(prefix="bench-recovery-")
+            try:
+                _build(workdir, commits, checkpoint)
+                reference = Database(sum_node_schema())
+                _run_commits(reference, commits)
+                elapsed, recovery, db = _recover(workdir)
+                # Recovery must reproduce the never-crashed run exactly.
+                assert database_fingerprint(db) == database_fingerprint(reference)
+                assert recovery.replayed == (0 if checkpoint else commits + 1)
+                label = f"{commits}{'+ckpt' if checkpoint else ''}"
+                rows.append(
+                    [label, recovery.replayed, recovery.skipped, f"{elapsed * 1e3:.1f}"]
+                )
+                curves[label] = {
+                    "commits": commits,
+                    "checkpointed": checkpoint,
+                    "replayed": recovery.replayed,
+                    "recovery_seconds": elapsed,
+                }
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+
+    report(
+        "BENCH_recovery",
+        "recovery latency vs unfolded WAL length",
+        ["WAL commits", "replayed", "skipped", "recovery ms"],
+        rows,
+    )
+    report_json(
+        "recovery",
+        "recovery_time",
+        {"wal_lengths": WAL_LENGTHS, "curves": curves},
+    )

@@ -61,6 +61,7 @@ from repro.errors import (
     IntrinsicOnlyError,
     RuleEvaluationError,
     SchemaError,
+    StorageError,
     TransactionAborted,
     UnknownAttributeError,
     UnknownInstanceError,
@@ -128,6 +129,55 @@ class Database:
         self._unchecked_constraints: set[Slot] = set()
         self._in_recovery: set[Slot] = set()
         self._primitive_depth = 0
+        #: attached by :class:`repro.persistence.manager.PersistenceManager`
+        #: when the database was opened durably (:meth:`Database.open`).
+        self.persistence = None
+
+    # ------------------------------------------------------------------
+    # durable open / checkpoint / close
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        schema: Schema,
+        *,
+        sync: bool = True,
+        injector: Any | None = None,
+        **db_kwargs: Any,
+    ) -> "Database":
+        """Open (creating or recovering) a durable database at ``path``.
+
+        ``path`` is a directory holding the write-ahead log and the latest
+        checkpoint.  Every committed transaction is appended to the log
+        (fsynced when ``sync`` is true) before ``commit`` returns; a
+        process crash at any point loses at most the transaction whose
+        append had not completed.  Reopening replays the checkpoint plus
+        the WAL tail, dropping any torn or corrupt trailing record.
+
+        ``injector`` is a :class:`repro.persistence.faults.FaultInjector`
+        for crash testing; remaining keyword arguments go to the
+        :class:`Database` constructor.
+        """
+        from repro.persistence.manager import PersistenceManager
+
+        return PersistenceManager.open(
+            path, schema, sync=sync, injector=injector, **db_kwargs
+        )
+
+    def checkpoint(self) -> int:
+        """Fold the WAL into a fresh on-disk image and truncate the log."""
+        if self.persistence is None:
+            raise StorageError(
+                "database has no persistence attached; use Database.open"
+            )
+        return self.persistence.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the durable log (no-op for in-memory databases)."""
+        if self.persistence is not None:
+            self.persistence.close()
 
     # ------------------------------------------------------------------
     # catalog access
@@ -144,6 +194,16 @@ class Database:
 
     def instance_ids(self) -> list[int]:
         return sorted(self._catalog)
+
+    @property
+    def next_instance_id(self) -> int:
+        """The id the next successful :meth:`create` will allocate.
+
+        Exposed so concurrency control can validate a creation *before*
+        any mutation happens (check-then-act), and so recovery can keep
+        the allocator ahead of replayed instances.
+        """
+        return self._next_iid
 
     def __len__(self) -> int:
         return len(self._catalog)

@@ -121,8 +121,10 @@ class IncrementalEngine:
             fast_runner=self._run_fast,
         )
         # Wire buffer-pool loads to chunk promotion ("very high priority
-        # queue" of Section 2.3).
+        # queue" of Section 2.3) and evictions to the symmetric demotion,
+        # so residency-routed work is re-priced when its block leaves.
         host.storage.buffer.on_load = self.scheduler.on_block_loaded
+        host.storage.buffer.on_evict = self.scheduler.on_block_evicted
         self._pending: dict[Slot, _Pending] = {}
         self._waiters: dict[Slot, list[Slot]] = {}
         self._important_found: list[Slot] = []

@@ -167,6 +167,46 @@ class ChunkScheduler:
                 chunk.cancelled = True
                 self._high.append(promoted)
 
+    def on_block_evicted(self, block_id: int) -> None:
+        """Buffer-pool callback: demote very-high work whose block left memory.
+
+        Entries reach the very-high deque on the strength of residency; an
+        eviction between scheduling and execution silently invalidates
+        that, leaving work to run against a non-resident block and pay an
+        unaccounted re-read ahead of cheaper candidates.  Demotion
+        re-indexes the work into the policy queue (where its expected I/O
+        is priced) and the block index, so a later reload promotes it
+        again exactly like any other waiting chunk.
+        """
+        if self.policy != "greedy" or not self._high:
+            return
+        kept: deque[Chunk | FastEntry] = deque()
+        for entry in self._high:
+            if type(entry) is tuple:
+                iid = entry[1][0]
+                if self._block_or_none(iid) == block_id:
+                    # Fast-lane work earned its tuple form by residency;
+                    # re-wrap it as a schedulable chunk for the slow path.
+                    runner = self.fast_runner
+                    assert runner is not None, "fast entry queued without a fast_runner"
+                    self.schedule(Chunk(lambda e=entry, r=runner: r(e), iid))
+                else:
+                    kept.append(entry)
+                continue
+            if entry.cancelled:
+                continue  # stale duplicate: drop rather than re-queue
+            if self._block_or_none(entry.iid) == block_id:
+                self.schedule(entry)
+            else:
+                kept.append(entry)
+        self._high = kept
+
+    def _block_or_none(self, iid: int) -> int | None:
+        try:
+            return self._block_of(iid)
+        except Exception:
+            return None
+
     # -- execution ------------------------------------------------------------
 
     def _pop(self) -> Chunk | FastEntry | None:

@@ -1,0 +1,67 @@
+"""Checkpointing: fold the WAL into a fresh database image.
+
+A checkpoint is the existing JSON image (:func:`repro.storage.codec.
+dump_database`) wrapped with the WAL high-water mark at the moment it was
+taken.  Installation is atomic -- written to a temporary file, fsynced,
+then :func:`os.replace`d over the previous checkpoint, with the directory
+fsynced so the rename itself is durable.  A crash at any point therefore
+leaves either the old checkpoint or the new one, never a partial file.
+
+After a successful install the WAL can be truncated; if the crash lands
+between install and truncation, recovery skips every WAL record whose
+``seq`` is at or below the checkpoint's ``wal_seq`` -- replaying a record
+the image already contains would double-apply it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.storage.codec import dump_database
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+CHECKPOINT_FORMAT = 1
+
+
+def write_checkpoint(db: "Database", path: str, wal_seq: int) -> None:
+    """Atomically install a checkpoint of ``db`` stamped with ``wal_seq``."""
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "wal_seq": wal_seq,
+        "image": dump_database(db),
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(os.path.dirname(path) or ".")
+
+
+def read_checkpoint(path: str) -> dict | None:
+    """Load a checkpoint document, or ``None`` when none has been taken."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        document = json.load(fh)
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise StorageError(
+            f"unsupported checkpoint format {document.get('format')!r}"
+        )
+    if "wal_seq" not in document or "image" not in document:
+        raise StorageError(f"checkpoint {path!r} is missing required fields")
+    return document
+
+
+def _fsync_directory(directory: str) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

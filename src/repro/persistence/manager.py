@@ -1,0 +1,163 @@
+"""PersistenceManager: the durability hook-up for one open database.
+
+``Database.open(path, schema)`` routes here.  The manager owns a database
+*directory* holding two files::
+
+    <path>/wal.log          append-only log of committed deltas
+    <path>/checkpoint.json  latest atomic image + WAL high-water mark
+
+Opening recovers whatever the directory holds (nothing, a bare WAL, a
+checkpoint, or both), repairs any torn WAL tail, then attaches itself to
+the live database:
+
+* a **commit listener** on the transaction manager appends each committed
+  delta to the WAL (fsync before returning, so commit == durable).  Every
+  commit path converges on :meth:`TransactionManager.commit` -- explicit
+  transactions, autocommitted primitives, batched transactions, and
+  multi-user :class:`~repro.txn.manager.Session` commits -- so this single
+  choke point logs them all;
+* an **undo listener** appends a compensation record for each Undo
+  meta-action, keeping the durable history aligned with the in-memory one.
+
+Aborted transactions never reach either listener and cost no I/O at all --
+the paper's economy argument, extended to durability.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import TransactionError
+from repro.persistence.checkpoint import write_checkpoint
+from repro.persistence.recovery import RecoveryReport, recover_database
+from repro.persistence.wal import (
+    WriteAheadLog,
+    encode_commit_payload,
+    encode_undo_payload,
+)
+from repro.txn.log import Delta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+    from repro.persistence.faults import FaultInjector
+
+WAL_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+@dataclass
+class PersistenceStats:
+    """Durability-side accounting (the recovery benchmark's quantities)."""
+
+    commits_logged: int = 0
+    undos_logged: int = 0
+    bytes_appended: int = 0
+    checkpoints_taken: int = 0
+    #: what the opening recovery pass found.
+    recovery: RecoveryReport | None = field(default=None, repr=False)
+
+
+class PersistenceManager:
+    """Owns the WAL + checkpoint files of one database directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        sync: bool = True,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        self.directory = directory
+        self.sync = sync
+        self.injector = injector
+        self.wal_path = os.path.join(directory, WAL_NAME)
+        self.checkpoint_path = os.path.join(directory, CHECKPOINT_NAME)
+        self.stats = PersistenceStats()
+        #: sequence number of the most recent durable record.
+        self.seq = 0
+        self.db: "Database | None" = None
+        self._wal: WriteAheadLog | None = None
+
+    # -- opening ------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        schema,
+        *,
+        sync: bool = True,
+        injector: "FaultInjector | None" = None,
+        **db_kwargs,
+    ) -> "Database":
+        """Recover (or initialise) a durable database under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        manager = cls(directory, sync=sync, injector=injector)
+        db, seq, report = recover_database(
+            manager.wal_path, manager.checkpoint_path, schema, **db_kwargs
+        )
+        manager.seq = seq
+        manager.stats.recovery = report
+        manager.attach(db)
+        return db
+
+    def attach(self, db: "Database") -> None:
+        """Start logging the database's commits and undos through the WAL."""
+        self.db = db
+        self._wal = WriteAheadLog(
+            self.wal_path, sync=self.sync, injector=self.injector
+        )
+        db.persistence = self
+        db.txn.add_commit_listener(self._on_commit)
+        db.txn.add_undo_listener(self._on_undo)
+
+    # -- the choke point ------------------------------------------------------
+
+    def _on_commit(self, delta: Delta) -> None:
+        assert self._wal is not None
+        self.seq += 1
+        self.stats.bytes_appended += self._wal.append(
+            encode_commit_payload(self.seq, delta)
+        )
+        self.stats.commits_logged += 1
+
+    def _on_undo(self, delta: Delta) -> None:
+        assert self._wal is not None
+        self.seq += 1
+        self.stats.bytes_appended += self._wal.append(
+            encode_undo_payload(self.seq, delta)
+        )
+        self.stats.undos_logged += 1
+
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Fold the WAL into a fresh image; returns the checkpointed seq.
+
+        The image is installed atomically *before* the WAL is truncated: a
+        crash between the two leaves records the checkpoint already
+        contains, which recovery skips by sequence number.
+        """
+        assert self.db is not None and self._wal is not None
+        if self.db.txn.in_transaction:
+            raise TransactionError(
+                "cannot checkpoint while a transaction is active"
+            )
+        write_checkpoint(self.db, self.checkpoint_path, self.seq)
+        self._wal.reset()
+        self.stats.checkpoints_taken += 1
+        return self.seq
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the WAL (the database object stays usable
+        in-memory, but further commits would fail to log)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    @property
+    def wal_bytes(self) -> int:
+        """Current on-disk size of the WAL."""
+        return os.path.getsize(self.wal_path) if os.path.exists(self.wal_path) else 0

@@ -51,6 +51,12 @@ class BufferPool:
     on_load:
         Optional callback invoked with a block id immediately after the block
         becomes resident; the chunk scheduler registers itself here.
+    on_evict:
+        Symmetric callback invoked with a block id immediately after the
+        block leaves the pool -- by LRU eviction, :meth:`drop`, or
+        :meth:`clear`.  The scheduler uses it to demote work it already
+        routed to the very-high queue on the strength of residency that no
+        longer holds.
     """
 
     def __init__(
@@ -58,12 +64,14 @@ class BufferPool:
         disk: SimulatedDisk,
         capacity: int = DEFAULT_POOL_CAPACITY,
         on_load: Callable[[int], None] | None = None,
+        on_evict: Callable[[int], None] | None = None,
     ) -> None:
         if capacity <= 0:
             raise StorageError("buffer pool capacity must be positive")
         self.disk = disk
         self.capacity = capacity
         self.on_load = on_load
+        self.on_evict = on_evict
         self.stats = BufferStats()
         #: block id -> dirty flag, in LRU order (oldest first).
         self._frames: OrderedDict[int, bool] = OrderedDict()
@@ -111,6 +119,8 @@ class BufferPool:
             if dirty:
                 self.disk.write(victim)
                 self.stats.dirty_writebacks += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
 
     # -- control ------------------------------------------------------------
 
@@ -124,12 +134,17 @@ class BufferPool:
 
     def drop(self, block_id: int) -> None:
         """Discard a frame (used when its block is released by reorganisation)."""
-        self._frames.pop(block_id, None)
+        if self._frames.pop(block_id, None) is not None and self.on_evict is not None:
+            self.on_evict(block_id)
 
     def clear(self) -> None:
         """Flush and empty the pool (cold-cache benchmark starts)."""
         self.flush()
+        dropped = list(self._frames)
         self._frames.clear()
+        if self.on_evict is not None:
+            for block_id in dropped:
+                self.on_evict(block_id)
 
     def __repr__(self) -> str:
         return (

@@ -22,14 +22,20 @@ class DiskStats:
 
     reads: int = 0
     writes: int = 0
+    #: fresh block ids handed out (never-before-used storage growth).
     blocks_allocated: int = 0
+    #: freed block ids handed out again; counted separately so benchmarks
+    #: reporting allocation do not inflate growth with recycling churn.
+    blocks_recycled: int = 0
 
     @property
     def total_io(self) -> int:
         return self.reads + self.writes
 
     def snapshot(self) -> "DiskStats":
-        return DiskStats(self.reads, self.writes, self.blocks_allocated)
+        return DiskStats(
+            self.reads, self.writes, self.blocks_allocated, self.blocks_recycled
+        )
 
     def delta_since(self, earlier: "DiskStats") -> "DiskStats":
         """Counter difference between now and an earlier :meth:`snapshot`."""
@@ -37,6 +43,7 @@ class DiskStats:
             self.reads - earlier.reads,
             self.writes - earlier.writes,
             self.blocks_allocated - earlier.blocks_allocated,
+            self.blocks_recycled - earlier.blocks_recycled,
         )
 
 
@@ -61,12 +68,13 @@ class SimulatedDisk:
         """Create (or recycle) an empty block."""
         if self._free_ids:
             block_id = self._free_ids.pop()
+            self.stats.blocks_recycled += 1
         else:
             block_id = self._next_block_id
             self._next_block_id += 1
+            self.stats.blocks_allocated += 1
         block = Block(block_id, self.block_capacity)
         self.blocks[block_id] = block
-        self.stats.blocks_allocated += 1
         return block
 
     def release_block(self, block_id: int) -> None:

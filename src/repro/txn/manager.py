@@ -78,10 +78,13 @@ class Session:
     # -- primitives ------------------------------------------------------------
 
     def create(self, class_name: str, **intrinsics: Any) -> int:
+        # Check-then-act, like every other write primitive: validate the
+        # timestamp against the id the create is about to allocate *before*
+        # touching the database.  A doomed create must not allocate an
+        # instance id or mutate anything and then lean on rollback.
+        self.tsm.check_write(self.ts, self.db.next_instance_id)
         with self._adopted():
-            iid = self.db.create(class_name, **intrinsics)
-        self.tsm.check_write(self.ts, iid)
-        return iid
+            return self.db.create(class_name, **intrinsics)
 
     def delete(self, iid: int) -> None:
         self.tsm.check_write(self.ts, iid)

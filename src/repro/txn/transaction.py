@@ -50,8 +50,12 @@ class TransactionManager:
         self._next_txn_id = 1
         #: committed transactions, oldest first.
         self.history: list[Delta] = []
-        #: observers notified with each committed delta (version streams).
+        #: observers notified with each committed delta (version streams,
+        #: the persistence manager's WAL append).
         self._commit_listeners: list[Callable[[Delta], None]] = []
+        #: observers notified with each delta the Undo meta-action rolls
+        #: back (the persistence manager's compensation record).
+        self._undo_listeners: list[Callable[[Delta], None]] = []
         self._rolling_back = False
         self._autocommit_pending = False
         #: default for ``begin(batch=None)``: batch propagation across every
@@ -73,6 +77,9 @@ class TransactionManager:
 
     def add_commit_listener(self, listener: Callable[[Delta], None]) -> None:
         self._commit_listeners.append(listener)
+
+    def add_undo_listener(self, listener: Callable[[Delta], None]) -> None:
+        self._undo_listeners.append(listener)
 
     # -- logging (called by the database primitives) -------------------------
 
@@ -208,6 +215,8 @@ class TransactionManager:
             raise TransactionError("no committed transaction to undo")
         delta = self.history.pop()
         self._apply_inverse(delta)
+        for listener in self._undo_listeners:
+            listener(delta)
         return delta
 
     # -- replay ------------------------------------------------------------

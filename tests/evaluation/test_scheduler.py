@@ -150,6 +150,89 @@ class TestBlockPromotion:
         assert ran == ["a", "b"]
 
 
+class TestBlockDemotion:
+    """Regression: eviction between scheduling and execution used to leave
+    residency-routed entries in the very-high deque, running them against a
+    non-resident block ahead of properly priced work."""
+
+    def _mutable_scheduler(self, resident, blocks, fast_runner=None):
+        return ChunkScheduler(
+            is_resident=lambda iid: iid in resident,
+            block_of=lambda iid: blocks[iid],
+            policy="greedy",
+            fast_runner=fast_runner,
+        )
+
+    def test_evict_between_schedule_and_run_demotes_chunk(self):
+        resident, blocks = {1}, {1: 10, 2: 20}
+        sched = self._mutable_scheduler(resident, blocks)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("evicted"), iid=1, priority=9.0))
+        sched.schedule(Chunk(lambda: ran.append("cheap"), iid=2, priority=0.5))
+        resident.discard(1)
+        sched.on_block_evicted(10)
+        sched.run_to_exhaustion()
+        # Demoted out of the fast lane: the cheap non-resident chunk now
+        # rightly runs first, and the demoted work still runs exactly once.
+        assert ran == ["cheap", "evicted"]
+
+    def test_demoted_chunk_promoted_again_on_reload(self):
+        resident, blocks = {1}, {1: 10, 2: 20}
+        sched = self._mutable_scheduler(resident, blocks)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("bounced"), iid=1, priority=9.0))
+        sched.schedule(Chunk(lambda: ran.append("other"), iid=2, priority=0.5))
+        resident.discard(1)
+        sched.on_block_evicted(10)
+        resident.add(1)
+        sched.on_block_loaded(10)
+        sched.run_to_exhaustion()
+        assert ran == ["bounced", "other"]
+
+    def test_evicted_fast_entry_demoted_and_runs_once(self):
+        seen = []
+        resident, blocks = {1}, {1: 10, 2: 20}
+        sched = self._mutable_scheduler(resident, blocks, fast_runner=seen.append)
+        entry = (0, (1, "attr"), None)
+        sched.schedule_fast(entry)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("cheap"), iid=2, priority=0.5))
+        resident.discard(1)
+        sched.on_block_evicted(10)
+        assert sched.run_to_exhaustion() == 2
+        assert seen == [entry]
+        assert ran == ["cheap"]
+
+    def test_eviction_of_unrelated_block_keeps_order(self):
+        resident, blocks = {1, 2}, {1: 10, 2: 20}
+        sched = self._mutable_scheduler(resident, blocks)
+        ran = []
+        sched.schedule(Chunk(lambda: ran.append("a"), iid=1))
+        sched.schedule(Chunk(lambda: ran.append("b"), iid=2))
+        sched.on_block_evicted(99)
+        sched.run_to_exhaustion()
+        assert ran == ["a", "b"]
+
+    def test_pool_eviction_reaches_scheduler(self):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.disk import SimulatedDisk
+
+        disk = SimulatedDisk(256)
+        ids = [disk.allocate_block().block_id for __ in range(3)]
+        evicted = []
+        pool = BufferPool(disk, capacity=2, on_evict=evicted.append)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        pool.fetch(ids[2])  # LRU-evicts ids[0]
+        assert evicted == [ids[0]]
+        pool.drop(ids[1])
+        assert evicted == [ids[0], ids[1]]
+        pool.clear()
+        assert evicted == [ids[0], ids[1], ids[2]]
+        pool.drop(12345)  # absent frame: no callback
+        assert len(evicted) == 3
+
+
 class TestFastLane:
     def test_fast_entries_execute_via_runner(self):
         seen = []

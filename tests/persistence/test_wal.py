@@ -1,0 +1,206 @@
+"""Unit tests for WAL framing, scanning, repair, and checkpoint files."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.errors import StorageError, TransactionError
+from repro.persistence.checkpoint import read_checkpoint, write_checkpoint
+from repro.persistence.faults import flip_record_bit, truncate_tail
+from repro.persistence.wal import (
+    WalScan,
+    WriteAheadLog,
+    decode_wal_payload,
+    encode_commit_payload,
+    encode_undo_payload,
+    repair_wal,
+    scan_wal,
+    wal_payload_spans,
+)
+from repro.core.database import Database
+from repro.txn.log import Delta, SetAttrRecord
+from repro.workloads.topologies import build_chain, sum_node_schema
+
+
+def wal_with(path, payloads, sync=False):
+    wal = WriteAheadLog(path, sync=sync)
+    for payload in payloads:
+        wal.append(payload)
+    wal.close()
+    return wal
+
+
+PAYLOADS = [{"type": "undo", "seq": i, "txn_id": i} for i in range(1, 4)]
+
+
+class TestFraming:
+    def test_append_scan_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        scan = scan_wal(path)
+        assert scan.clean
+        assert scan.payloads == PAYLOADS
+        assert scan.valid_bytes == os.path.getsize(path)
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "absent.log"))
+        assert scan.clean and scan.payloads == [] and scan.valid_bytes == 0
+
+    def test_commit_payload_round_trip(self, tmp_path):
+        delta = Delta(txn_id=7, label="retune")
+        delta.records.append(SetAttrRecord(iid=1, attr="weight", old_value=2, new_value=9))
+        path = str(tmp_path / "wal.log")
+        wal_with(path, [encode_commit_payload(3, delta)])
+        kind, seq, decoded = decode_wal_payload(scan_wal(path).payloads[0])
+        assert (kind, seq) == ("commit", 3)
+        assert decoded == delta
+
+    def test_undo_payload_round_trip(self):
+        kind, seq, delta = decode_wal_payload(encode_undo_payload(5, Delta(txn_id=2)))
+        assert (kind, seq, delta) == ("undo", 5, None)
+
+    def test_unknown_payload_type_rejected(self):
+        with pytest.raises(StorageError):
+            decode_wal_payload({"type": "mystery", "seq": 1})
+
+    def test_sync_counts_fsyncs(self, tmp_path):
+        wal = wal_with(str(tmp_path / "wal.log"), PAYLOADS, sync=True)
+        assert wal.syncs == len(PAYLOADS)
+        wal = wal_with(str(tmp_path / "nosync.log"), PAYLOADS, sync=False)
+        assert wal.syncs == 0
+
+    def test_reset_empties_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync=False)
+        wal.append(PAYLOADS[0])
+        wal.reset()
+        wal.append(PAYLOADS[1])
+        wal.close()
+        assert scan_wal(path).payloads == [PAYLOADS[1]]
+
+
+class TestTornTails:
+    def test_cut_inside_payload_is_torn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        truncate_tail(path, 5)
+        scan = scan_wal(path)
+        assert scan.dropped == "torn"
+        assert scan.payloads == PAYLOADS[:-1]
+
+    def test_cut_inside_header_is_torn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        spans = wal_payload_spans(path)
+        # Leave only 3 bytes of the final record's 8-byte header.
+        truncate_tail(path, os.path.getsize(path) - (spans[-1][0] - 8) - 3)
+        scan = scan_wal(path)
+        assert scan.dropped == "torn"
+        assert scan.payloads == PAYLOADS[:-1]
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        flip_record_bit(path, record=-1, byte=2, bit=4)
+        scan = scan_wal(path)
+        assert scan.dropped == "crc"
+        assert scan.payloads == PAYLOADS[:-1]
+
+    def test_non_json_payload_with_matching_crc_rejected(self, tmp_path):
+        import zlib
+
+        path = str(tmp_path / "wal.log")
+        data = b"not json at all"
+        with open(path, "wb") as fh:
+            fh.write(struct.pack(">II", len(data), zlib.crc32(data)) + data)
+        assert scan_wal(path).dropped == "crc"
+
+    def test_repair_truncates_to_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        truncate_tail(path, 5)
+        scan = scan_wal(path)
+        assert repair_wal(path, scan)
+        assert os.path.getsize(path) == scan.valid_bytes
+        healed = scan_wal(path)
+        assert healed.clean and healed.payloads == PAYLOADS[:-1]
+
+    def test_repair_of_clean_log_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        size = os.path.getsize(path)
+        assert not repair_wal(path, scan_wal(path))
+        assert os.path.getsize(path) == size
+
+    def test_appends_after_repair_scan_cleanly(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        truncate_tail(path, 5)
+        repair_wal(path, scan_wal(path))
+        wal = WriteAheadLog(path, sync=False)
+        wal.append({"type": "undo", "seq": 9, "txn_id": 9})
+        wal.close()
+        scan = scan_wal(path)
+        assert scan.clean
+        assert [p["seq"] for p in scan.payloads] == [1, 2, 9]
+
+    def test_payload_spans_address_each_record(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal_with(path, PAYLOADS)
+        spans = wal_payload_spans(path)
+        assert len(spans) == 3
+        with open(path, "rb") as fh:
+            buf = fh.read()
+        for (start, length), payload in zip(spans, PAYLOADS):
+            assert json.loads(buf[start : start + length]) == payload
+
+
+class TestCheckpointFile:
+    def _db(self):
+        db = Database(sum_node_schema())
+        build_chain(db, 2, weight=3)
+        return db
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        write_checkpoint(self._db(), path, wal_seq=4)
+        document = read_checkpoint(path)
+        assert document["wal_seq"] == 4
+        assert document["format"] == 1
+        assert document["image"]["instances"]
+
+    def test_missing_checkpoint_reads_none(self, tmp_path):
+        assert read_checkpoint(str(tmp_path / "absent.json")) is None
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        with open(path, "w") as fh:
+            json.dump({"format": 99, "wal_seq": 0, "image": {}}, fh)
+        with pytest.raises(StorageError):
+            read_checkpoint(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        with open(path, "w") as fh:
+            json.dump({"format": 1}, fh)
+        with pytest.raises(StorageError):
+            read_checkpoint(path)
+
+    def test_install_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        write_checkpoint(self._db(), path, wal_seq=1)
+        write_checkpoint(self._db(), path, wal_seq=2)
+        assert read_checkpoint(path)["wal_seq"] == 2
+        assert not os.path.exists(path + ".tmp")
+
+    def test_checkpoint_refused_inside_transaction(self, tmp_path):
+        db = Database.open(str(tmp_path / "db"), sum_node_schema(), sync=False)
+        db.begin("open-ended")
+        try:
+            with pytest.raises(TransactionError):
+                db.checkpoint()
+        finally:
+            db.abort()
+            db.close()

@@ -102,3 +102,24 @@ class TestSimulatedDisk:
         disk.read(block.block_id)
         delta = disk.stats.delta_since(snap)
         assert delta.reads == 2 and delta.writes == 0
+
+    def test_recycled_blocks_counted_separately(self):
+        # Regression: recycling a freed id used to inflate blocks_allocated,
+        # so reorganisation-heavy benchmarks over-reported storage growth.
+        disk = SimulatedDisk()
+        a = disk.allocate_block()
+        disk.release_block(a.block_id)
+        disk.allocate_block()  # recycles a's id
+        disk.allocate_block()  # fresh id
+        assert disk.stats.blocks_allocated == 2
+        assert disk.stats.blocks_recycled == 1
+
+    def test_recycle_stats_in_snapshot_delta(self):
+        disk = SimulatedDisk()
+        a = disk.allocate_block()
+        snap = disk.stats.snapshot()
+        disk.release_block(a.block_id)
+        disk.allocate_block()
+        delta = disk.stats.delta_since(snap)
+        assert delta.blocks_allocated == 0
+        assert delta.blocks_recycled == 1
