@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery examples results ci clean
+.PHONY: install test bench bench-recovery examples results ci lint-schema clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,8 +14,16 @@ bench:
 bench-recovery: ## durability cost + recovery latency -> benchmarks/results/BENCH_recovery.json
 	PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py --benchmark-only -q
 
+lint-schema: ## static analysis over every example and paper-figure schema
+	PYTHONPATH=src python -m repro.analysis --paper-figures \
+		examples/schemas/milestones.cactis examples/schemas/very_late.cactis
+	PYTHONPATH=src python -m repro.analysis \
+		--functions file_mod_time,system_command examples/schemas/make.cactis
+	PYTHONPATH=src python -m repro.analysis examples/schemas/project.cactis
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
+	$(MAKE) lint-schema
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest tests/persistence -q
 

@@ -1,0 +1,113 @@
+"""Static schema analysis: lint Cactis schemas without evaluating them.
+
+The analyzer inspects either schema *source text* (best diagnostics: every
+finding carries the line/column of the token that introduced it) or a
+compiled :class:`~repro.core.schema.Schema` (works for schemas hand-built
+through the Python API; spans are unavailable but the dependency-level
+checks still run from each rule's declared inputs).
+
+Entry points:
+
+* :func:`analyze_source` -- lex + parse + analyze source text.
+* :func:`analyze_decl` -- analyze a parsed :class:`~repro.dsl.ast.SchemaDecl`.
+* :func:`analyze_schema` -- analyze a compiled schema.
+* ``python -m repro.analysis schema.cactis ...`` -- the lint CLI (exits
+  non-zero when any error-severity diagnostic fires).
+* :meth:`repro.core.database.Database.validate_schema` -- run the analyzer
+  over a live database's schema.
+
+Passes: name resolution / declaration structure (CA1xx, emitted while the
+model is built), rule-dependency cycles (CA2xx), types (CA3xx), dead code
+(CA4xx), and constraint/predicate satisfiability (CA5xx).  See
+``docs/DIAGNOSTICS.md`` for the full code listing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import cycles, deadcode, predicates, typecheck
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    has_errors,
+    sort_key,
+)
+from repro.analysis.model import (
+    SchemaModel,
+    model_from_decl,
+    model_from_schema,
+)
+from repro.errors import DslSyntaxError
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "SchemaModel",
+    "analyze_decl",
+    "analyze_model",
+    "analyze_schema",
+    "analyze_source",
+    "has_errors",
+    "sort_key",
+]
+
+
+def analyze_model(model: SchemaModel) -> list[Diagnostic]:
+    """Run every post-resolution pass over a built model."""
+    diagnostics = list(model.diagnostics)
+    diagnostics.extend(cycles.check(model))
+    diagnostics.extend(typecheck.check(model))
+    diagnostics.extend(deadcode.check(model))
+    diagnostics.extend(predicates.check(model))
+    unique: list[Diagnostic] = []
+    seen: set[Diagnostic] = set()
+    for diag in sorted(diagnostics, key=sort_key):
+        if diag not in seen:
+            seen.add(diag)
+            unique.append(diag)
+    return unique
+
+
+def analyze_decl(
+    decl,
+    functions=(),
+    constants=(),
+) -> list[Diagnostic]:
+    """Analyze a parsed schema declaration.
+
+    ``functions`` / ``constants`` name the externally-registered rule-body
+    environment entries (beyond the builtins) so calls to them do not
+    trigger CA102/CA101 -- the make facility registers ``file_mod_time``
+    and ``system_command`` this way.
+    """
+    model = model_from_decl(
+        decl, functions=set(functions), constants=set(constants)
+    )
+    return analyze_model(model)
+
+
+def analyze_source(
+    source: str,
+    filename: str = "",
+    functions=(),
+    constants=(),
+) -> list[Diagnostic]:
+    """Analyze schema source text; syntax errors become CA001."""
+    from repro.dsl.parser import parse
+
+    try:
+        decl = parse(source)
+    except DslSyntaxError as exc:
+        diag = Diagnostic("CA001", str(exc), exc.line, exc.column)
+        return [diag.with_file(filename) if filename else diag]
+    diagnostics = analyze_decl(decl, functions=functions, constants=constants)
+    if filename:
+        diagnostics = [d.with_file(filename) for d in diagnostics]
+    return diagnostics
+
+
+def analyze_schema(schema) -> list[Diagnostic]:
+    """Analyze a compiled (possibly hand-built, frozen or not) schema."""
+    model = model_from_schema(schema)
+    return analyze_model(model)

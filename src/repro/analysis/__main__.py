@@ -1,0 +1,128 @@
+"""Lint CLI: ``python -m repro.analysis [options] schema.cactis ...``.
+
+Reads each schema source file, runs the full static analysis, and prints
+one ``file:line:col: severity CAnnn: message`` line per finding.  Multiple
+files are concatenated into one compilation unit (the paper's incremental
+schema-extension model: later files may extend classes declared earlier),
+matching how ``compile_schema`` is used by the environments.
+
+Exit status: 0 when no error-severity diagnostic fired (warnings and infos
+do not fail the build), 1 otherwise, 2 for usage errors.  ``--strict``
+promotes warnings to failures.  ``--paper-figures`` lints the built-in
+paper-figure schemas (milestones, make) instead of files, which CI uses to
+keep them clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze_source
+from repro.analysis.diagnostics import Severity
+
+
+def _paper_figure_sources() -> list[tuple[str, str, tuple[str, ...]]]:
+    """(name, source, extra functions) for each built-in schema."""
+    from repro.env.make import figure4_schema_source
+    from repro.env.milestones import MILESTONE_SCHEMA, VERY_LATE_EXTENSION
+
+    return [
+        ("<figure1:milestones>", MILESTONE_SCHEMA, ()),
+        (
+            "<figure1:very_late>",
+            MILESTONE_SCHEMA + "\n" + VERY_LATE_EXTENSION.format(limit=10),
+            (),
+        ),
+        (
+            "<figure4:make>",
+            figure4_schema_source(),
+            ("file_mod_time", "system_command"),
+        ),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze Cactis schema source files.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="schema source files (concatenated into one compilation unit)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (infos still pass)",
+    )
+    parser.add_argument(
+        "--functions",
+        default="",
+        metavar="NAMES",
+        help="comma-separated external function names rules may call",
+    )
+    parser.add_argument(
+        "--constants",
+        default="",
+        metavar="NAMES",
+        help="comma-separated external constant names rules may reference",
+    )
+    parser.add_argument(
+        "--paper-figures",
+        action="store_true",
+        help="lint the built-in paper-figure schemas as well",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.paper_figures:
+        parser.error("no schema files given (or use --paper-figures)")
+
+    functions = tuple(n for n in args.functions.split(",") if n)
+    constants = tuple(n for n in args.constants.split(",") if n)
+
+    units: list[tuple[str, str, tuple[str, ...]]] = []
+    if args.files:
+        sources = []
+        for path in args.files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    sources.append(handle.read())
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+        label = args.files[0] if len(args.files) == 1 else "+".join(args.files)
+        units.append(("\n".join(sources), label, functions))
+    if args.paper_figures:
+        for name, source, extra in _paper_figure_sources():
+            units.append((source, name, functions + extra))
+
+    totals = {severity: 0 for severity in Severity}
+    for source, label, unit_functions in units:
+        diagnostics = analyze_source(
+            source, filename=label, functions=unit_functions,
+            constants=constants,
+        )
+        for diag in diagnostics:
+            totals[diag.severity] += 1
+            if not args.quiet:
+                print(diag.render())
+
+    failing = totals[Severity.ERROR]
+    if args.strict:
+        failing += totals[Severity.WARNING]
+    print(
+        f"{totals[Severity.ERROR]} error(s), "
+        f"{totals[Severity.WARNING]} warning(s), "
+        f"{totals[Severity.INFO]} info(s)"
+    )
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

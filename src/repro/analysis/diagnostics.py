@@ -1,0 +1,127 @@
+"""Structured diagnostics for the static schema analyzer.
+
+Every problem the analyzer can report carries a stable code (``CA101`` ...)
+so tooling can filter, suppress, and document them; a severity; and a source
+span (line/column from the lexer token that introduced the offending AST
+node, threaded through the parser).  Schemas built from the Python API have
+no source text, so a span of ``(0, 0)`` means "no position available" and is
+omitted from the rendered form.
+
+Code blocks:
+
+* ``CA0xx`` -- syntax (the source failed to lex/parse at all).
+* ``CA1xx`` -- name resolution and declaration structure.
+* ``CA2xx`` -- rule-dependency cycles.
+* ``CA3xx`` -- types.
+* ``CA4xx`` -- dead code.
+* ``CA5xx`` -- constraint / predicate analysis.
+
+``docs/DIAGNOSTICS.md`` documents each code with an example; the registry
+below is the single source of truth for default severities and one-line
+summaries (the doc test cross-checks it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the schema misbehaves at runtime (compile failure,
+    guaranteed ``CycleError``, always-violated constraint); the lint CLI
+    exits non-zero.  ``WARNING`` flags likely mistakes that still run.
+    ``INFO`` is advisory (dead derived attributes may be query outputs).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: code -> (default severity, one-line summary).  Keep in sync with
+#: docs/DIAGNOSTICS.md (tests/analysis/test_docs.py cross-checks).
+CODES: dict[str, tuple[Severity, str]] = {
+    "CA001": (Severity.ERROR, "schema source failed to lex or parse"),
+    "CA101": (Severity.ERROR, "unknown name in a rule body"),
+    "CA102": (Severity.ERROR, "call of an unknown function"),
+    "CA103": (Severity.ERROR, "reference to an unknown relationship port"),
+    "CA104": (Severity.ERROR, "port does not receive the referenced value"),
+    "CA105": (Severity.ERROR, "For Each over a single-valued port"),
+    "CA106": (Severity.ERROR, "single-valued reference to a Multi port"),
+    "CA107": (Severity.ERROR, "port uses an unknown relationship type"),
+    "CA108": (Severity.ERROR, "unknown supertype"),
+    "CA109": (Severity.ERROR, "duplicate declaration"),
+    "CA110": (Severity.ERROR, "derived attribute has no rule"),
+    "CA111": (Severity.ERROR, "rule targets an unknown or intrinsic slot"),
+    "CA112": (Severity.ERROR, "value flows in the opposite direction"),
+    "CA113": (Severity.ERROR, "unknown atom type"),
+    "CA114": (Severity.ERROR, "unknown constraint recovery function"),
+    "CA115": (Severity.ERROR, "For Each iteration count is undeterminable"),
+    "CA116": (Severity.WARNING, "class declares two rules for one slot"),
+    "CA201": (Severity.ERROR, "local rule-dependency cycle"),
+    "CA202": (Severity.ERROR, "relationship cycle closed by any connection"),
+    "CA203": (Severity.INFO, "recursive derivation through a relationship"),
+    "CA301": (Severity.ERROR, "arithmetic operand type mismatch"),
+    "CA302": (Severity.ERROR, "comparison operand type mismatch"),
+    "CA303": (Severity.WARNING, "condition is not boolean"),
+    "CA304": (Severity.ERROR, "rule body type does not match its target"),
+    "CA305": (Severity.ERROR, "loop variable used bare"),
+    "CA306": (Severity.ERROR, "assignment type mismatch"),
+    "CA307": (Severity.WARNING, "constraint or subtype predicate not boolean"),
+    "CA401": (Severity.WARNING, "intrinsic attribute is never read"),
+    "CA402": (Severity.INFO, "derived attribute is never read"),
+    "CA403": (Severity.WARNING, "port is never used by any rule"),
+    "CA404": (Severity.INFO, "port never transmits a declared value"),
+    "CA405": (Severity.WARNING, "relationship value is never consumed"),
+    "CA406": (Severity.WARNING, "declared rule input is never used"),
+    "CA407": (Severity.WARNING, "transmitted value has no consumer"),
+    "CA501": (Severity.WARNING, "constraint is trivially true"),
+    "CA502": (Severity.ERROR, "constraint can never hold"),
+    "CA503": (Severity.ERROR, "subtype predicate is unsatisfiable"),
+    "CA504": (Severity.WARNING, "subtype predicate is trivially true"),
+    "CA505": (Severity.WARNING, "subtype predicate duplicates a sibling"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, renderable as ``file:line:col: sev CAnnn: msg``."""
+
+    code: str
+    message: str
+    line: int = 0
+    column: int = 0
+    file: str = ""
+    severity: Severity = field(default=Severity.ERROR)
+
+    def __post_init__(self) -> None:
+        if self.code in CODES:
+            object.__setattr__(self, "severity", CODES[self.code][0])
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def with_file(self, file: str) -> "Diagnostic":
+        return replace(self, file=file)
+
+    def render(self) -> str:
+        where = self.file or "<schema>"
+        if self.line:
+            where += f":{self.line}:{self.column}"
+        return f"{where}: {self.severity.value} {self.code}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def sort_key(diag: Diagnostic) -> tuple:
+    return (diag.file, diag.line, diag.column, diag.code, diag.message)
+
+
+def has_errors(diagnostics) -> bool:
+    """True when any diagnostic in the iterable is error severity."""
+    return any(d.is_error for d in diagnostics)

@@ -1,0 +1,780 @@
+"""The analyzer's view of a schema, built from source AST or Schema objects.
+
+The checks in this package run over a :class:`SchemaModel` -- a flattened,
+inheritance-resolved description of classes, ports, attributes, rules,
+constraints, and subtype predicates.  Two builders produce it:
+
+* :func:`model_from_decl` -- from a parsed :class:`repro.dsl.ast.SchemaDecl`.
+  Rule bodies keep their ASTs, every element carries a source span, and name
+  resolution problems become ``CA1xx`` diagnostics instead of the
+  compiler's fail-fast :class:`~repro.errors.DslCompileError`.
+* :func:`model_from_schema` -- from a compiled (possibly hand-built)
+  :class:`~repro.core.schema.Schema`.  Dependencies come from each rule's
+  *declared* inputs, so cycle and dead-code analysis work even for opaque
+  Python rule bodies; DSL-compiled rules additionally expose their ASTs for
+  the type and predicate checks.
+
+Dependencies are normalised to tuples: ``("local", attr)`` and
+``("received", port, value)``; rule targets to slot names (``attr`` or
+``port>value`` -- the same encoding :mod:`repro.core.slots` uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.rules import (
+    AttributeTarget,
+    Local,
+    Received,
+    constraint_attr_name,
+    subtype_attr_name,
+)
+from repro.core.schema import Schema
+from repro.dsl import ast
+from repro.dsl.compiler import DEFAULT_CONSTANTS, DEFAULT_FUNCTIONS
+from repro.analysis.diagnostics import Diagnostic
+
+Dep = tuple  # ("local", attr) | ("received", port, value)
+
+
+@dataclass
+class FlowInfo:
+    value: str
+    atom: str
+    sent_by: str  # "plug" | "socket"
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class RelInfo:
+    name: str
+    flows: dict[str, FlowInfo] = field(default_factory=dict)
+    line: int = 0
+    column: int = 0
+
+    def received_by(self, end: str) -> list[FlowInfo]:
+        return [f for f in self.flows.values() if f.sent_by != end]
+
+    def sent_by_end(self, end: str) -> list[FlowInfo]:
+        return [f for f in self.flows.values() if f.sent_by == end]
+
+
+@dataclass
+class AttrInfo:
+    name: str
+    atom: str
+    derived: bool = False
+    line: int = 0
+    column: int = 0
+    declared_in: str = ""
+
+
+@dataclass
+class PortInfo:
+    name: str
+    rel_type: str
+    end: str  # "plug" | "socket"
+    multi: bool = False
+    line: int = 0
+    column: int = 0
+    declared_in: str = ""
+
+
+@dataclass
+class RuleInfo:
+    """One rule, constraint, or subtype predicate of a class.
+
+    ``target`` is a slot name; constraints and predicates use the synthetic
+    ``__constraint__<name>`` / ``__subtype__<name>`` encoding so the
+    dependency passes treat them uniformly.  ``kind`` distinguishes them
+    for reporting: ``"rule"``, ``"constraint"``, or ``"predicate"``.
+    """
+
+    target: str
+    class_name: str
+    kind: str = "rule"
+    display: str = ""
+    deps: set[Dep] = field(default_factory=set)
+    #: first source span seen for each dependency (for cycle messages).
+    dep_spans: dict[Dep, tuple[int, int]] = field(default_factory=dict)
+    body: ast.RuleBody | None = None
+    #: declared inputs (Schema path only) for the unused-input check.
+    declared_deps: set[Dep] | None = None
+    line: int = 0
+    column: int = 0
+    ok: bool = True  # False when resolution failed; later passes skip it
+
+    @property
+    def is_transmit(self) -> bool:
+        return ">" in self.target
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    supertype: str | None = None
+    where: ast.Expr | None = None
+    attrs: dict[str, AttrInfo] = field(default_factory=dict)
+    ports: dict[str, PortInfo] = field(default_factory=dict)
+    rules: list[RuleInfo] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class SchemaModel:
+    relationships: dict[str, RelInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: set[str] = field(default_factory=set)
+    constants: set[str] = field(default_factory=set)
+    atoms: set[str] = field(default_factory=set)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    # -- inheritance-resolved views ---------------------------------------
+
+    def lineage(self, name: str) -> list[str]:
+        """``name`` and its supertypes, most specific first; cycle-safe."""
+        chain: list[str] = []
+        seen: set[str] = set()
+        current: str | None = name
+        while current is not None and current in self.classes:
+            if current in seen:
+                break
+            seen.add(current)
+            chain.append(current)
+            current = self.classes[current].supertype
+        return chain
+
+    def all_attrs(self, name: str) -> dict[str, AttrInfo]:
+        merged: dict[str, AttrInfo] = {}
+        for cls_name in reversed(self.lineage(name)):
+            merged.update(self.classes[cls_name].attrs)
+        return merged
+
+    def all_ports(self, name: str) -> dict[str, PortInfo]:
+        merged: dict[str, PortInfo] = {}
+        for cls_name in reversed(self.lineage(name)):
+            merged.update(self.classes[cls_name].ports)
+        return merged
+
+    def effective_rules(self, name: str) -> dict[str, RuleInfo]:
+        """Rules in force for instances of ``name``, keyed by target slot.
+
+        Walks the lineage root-down so a subclass's rule overrides the
+        inherited one (mirrors ``Schema._index_rules``), then attaches the
+        membership rules of predicate subtypes hanging off any ancestor
+        (their predicates evaluate on supertype instances).
+        """
+        index: dict[str, RuleInfo] = {}
+        mro = set(self.lineage(name))
+        for cls_name in reversed(self.lineage(name)):
+            for rule in self.classes[cls_name].rules:
+                index[rule.target] = rule
+        for sub in self.classes.values():
+            if sub.supertype in mro:
+                for rule in sub.rules:
+                    if rule.kind == "predicate":
+                        index[rule.target] = rule
+        return index
+
+    def flow_of(self, cls_name: str, port: str, value: str) -> FlowInfo | None:
+        ports = self.all_ports(cls_name)
+        info = ports.get(port)
+        if info is None:
+            return None
+        rel = self.relationships.get(info.rel_type)
+        if rel is None:
+            return None
+        return rel.flows.get(value)
+
+    def report(self, code: str, message: str, node: Any = None) -> None:
+        line = getattr(node, "line", 0) or 0
+        column = getattr(node, "column", 0) or 0
+        self.diagnostics.append(Diagnostic(code, message, line, column))
+
+
+# ---------------------------------------------------------------------------
+# builder: from a parsed SchemaDecl
+# ---------------------------------------------------------------------------
+
+
+def model_from_decl(
+    decl: ast.SchemaDecl,
+    functions: set[str] | None = None,
+    constants: set[str] | None = None,
+    atoms: set[str] | None = None,
+) -> SchemaModel:
+    """Build the analyzer model from a parsed schema, collecting CA1xx."""
+    model = SchemaModel()
+    model.functions = set(DEFAULT_FUNCTIONS) | (functions or set())
+    model.constants = set(DEFAULT_CONSTANTS) | (constants or set())
+    if atoms is None:
+        from repro.core.atoms import AtomRegistry
+
+        atoms = set(AtomRegistry().names())
+    model.atoms = atoms
+
+    for rel in decl.relationships:
+        _declare_relationship(model, rel)
+    for cls in decl.classes:
+        _declare_class(model, cls)
+    for cls in decl.classes:
+        _check_class_structure(model, cls)
+        _collect_class_rules(model, cls)
+    return model
+
+
+def _declare_relationship(model: SchemaModel, rel: ast.RelationshipDecl) -> None:
+    if rel.name in model.relationships:
+        model.report(
+            "CA109", f"relationship type {rel.name!r} declared twice", rel
+        )
+        return
+    info = RelInfo(rel.name, line=rel.line, column=rel.column)
+    for flow in rel.flows:
+        if flow.value in info.flows:
+            model.report(
+                "CA109",
+                f"relationship {rel.name!r} declares value "
+                f"{flow.value!r} twice",
+                flow,
+            )
+            continue
+        if flow.type_name not in model.atoms:
+            model.report(
+                "CA113",
+                f"relationship {rel.name!r}: value {flow.value!r} has "
+                f"unknown atom type {flow.type_name!r}",
+                flow,
+            )
+        info.flows[flow.value] = FlowInfo(
+            flow.value, flow.type_name, flow.sent_by, flow.line, flow.column
+        )
+    model.relationships[rel.name] = info
+
+
+def _declare_class(model: SchemaModel, cls: ast.ClassDecl) -> None:
+    if cls.name in model.classes:
+        model.report("CA109", f"object class {cls.name!r} declared twice", cls)
+        return
+    info = ClassInfo(
+        cls.name,
+        supertype=cls.supertype,
+        where=cls.where,
+        line=cls.line,
+        column=cls.column,
+    )
+    ruled = {r.target_attr for r in cls.rules if r.target_attr}
+    for attr in cls.attrs:
+        if attr.name in info.attrs:
+            model.report(
+                "CA109",
+                f"class {cls.name!r} declares attribute {attr.name!r} twice",
+                attr,
+            )
+            continue
+        if attr.type_name not in model.atoms:
+            model.report(
+                "CA113",
+                f"class {cls.name!r}: attribute {attr.name!r} has unknown "
+                f"atom type {attr.type_name!r}",
+                attr,
+            )
+        info.attrs[attr.name] = AttrInfo(
+            attr.name,
+            attr.type_name,
+            derived=attr.derived or attr.name in ruled,
+            line=attr.line,
+            column=attr.column,
+            declared_in=cls.name,
+        )
+    for port in cls.ports:
+        if port.name in info.ports or port.name in info.attrs:
+            model.report(
+                "CA109",
+                f"class {cls.name!r}: port {port.name!r} collides with "
+                f"another declaration",
+                port,
+            )
+            continue
+        if port.rel_type not in model.relationships:
+            model.report(
+                "CA107",
+                f"class {cls.name!r}: port {port.name!r} uses unknown "
+                f"relationship type {port.rel_type!r}",
+                port,
+            )
+        info.ports[port.name] = PortInfo(
+            port.name,
+            port.rel_type,
+            port.end,
+            port.multi,
+            line=port.line,
+            column=port.column,
+            declared_in=cls.name,
+        )
+    model.classes[cls.name] = info
+
+
+def _check_class_structure(model: SchemaModel, cls: ast.ClassDecl) -> None:
+    info = model.classes.get(cls.name)
+    if info is None or info.line != cls.line:
+        return  # duplicate declaration; only the first is analysed
+    if cls.supertype is not None and cls.supertype not in model.classes:
+        model.report(
+            "CA108",
+            f"class {cls.name!r}: unknown supertype {cls.supertype!r}",
+            cls,
+        )
+        info.supertype = None  # analyse the rest as a root class
+    # Derived attributes must have a rule somewhere in the lineage.
+    ruled = set()
+    for cls_name in model.lineage(cls.name):
+        for rule_info in model.classes[cls_name].rules:
+            ruled.add(rule_info.target)
+    # Rules have not been collected yet on the first pass; recompute from
+    # the declaration so the check does not depend on pass ordering.
+    declared_rules = {r.target_attr for r in cls.rules if r.target_attr}
+    for attr in info.attrs.values():
+        if attr.derived and attr.name not in declared_rules:
+            if not _inherits_rule(model, cls, attr.name):
+                model.report(
+                    "CA110",
+                    f"class {cls.name!r}: derived attribute {attr.name!r} "
+                    f"has no rule",
+                    attr,
+                )
+
+
+def _inherits_rule(model: SchemaModel, cls: ast.ClassDecl, attr: str) -> bool:
+    for cls_name in model.lineage(cls.name)[1:]:
+        for rule in model.classes[cls_name].rules:
+            if rule.target == attr:
+                return True
+    return False
+
+
+def _collect_class_rules(model: SchemaModel, cls: ast.ClassDecl) -> None:
+    info = model.classes.get(cls.name)
+    if info is None or info.line != cls.line:
+        return
+    seen_targets: set[str] = set()
+    attrs = model.all_attrs(cls.name)
+    ports = model.all_ports(cls.name)
+    for rule in cls.rules:
+        rule_info = _build_rule(model, cls.name, attrs, ports, rule)
+        if rule_info.target in seen_targets:
+            model.report(
+                "CA116",
+                f"class {cls.name!r} declares two rules for "
+                f"{rule_info.display!r}; the later one silently wins",
+                rule,
+            )
+        seen_targets.add(rule_info.target)
+        info.rules.append(rule_info)
+    seen_constraints: set[str] = set()
+    for constraint in cls.constraints:
+        if constraint.name in seen_constraints:
+            model.report(
+                "CA109",
+                f"class {cls.name!r} declares constraint "
+                f"{constraint.name!r} twice",
+                constraint,
+            )
+            continue
+        seen_constraints.add(constraint.name)
+        walker = _DepWalker(model, cls.name, attrs, ports)
+        walker.expr(constraint.predicate, set(), {})
+        info.rules.append(
+            RuleInfo(
+                target=constraint_attr_name(constraint.name),
+                class_name=cls.name,
+                kind="constraint",
+                display=f"constraint {constraint.name}",
+                deps=walker.deps,
+                dep_spans=walker.spans,
+                body=constraint.predicate,
+                line=constraint.line,
+                column=constraint.column,
+                ok=walker.ok,
+            )
+        )
+        if constraint.recover is not None and (
+            constraint.recover not in model.functions
+        ):
+            model.report(
+                "CA114",
+                f"class {cls.name!r}: constraint {constraint.name!r} names "
+                f"unknown recovery function {constraint.recover!r}",
+                constraint,
+            )
+    if cls.where is not None:
+        walker = _DepWalker(model, cls.name, attrs, ports)
+        walker.expr(cls.where, set(), {})
+        info.rules.append(
+            RuleInfo(
+                target=subtype_attr_name(cls.name),
+                class_name=cls.name,
+                kind="predicate",
+                display=f"subtype predicate of {cls.name}",
+                deps=walker.deps,
+                dep_spans=walker.spans,
+                body=cls.where,
+                line=cls.line,
+                column=cls.column,
+                ok=walker.ok,
+            )
+        )
+
+
+def _build_rule(
+    model: SchemaModel,
+    class_name: str,
+    attrs: dict[str, AttrInfo],
+    ports: dict[str, PortInfo],
+    rule: ast.RuleDecl,
+) -> RuleInfo:
+    walker = _DepWalker(model, class_name, attrs, ports)
+    if isinstance(rule.body, ast.Block):
+        walker.block(rule.body)
+    else:
+        walker.expr(rule.body, set(), {})
+    walker.add_loop_counts()
+    if rule.target_attr is not None:
+        target = rule.target_attr
+        display = f"{class_name}.{rule.target_attr}"
+        attr = attrs.get(rule.target_attr)
+        if attr is None:
+            model.report(
+                "CA111",
+                f"class {class_name!r}: rule targets unknown attribute "
+                f"{rule.target_attr!r}",
+                rule,
+            )
+            walker.ok = False
+    else:
+        target = f"{rule.target_port}>{rule.target_value}"
+        display = f"{class_name}.{rule.target_port}>{rule.target_value}"
+        port = ports.get(rule.target_port)
+        if port is None:
+            model.report(
+                "CA111",
+                f"class {class_name!r}: rule transmits on unknown port "
+                f"{rule.target_port!r}",
+                rule,
+            )
+            walker.ok = False
+        else:
+            rel = model.relationships.get(port.rel_type)
+            flow = rel.flows.get(rule.target_value) if rel else None
+            if rel is not None and flow is None:
+                model.report(
+                    "CA111",
+                    f"class {class_name!r}: port {rule.target_port!r} "
+                    f"carries no value named {rule.target_value!r}",
+                    rule,
+                )
+                walker.ok = False
+            elif flow is not None and flow.sent_by != port.end:
+                model.report(
+                    "CA112",
+                    f"class {class_name!r}: rule transmits "
+                    f"{rule.target_value!r} on port {rule.target_port!r}, "
+                    f"but that value flows {flow.sent_by}-to-"
+                    f"{'socket' if flow.sent_by == 'plug' else 'plug'}",
+                    rule,
+                )
+    return RuleInfo(
+        target=target,
+        class_name=class_name,
+        display=display,
+        deps=walker.deps,
+        dep_spans=walker.spans,
+        body=rule.body,
+        line=rule.line,
+        column=rule.column,
+        ok=walker.ok,
+    )
+
+
+class _DepWalker:
+    """Dependency collection over rule bodies, mirroring the compiler's
+    ``_DependencyAnalysis`` but emitting diagnostics instead of raising."""
+
+    def __init__(
+        self,
+        model: SchemaModel,
+        class_name: str,
+        attrs: dict[str, AttrInfo],
+        ports: dict[str, PortInfo],
+    ) -> None:
+        self.model = model
+        self.class_name = class_name
+        self.attrs = attrs
+        self.ports = ports
+        self.deps: set[Dep] = set()
+        self.spans: dict[Dep, tuple[int, int]] = {}
+        self.loop_ports: dict[str, tuple[int, int]] = {}
+        self.ok = True
+
+    def _dep(self, dep: Dep, node: Any) -> None:
+        self.deps.add(dep)
+        self.spans.setdefault(dep, (node.line, node.column))
+
+    def _report(self, code: str, message: str, node: Any) -> None:
+        self.model.report(code, f"class {self.class_name!r}: {message}", node)
+        self.ok = False
+
+    def block(self, block: ast.Block) -> None:
+        self.stmts(block.body, set(), {})
+
+    def stmts(self, stmts, local_vars: set[str], loops: dict[str, str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.type_name not in self.model.atoms:
+                    self._report(
+                        "CA113",
+                        f"local variable {stmt.name!r} has unknown atom "
+                        f"type {stmt.type_name!r}",
+                        stmt,
+                    )
+                local_vars.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                self.expr(stmt.value, local_vars, loops)
+                local_vars.add(stmt.name)
+            elif isinstance(stmt, ast.ForEach):
+                port = self.ports.get(stmt.port)
+                if port is None:
+                    self._report(
+                        "CA103",
+                        f"For Each over unknown port {stmt.port!r}",
+                        stmt,
+                    )
+                    continue
+                if not port.multi:
+                    self._report(
+                        "CA105",
+                        f"For Each requires a Multi port; {stmt.port!r} is "
+                        f"single-valued",
+                        stmt,
+                    )
+                    continue
+                self.loop_ports.setdefault(stmt.port, (stmt.line, stmt.column))
+                inner = dict(loops)
+                inner[stmt.var] = stmt.port
+                self.stmts(stmt.body, set(local_vars), inner)
+            elif isinstance(stmt, ast.If):
+                self.expr(stmt.cond, local_vars, loops)
+                self.stmts(stmt.then_body, set(local_vars), loops)
+                self.stmts(stmt.else_body, set(local_vars), loops)
+            elif isinstance(stmt, (ast.Return, ast.ExprStmt)):
+                self.expr(stmt.value, local_vars, loops)
+
+    def expr(
+        self, expr: ast.Expr, local_vars: set[str], loops: dict[str, str]
+    ) -> None:
+        if isinstance(expr, ast.Literal):
+            return
+        if isinstance(expr, ast.Name):
+            ident = expr.ident
+            if ident in local_vars or ident in loops:
+                return
+            if ident in self.attrs:
+                self._dep(("local", ident), expr)
+                return
+            if ident in self.model.constants:
+                return
+            self._report("CA101", f"unknown name {ident!r}", expr)
+            return
+        if isinstance(expr, ast.FieldRef):
+            base = expr.base
+            if base in loops:
+                port_name = loops[base]
+            elif base in self.ports:
+                if self.ports[base].multi:
+                    self._report(
+                        "CA106",
+                        f"port {base!r} is Multi; use "
+                        f"'For Each x Related To {base}'",
+                        expr,
+                    )
+                    return
+                port_name = base
+            else:
+                self._report(
+                    "CA103",
+                    f"{base!r} is neither a loop variable nor a port",
+                    expr,
+                )
+                return
+            port = self.ports[port_name]
+            rel = self.model.relationships.get(port.rel_type)
+            if rel is None:
+                # CA107 already reported at the port declaration.
+                self.ok = False
+                return
+            received = {f.value for f in rel.received_by(port.end)}
+            if expr.field_name not in received:
+                self._report(
+                    "CA104",
+                    f"port {port_name!r} does not receive a value named "
+                    f"{expr.field_name!r}",
+                    expr,
+                )
+                return
+            self._dep(("received", port_name, expr.field_name), expr)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.fn not in self.model.functions:
+                self._report("CA102", f"unknown function {expr.fn!r}", expr)
+            for arg in expr.args:
+                self.expr(arg, local_vars, loops)
+            return
+        if isinstance(expr, ast.Unary):
+            self.expr(expr.operand, local_vars, loops)
+            return
+        if isinstance(expr, ast.Binary):
+            self.expr(expr.left, local_vars, loops)
+            self.expr(expr.right, local_vars, loops)
+            return
+
+    def add_loop_counts(self) -> None:
+        """Loops that read no transmitted value depend on the first flow the
+        port can receive (the compiler's implicit iteration count)."""
+        for port_name, (line, column) in self.loop_ports.items():
+            if any(
+                d[0] == "received" and d[1] == port_name for d in self.deps
+            ):
+                continue
+            port = self.ports.get(port_name)
+            rel = self.model.relationships.get(port.rel_type) if port else None
+            flows = rel.received_by(port.end) if rel else []
+            if not flows:
+                self.model.report(
+                    "CA115",
+                    f"class {self.class_name!r}: cannot determine the "
+                    f"iteration count of 'For Each ... Related To "
+                    f"{port_name}': no value flows toward this end",
+                    _Span(line, column),
+                )
+                self.ok = False
+                continue
+            self.deps.add(("received", port_name, flows[0].value))
+            self.spans.setdefault(
+                ("received", port_name, flows[0].value), (line, column)
+            )
+
+
+@dataclass(frozen=True)
+class _Span:
+    line: int
+    column: int
+
+
+# ---------------------------------------------------------------------------
+# builder: from a compiled Schema
+# ---------------------------------------------------------------------------
+
+
+def model_from_schema(schema: Schema) -> SchemaModel:
+    """Build the analyzer model from compiled schema objects.
+
+    Dependencies come from declared rule inputs; rules compiled from the
+    DSL also surface their ASTs (via the interpreter closure) so the type
+    and predicate checks can run on them.  Spans are unavailable (0, 0).
+    """
+    from repro.core.schema import End
+    from repro.dsl.printer import _ast_of, _unwrap_booleanized
+
+    model = SchemaModel()
+    model.atoms = set(schema.atoms.names())
+    model.functions = set(DEFAULT_FUNCTIONS)
+    model.constants = set(DEFAULT_CONSTANTS)
+
+    for rel in schema.relationship_types.values():
+        info = RelInfo(rel.name)
+        for flow in rel.flows.values():
+            info.flows[flow.value] = FlowInfo(
+                flow.value, flow.atom, flow.sent_by.value
+            )
+        model.relationships[rel.name] = info
+
+    for cls in schema.classes.values():
+        info = ClassInfo(cls.name, supertype=cls.supertype)
+        for attr in cls.attributes.values():
+            info.attrs[attr.name] = AttrInfo(
+                attr.name, attr.atom, derived=attr.derived, declared_in=cls.name
+            )
+        for port in cls.ports.values():
+            info.ports[port.name] = PortInfo(
+                port.name,
+                port.rel_type,
+                "plug" if port.end is End.PLUG else "socket",
+                port.multi,
+                declared_in=cls.name,
+            )
+        for rule in cls.rules:
+            if isinstance(rule.target, AttributeTarget):
+                target = rule.target.attr
+            else:
+                target = f"{rule.target.port}>{rule.target.value}"
+            deps = _declared_deps(rule.inputs)
+            body = _ast_of(rule.body)
+            interp_functions = getattr(
+                getattr(rule.body, "compiler", None), "functions", None
+            )
+            if interp_functions:
+                model.functions.update(interp_functions)
+            info.rules.append(
+                RuleInfo(
+                    target=target,
+                    class_name=cls.name,
+                    display=rule.name or f"{cls.name}.{target}",
+                    deps=deps,
+                    body=body,
+                    declared_deps=set(deps),
+                )
+            )
+        for constraint in cls.constraints:
+            deps = _declared_deps(constraint.inputs)
+            info.rules.append(
+                RuleInfo(
+                    target=constraint_attr_name(constraint.name),
+                    class_name=cls.name,
+                    kind="constraint",
+                    display=f"constraint {constraint.name}",
+                    deps=deps,
+                    body=_unwrap_booleanized(constraint.predicate),
+                    declared_deps=set(deps),
+                )
+            )
+        if cls.predicate is not None:
+            deps = _declared_deps(cls.predicate.inputs)
+            where = _unwrap_booleanized(cls.predicate.predicate)
+            info.where = where if not isinstance(where, ast.Block) else None
+            info.rules.append(
+                RuleInfo(
+                    target=subtype_attr_name(cls.name),
+                    class_name=cls.name,
+                    kind="predicate",
+                    display=f"subtype predicate of {cls.name}",
+                    deps=deps,
+                    body=where,
+                    declared_deps=set(deps),
+                )
+            )
+        model.classes[cls.name] = info
+    return model
+
+
+def _declared_deps(inputs) -> set[Dep]:
+    deps: set[Dep] = set()
+    for inp in inputs.values():
+        if isinstance(inp, Local):
+            deps.add(("local", inp.attr))
+        elif isinstance(inp, Received):
+            deps.add(("received", inp.port, inp.value))
+    return deps

@@ -1,0 +1,265 @@
+"""Constraint and subtype-predicate analysis by propositional abstraction.
+
+Each predicate AST is abstracted into a propositional formula: boolean
+connectives (``and``/``or``/``not``, and ``==``/``!=`` between boolean
+operands) are kept, every other subexpression becomes an opaque variable
+keyed by its printed source text (two occurrences of ``x > 5`` share one
+variable; ``x > 5`` and ``x < 3`` are independent).  Enumerating the
+variable assignments is then sound in one direction:
+
+* formula false under every assignment => the concrete predicate can never
+  hold (a constraint that always rolls back, CA502; a subtype with no
+  members, CA503);
+* formula true under every assignment => trivially true (CA501/CA504);
+* two sibling predicates with equal truth tables over the union of their
+  variables => textually-equivalent subtypes (CA505).
+
+The abstraction ignores arithmetic (``x > 5 and x < 3`` is satisfiable
+propositionally), so it under-reports -- never falsely claims
+unsatisfiability.  Enumeration is capped at :data:`MAX_VARS` variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.model import RuleInfo, SchemaModel
+from repro.dsl import ast
+from repro.dsl.printer import format_expr
+
+MAX_VARS = 12
+
+_CONNECTIVES = {"and", "or", "==", "!="}
+
+
+def check(model: SchemaModel) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    predicate_rules: dict[str, tuple[RuleInfo, "_Formula"]] = {}
+
+    for cls_name, cls in model.classes.items():
+        bool_names = _boolean_names(model, cls_name)
+        for rule in cls.rules:
+            if rule.kind not in ("constraint", "predicate"):
+                continue
+            if rule.body is None or isinstance(rule.body, ast.Block):
+                continue
+            formula = _abstract(rule.body, bool_names)
+            verdict = _evaluate(formula)
+            if rule.kind == "constraint":
+                if verdict == "valid":
+                    diagnostics.append(
+                        _diag(
+                            "CA501",
+                            cls_name,
+                            rule,
+                            f"{rule.display} always holds; it never "
+                            f"constrains anything",
+                        )
+                    )
+                elif verdict == "unsat":
+                    diagnostics.append(
+                        _diag(
+                            "CA502",
+                            cls_name,
+                            rule,
+                            f"{rule.display} can never hold; every "
+                            f"transaction touching its inputs rolls back",
+                        )
+                    )
+            else:
+                if verdict == "valid":
+                    diagnostics.append(
+                        _diag(
+                            "CA504",
+                            cls_name,
+                            rule,
+                            f"subtype predicate of {cls_name!r} is "
+                            f"trivially true; every supertype instance "
+                            f"is a member",
+                        )
+                    )
+                elif verdict == "unsat":
+                    diagnostics.append(
+                        _diag(
+                            "CA503",
+                            cls_name,
+                            rule,
+                            f"subtype predicate of {cls_name!r} is "
+                            f"unsatisfiable; the subtype can have no "
+                            f"members",
+                        )
+                    )
+                predicate_rules[cls_name] = (rule, formula)
+
+    diagnostics.extend(_shadowed_siblings(model, predicate_rules))
+    return diagnostics
+
+
+def _diag(code: str, cls_name: str, rule: RuleInfo, message: str) -> Diagnostic:
+    return Diagnostic(
+        code, f"class {cls_name!r}: {message}", rule.line, rule.column
+    )
+
+
+def _shadowed_siblings(
+    model: SchemaModel,
+    predicate_rules: dict[str, tuple[RuleInfo, "_Formula"]],
+) -> list[Diagnostic]:
+    """CA505: predicate subtypes of one supertype with equal truth tables."""
+    by_super: dict[str, list[str]] = {}
+    for cls_name in predicate_rules:
+        supertype = model.classes[cls_name].supertype
+        if supertype is not None:
+            by_super.setdefault(supertype, []).append(cls_name)
+    diagnostics: list[Diagnostic] = []
+    for siblings in by_super.values():
+        ordered = sorted(
+            siblings, key=lambda n: (model.classes[n].line, n)
+        )
+        for i, later in enumerate(ordered):
+            for earlier in ordered[:i]:
+                rule_a, formula_a = predicate_rules[earlier]
+                rule_b, formula_b = predicate_rules[later]
+                if _equivalent(formula_a, formula_b):
+                    diagnostics.append(
+                        _diag(
+                            "CA505",
+                            later,
+                            rule_b,
+                            f"subtype predicate of {later!r} is "
+                            f"equivalent to that of sibling subtype "
+                            f"{earlier!r}; the two memberships always "
+                            f"coincide",
+                        )
+                    )
+                    break
+    return diagnostics
+
+
+def _boolean_names(model: SchemaModel, cls_name: str) -> set[str]:
+    """Printed leaf texts known to denote boolean values in this class."""
+    names: set[str] = set()
+    for attr in model.all_attrs(cls_name).values():
+        if attr.atom == "boolean":
+            names.add(attr.name)
+    for port in model.all_ports(cls_name).values():
+        rel = model.relationships.get(port.rel_type)
+        if rel is None:
+            continue
+        for flow in rel.received_by(port.end):
+            if flow.atom == "boolean":
+                names.add(f"{port.name}.{flow.value}")
+    return names
+
+
+# -- propositional formulas -------------------------------------------------
+
+#: _Formula = ("const", bool) | ("var", key) | ("not", f)
+#:          | ("and"|"or"|"iff"|"xor", f, g)
+_Formula = tuple
+
+
+def _abstract(expr: ast.Expr, bool_names: set[str]) -> _Formula:
+    if isinstance(expr, ast.Literal):
+        return ("const", bool(expr.value))
+    if isinstance(expr, ast.Unary) and expr.op == "not":
+        return ("not", _abstract(expr.operand, bool_names))
+    if isinstance(expr, ast.Binary) and expr.op in _CONNECTIVES:
+        if expr.op in ("and", "or"):
+            return (
+                expr.op,
+                _abstract(expr.left, bool_names),
+                _abstract(expr.right, bool_names),
+            )
+        # ==/!= act as iff/xor only between boolean operands.
+        if _boolean_shaped(expr.left, bool_names) and _boolean_shaped(
+            expr.right, bool_names
+        ):
+            return (
+                "iff" if expr.op == "==" else "xor",
+                _abstract(expr.left, bool_names),
+                _abstract(expr.right, bool_names),
+            )
+    # Everything else -- comparisons, names, calls -- is opaque.
+    return ("var", format_expr(expr))
+
+
+def _boolean_shaped(expr: ast.Expr, bool_names: set[str]) -> bool:
+    if isinstance(expr, ast.Literal):
+        return isinstance(expr.value, bool)
+    if isinstance(expr, ast.Unary):
+        return expr.op == "not"
+    if isinstance(expr, ast.Binary):
+        return expr.op in ("and", "or", "not", "<", "<=", ">", ">=", "==", "!=")
+    if isinstance(expr, ast.Name):
+        return expr.ident in bool_names
+    if isinstance(expr, ast.FieldRef):
+        return f"{expr.base}.{expr.field_name}" in bool_names
+    return False
+
+
+def _variables(formula: _Formula, out: set[str]) -> None:
+    if formula[0] == "var":
+        out.add(formula[1])
+    elif formula[0] == "not":
+        _variables(formula[1], out)
+    elif formula[0] in ("and", "or", "iff", "xor"):
+        _variables(formula[1], out)
+        _variables(formula[2], out)
+
+
+def _eval(formula: _Formula, env: dict[str, bool]) -> bool:
+    kind = formula[0]
+    if kind == "const":
+        return formula[1]
+    if kind == "var":
+        return env[formula[1]]
+    if kind == "not":
+        return not _eval(formula[1], env)
+    a = _eval(formula[1], env)
+    b = _eval(formula[2], env)
+    if kind == "and":
+        return a and b
+    if kind == "or":
+        return a or b
+    if kind == "iff":
+        return a == b
+    return a != b  # xor
+
+
+def _assignments(variables: list[str]):
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+def _evaluate(formula: _Formula) -> str:
+    """``"valid"``, ``"unsat"``, or ``"contingent"`` (incl. too-big)."""
+    variables: set[str] = set()
+    _variables(formula, variables)
+    if len(variables) > MAX_VARS:
+        return "contingent"
+    ordered = sorted(variables)
+    seen_true = seen_false = False
+    for env in _assignments(ordered):
+        if _eval(formula, env):
+            seen_true = True
+        else:
+            seen_false = True
+        if seen_true and seen_false:
+            return "contingent"
+    return "valid" if seen_true else "unsat"
+
+
+def _equivalent(formula_a: _Formula, formula_b: _Formula) -> bool:
+    variables: set[str] = set()
+    _variables(formula_a, variables)
+    _variables(formula_b, variables)
+    if len(variables) > MAX_VARS:
+        return False
+    ordered = sorted(variables)
+    return all(
+        _eval(formula_a, env) == _eval(formula_b, env)
+        for env in _assignments(ordered)
+    )

@@ -712,6 +712,24 @@ class Database:
             if not holds:
                 raise ConstraintViolation(constraint_name_of(slot[1]), slot[0])
 
+    def validate_schema(self, strict: bool = False):
+        """Run the static analyzer over this database's schema.
+
+        Returns the list of :class:`repro.analysis.Diagnostic` findings.
+        With ``strict=True``, error-severity findings raise
+        :class:`~repro.errors.SchemaError` instead of being returned --
+        useful as an assertion after :meth:`extend_schema`.
+        """
+        from repro.analysis import analyze_schema, has_errors
+
+        diagnostics = analyze_schema(self.schema)
+        if strict and has_errors(diagnostics):
+            rendered = [d.render() for d in diagnostics if d.is_error]
+            raise SchemaError(
+                "schema failed static analysis:\n  " + "\n  ".join(rendered)
+            )
+        return diagnostics
+
     # -- undo-log replay (called by the transaction manager) -----------------
 
     def apply_inverse(self, record: LogRecord) -> None:

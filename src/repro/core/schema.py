@@ -382,12 +382,33 @@ class Schema:
     # -- freezing / validation ---------------------------------------------
 
     def freeze(self) -> "Schema":
-        """Validate the whole schema and build resolved class views."""
+        """Validate the whole schema and build resolved class views.
+
+        Validation does not stop at the first problem: every violation
+        across every class is collected, and a single :class:`SchemaError`
+        reports them all (one per line), so a schema author can fix a batch
+        of mistakes in one round trip.
+        """
         self._resolved = {}
+        problems: list[str] = []
         for name in self.classes:
-            self._resolved[name] = self._resolve_class(name)
+            try:
+                self._resolved[name] = self._resolve_class(name)
+            except SchemaError as exc:
+                # Resolution failures (inheritance cycles, unknown
+                # supertypes) make the flattened view meaningless; record
+                # the problem and skip per-class validation.
+                problems.append(str(exc))
         for resolved in self._resolved.values():
-            self._validate_resolved(resolved)
+            problems.extend(self._validate_resolved(resolved))
+        if problems:
+            self._resolved = {}
+            if len(problems) == 1:
+                raise SchemaError(problems[0])
+            raise SchemaError(
+                f"{len(problems)} schema violations:\n  "
+                + "\n  ".join(problems)
+            )
         self._frozen = True
         self.version += 1
         return self
@@ -460,11 +481,23 @@ class Schema:
             index[key] = rule
         return index
 
-    def _validate_resolved(self, resolved: ResolvedClass) -> None:
+    def _validate_resolved(self, resolved: ResolvedClass) -> list[str]:
+        """All violations in one resolved class, as message strings."""
+        problems: list[str] = []
         for attr in resolved.attributes.values():
-            self.atoms.get(attr.atom)  # raises on unknown atom types
+            try:
+                self.atoms.get(attr.atom)
+            except SchemaError as exc:
+                problems.append(
+                    f"class {resolved.name!r}: attribute {attr.name!r}: {exc}"
+                )
         for port in resolved.ports.values():
-            self.relationship_type(port.rel_type)
+            try:
+                self.relationship_type(port.rel_type)
+            except SchemaError as exc:
+                problems.append(
+                    f"class {resolved.name!r}: port {port.name!r}: {exc}"
+                )
         derived = {
             a.name for a in resolved.attributes.values() if a.derived
         }
@@ -475,68 +508,87 @@ class Schema:
         }
         missing = derived - ruled
         if missing:
-            raise SchemaError(
+            problems.append(
                 f"class {resolved.name!r}: derived attributes without rules: "
                 f"{sorted(missing)}"
             )
         for rule in resolved.rules:
-            self._validate_rule(resolved, rule)
+            problems.extend(self._validate_rule(resolved, rule))
+        return problems
 
-    def _validate_rule(self, resolved: ResolvedClass, rule: Rule) -> None:
+    def _validate_rule(self, resolved: ResolvedClass, rule: Rule) -> list[str]:
+        problems: list[str] = []
         target = rule.target
         if isinstance(target, AttributeTarget):
             if target.attr in resolved.attributes:
                 attr = resolved.attributes[target.attr]
                 if attr.intrinsic:
-                    raise SchemaError(
+                    problems.append(
                         f"class {resolved.name!r}: rule {rule.name!r} targets "
                         f"intrinsic attribute {target.attr!r}"
                     )
             elif not _is_synthetic_attr(target.attr):
-                raise SchemaError(
+                problems.append(
                     f"class {resolved.name!r}: rule {rule.name!r} targets "
                     f"unknown attribute {target.attr!r}"
                 )
         else:
             port = resolved.ports.get(target.port)
             if port is None:
-                raise SchemaError(
+                problems.append(
                     f"class {resolved.name!r}: rule {rule.name!r} transmits on "
                     f"unknown port {target.port!r}"
                 )
-            rel = self.relationship_type(port.rel_type)
-            flow = rel.flow(target.value)
-            if flow.sent_by is not port.end:
-                raise SchemaError(
-                    f"class {resolved.name!r}: rule {rule.name!r} transmits "
-                    f"{target.value!r} on port {target.port!r}, but that value "
-                    f"flows {flow.sent_by.value}-to-"
-                    f"{flow.sent_by.opposite.value}"
-                )
+            else:
+                try:
+                    rel = self.relationship_type(port.rel_type)
+                    flow = rel.flow(target.value)
+                except SchemaError as exc:
+                    problems.append(
+                        f"class {resolved.name!r}: rule {rule.name!r}: {exc}"
+                    )
+                else:
+                    if flow.sent_by is not port.end:
+                        problems.append(
+                            f"class {resolved.name!r}: rule {rule.name!r} "
+                            f"transmits {target.value!r} on port "
+                            f"{target.port!r}, but that value flows "
+                            f"{flow.sent_by.value}-to-"
+                            f"{flow.sent_by.opposite.value}"
+                        )
         for key, inp in rule.inputs.items():
             if isinstance(inp, Local):
                 if inp.attr not in resolved.attributes and not _is_synthetic_attr(
                     inp.attr
                 ):
-                    raise SchemaError(
+                    problems.append(
                         f"class {resolved.name!r}: rule {rule.name!r} input "
                         f"{key!r} references unknown attribute {inp.attr!r}"
                     )
             elif isinstance(inp, Received):
                 port = resolved.ports.get(inp.port)
                 if port is None:
-                    raise SchemaError(
+                    problems.append(
                         f"class {resolved.name!r}: rule {rule.name!r} input "
                         f"{key!r} receives on unknown port {inp.port!r}"
                     )
-                rel = self.relationship_type(port.rel_type)
-                flow = rel.flow(inp.value)
+                    continue
+                try:
+                    rel = self.relationship_type(port.rel_type)
+                    flow = rel.flow(inp.value)
+                except SchemaError as exc:
+                    problems.append(
+                        f"class {resolved.name!r}: rule {rule.name!r} input "
+                        f"{key!r}: {exc}"
+                    )
+                    continue
                 if flow.sent_by is port.end:
-                    raise SchemaError(
+                    problems.append(
                         f"class {resolved.name!r}: rule {rule.name!r} input "
                         f"{key!r} receives {inp.value!r} on port "
                         f"{inp.port!r}, but this end *sends* that value"
                     )
+        return problems
 
 
 def _target_slot_name(target: AttributeTarget | TransmitTarget) -> str:

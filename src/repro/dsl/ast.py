@@ -8,7 +8,8 @@ a ``Begin ... End`` block with local variables, assignments,
 ``return``.  Relationship types are declared separately with the values
 that flow across them.
 
-All nodes carry ``line`` for error reporting.
+All nodes carry a source span -- ``line`` and ``column`` taken from the
+lexer token that introduced them -- for error reporting and diagnostics.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ class Literal:
 
     value: Any
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,7 @@ class Name:
 
     ident: str
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,7 @@ class FieldRef:
     base: str
     field_name: str
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,7 @@ class Call:
     fn: str
     args: tuple["Expr", ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,7 @@ class Unary:
     op: str
     operand: "Expr"
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,7 @@ class Binary:
     left: "Expr"
     right: "Expr"
     line: int = 0
+    column: int = 0
 
 
 Expr = Literal | Name | FieldRef | Call | Unary | Binary
@@ -94,6 +101,7 @@ class VarDecl:
     name: str
     type_name: str
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,6 +111,7 @@ class Assign:
     name: str
     value: Expr
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -113,6 +122,7 @@ class ForEach:
     port: str
     body: tuple["Stmt", ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -123,6 +133,7 @@ class If:
     then_body: tuple["Stmt", ...]
     else_body: tuple["Stmt", ...] = ()
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -131,6 +142,7 @@ class Return:
 
     value: Expr
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -139,6 +151,7 @@ class ExprStmt:
 
     value: Expr
     line: int = 0
+    column: int = 0
 
 
 Stmt = VarDecl | Assign | ForEach | If | Return | ExprStmt
@@ -150,6 +163,7 @@ class Block:
 
     body: tuple[Stmt, ...]
     line: int = 0
+    column: int = 0
 
 
 RuleBody = Expr | Block
@@ -169,6 +183,7 @@ class FlowDeclNode:
     sent_by: str  # "plug" | "socket"
     default: Any = None
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -178,6 +193,7 @@ class RelationshipDecl:
     name: str
     flows: tuple[FlowDeclNode, ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -189,6 +205,7 @@ class PortDecl:
     end: str  # "plug" | "socket"
     multi: bool = False
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -200,6 +217,7 @@ class AttrDecl:
     derived: bool = False
     default: Any = None
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -211,6 +229,7 @@ class RuleDecl:
     target_value: str | None
     body: RuleBody
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -221,6 +240,7 @@ class ConstraintDecl:
     predicate: Expr
     recover: str | None = None
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -235,6 +255,7 @@ class ClassDecl:
     rules: tuple[RuleDecl, ...]
     constraints: tuple[ConstraintDecl, ...]
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)

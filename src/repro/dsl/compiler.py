@@ -213,7 +213,9 @@ class SchemaCompiler:
             if recovery is None:
                 raise DslCompileError(
                     f"constraint {decl.name!r}: unknown recovery function "
-                    f"{decl.recover!r} (register it via functions=)"
+                    f"{decl.recover!r} (register it via functions=)",
+                    line=decl.line,
+                    column=decl.column,
                 )
         return Constraint(
             name=decl.name,
@@ -271,17 +273,23 @@ class _ClassScope:
         self.attr_names = compiler.class_attr_names(class_name)
         self.ports = compiler.class_ports(class_name)
 
-    def received_flows(self, port_name: str) -> list[FlowDecl]:
+    def received_flows(
+        self, port_name: str, line: int | None = None, column: int | None = None
+    ) -> list[FlowDecl]:
         port = self.ports.get(port_name)
         if port is None:
             raise DslCompileError(
-                f"class {self.class_name!r}: unknown port {port_name!r}"
+                f"class {self.class_name!r}: unknown port {port_name!r}",
+                line=line,
+                column=column,
             )
         rel = self.compiler.schema.relationship_types.get(port.rel_type)
         if rel is None:
             raise DslCompileError(
                 f"class {self.class_name!r}: port {port_name!r} uses unknown "
-                f"relationship type {port.rel_type!r}"
+                f"relationship type {port.rel_type!r}",
+                line=line,
+                column=column,
             )
         return rel.values_received_by(port.end)
 
@@ -302,8 +310,9 @@ class _DependencyAnalysis:
         self.scope = scope
         self.locals_used: set[str] = set()
         self.received_used: set[tuple[str, str]] = set()
-        #: ports iterated by For Each loops (need a count source).
-        self.loop_ports: set[str] = set()
+        #: ports iterated by For Each loops (need a count source),
+        #: mapped to the source position of the first loop over each.
+        self.loop_ports: dict[str, tuple[int, int]] = {}
 
     # -- entry points ------------------------------------------------------
 
@@ -325,15 +334,18 @@ class _DependencyAnalysis:
                 if port is None:
                     raise DslCompileError(
                         f"class {self.scope.class_name!r}: For Each over "
-                        f"unknown port {stmt.port!r} (line {stmt.line})"
+                        f"unknown port {stmt.port!r}",
+                        line=stmt.line,
+                        column=stmt.column,
                     )
                 if not port.multi:
                     raise DslCompileError(
                         f"class {self.scope.class_name!r}: For Each requires a "
-                        f"Multi port; {stmt.port!r} is single-valued "
-                        f"(line {stmt.line})"
+                        f"Multi port; {stmt.port!r} is single-valued",
+                        line=stmt.line,
+                        column=stmt.column,
                     )
-                self.loop_ports.add(stmt.port)
+                self.loop_ports.setdefault(stmt.port, (stmt.line, stmt.column))
                 inner = dict(loops)
                 inner[stmt.var] = stmt.port
                 self._analyse_stmts(stmt.body, set(local_vars), inner)
@@ -361,8 +373,9 @@ class _DependencyAnalysis:
             if ident in self.compiler.constants:
                 return
             raise DslCompileError(
-                f"class {self.scope.class_name!r}: unknown name {ident!r} "
-                f"(line {expr.line})"
+                f"class {self.scope.class_name!r}: unknown name {ident!r}",
+                line=expr.line,
+                column=expr.column,
             )
         if isinstance(expr, ast.FieldRef):
             base = expr.base
@@ -372,21 +385,30 @@ class _DependencyAnalysis:
                 if self.scope.ports[base].multi:
                     raise DslCompileError(
                         f"class {self.scope.class_name!r}: port {base!r} is "
-                        f"Multi; use 'For Each x Related To {base}' "
-                        f"(line {expr.line})"
+                        f"Multi; use 'For Each x Related To {base}'",
+                        line=expr.line,
+                        column=expr.column,
                     )
                 port_name = base
             else:
                 raise DslCompileError(
                     f"class {self.scope.class_name!r}: {base!r} is neither a "
-                    f"loop variable nor a port (line {expr.line})"
+                    f"loop variable nor a port",
+                    line=expr.line,
+                    column=expr.column,
                 )
-            flows = {f.value for f in self.scope.received_flows(port_name)}
+            flows = {
+                f.value
+                for f in self.scope.received_flows(
+                    port_name, expr.line, expr.column
+                )
+            }
             if expr.field_name not in flows:
                 raise DslCompileError(
                     f"class {self.scope.class_name!r}: port {port_name!r} "
-                    f"does not receive a value named {expr.field_name!r} "
-                    f"(line {expr.line})"
+                    f"does not receive a value named {expr.field_name!r}",
+                    line=expr.line,
+                    column=expr.column,
                 )
             self.received_used.add((port_name, expr.field_name))
             return
@@ -394,7 +416,9 @@ class _DependencyAnalysis:
             if expr.fn not in self.compiler.functions:
                 raise DslCompileError(
                     f"class {self.scope.class_name!r}: unknown function "
-                    f"{expr.fn!r} (line {expr.line})"
+                    f"{expr.fn!r}",
+                    line=expr.line,
+                    column=expr.column,
                 )
             for arg in expr.args:
                 self.analyse_expr(arg, local_vars, loops)
@@ -419,12 +443,15 @@ class _DependencyAnalysis:
         # iteration count: depend on the first value the port can receive.
         for port in sorted(self.loop_ports):
             if not any(p == port for p, __ in received):
-                flows = self.scope.received_flows(port)
+                line, column = self.loop_ports[port]
+                flows = self.scope.received_flows(port, line, column)
                 if not flows:
                     raise DslCompileError(
                         f"class {self.scope.class_name!r}: cannot determine "
                         f"the iteration count of 'For Each ... Related To "
-                        f"{port}': no value flows toward this end"
+                        f"{port}': no value flows toward this end",
+                        line=line,
+                        column=column,
                     )
                 received.add((port, flows[0].value))
         for port, value in sorted(received):

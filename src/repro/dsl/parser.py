@@ -123,7 +123,7 @@ class Parser:
         self.expect_kw("end")
         self.accept_kw("relationship")
         self.accept_sym(";")
-        return ast.RelationshipDecl(name, tuple(flows), line=start.line)
+        return ast.RelationshipDecl(name, tuple(flows), line=start.line, column=start.column)
 
     def parse_flow(self) -> ast.FlowDeclNode:
         name_tok = self.expect_name()
@@ -139,7 +139,12 @@ class Parser:
             default = self.parse_literal_value()
         self.expect_sym(";")
         return ast.FlowDeclNode(
-            name_tok.text, type_name, sent_by, default, line=name_tok.line
+            name_tok.text,
+            type_name,
+            sent_by,
+            default,
+            line=name_tok.line,
+            column=name_tok.column,
         )
 
     def parse_class(self) -> ast.ClassDecl:
@@ -188,6 +193,7 @@ class Parser:
             rules=tuple(rules),
             constraints=tuple(constraints),
             line=start.line,
+            column=start.column,
         )
 
     def parse_port(self) -> ast.PortDecl:
@@ -200,7 +206,14 @@ class Parser:
         else:
             raise self.error("expected 'plug' or 'socket'")
         self.expect_sym(";")
-        return ast.PortDecl(name_tok.text, rel_type, end, multi, line=name_tok.line)
+        return ast.PortDecl(
+            name_tok.text,
+            rel_type,
+            end,
+            multi,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
 
     def parse_attr(self) -> ast.AttrDecl:
         name_tok = self.expect_name()
@@ -212,7 +225,12 @@ class Parser:
             default = self.parse_literal_value()
         self.expect_sym(";")
         return ast.AttrDecl(
-            name_tok.text, type_name, derived, default, line=name_tok.line
+            name_tok.text,
+            type_name,
+            derived,
+            default,
+            line=name_tok.line,
+            column=name_tok.column,
         )
 
     def parse_rule(self) -> ast.RuleDecl:
@@ -229,6 +247,7 @@ class Parser:
                 target_value=value_tok.text,
                 body=body,
                 line=first.line,
+                column=first.column,
             )
         self.expect_sym("=")
         body = self.parse_rule_body()
@@ -239,6 +258,7 @@ class Parser:
             target_value=None,
             body=body,
             line=first.line,
+            column=first.column,
         )
 
     def parse_constraint(self) -> ast.ConstraintDecl:
@@ -250,7 +270,7 @@ class Parser:
             recover = self.expect_name().text
         self.expect_sym(";")
         return ast.ConstraintDecl(
-            name_tok.text, predicate, recover, line=name_tok.line
+            name_tok.text, predicate, recover, line=name_tok.line, column=name_tok.column
         )
 
     # -- rule bodies / statements ---------------------------------------------
@@ -264,7 +284,7 @@ class Parser:
         start = self.expect_kw("begin")
         body = self.parse_stmts_until({"end"})
         self.expect_kw("end")
-        return ast.Block(tuple(body), line=start.line)
+        return ast.Block(tuple(body), line=start.line, column=start.column)
 
     def parse_stmts_until(self, stop_kws: set[str]) -> list[ast.Stmt]:
         stmts: list[ast.Stmt] = []
@@ -284,7 +304,7 @@ class Parser:
             self.advance()
             value = self.parse_expr()
             self.expect_sym(";")
-            return ast.Return(value, line=token.line)
+            return ast.Return(value, line=token.line, column=token.column)
         if token.kind == "ident":
             nxt = self.peek()
             if nxt.is_sym(":") and self.peek(2).kind == "ident" and self.peek(3).is_sym(";"):
@@ -292,16 +312,16 @@ class Parser:
                 self.expect_sym(":")
                 type_name = self.expect_name().text
                 self.expect_sym(";")
-                return ast.VarDecl(name, type_name, line=token.line)
+                return ast.VarDecl(name, type_name, line=token.line, column=token.column)
             if nxt.is_sym(":="):
                 name = self.advance().text
                 self.expect_sym(":=")
                 value = self.parse_expr()
                 self.expect_sym(";")
-                return ast.Assign(name, value, line=token.line)
+                return ast.Assign(name, value, line=token.line, column=token.column)
         value = self.parse_expr()
         self.expect_sym(";")
-        return ast.ExprStmt(value, line=token.line)
+        return ast.ExprStmt(value, line=token.line, column=token.column)
 
     def parse_for_each(self) -> ast.ForEach:
         start = self.expect_kw("for")
@@ -315,7 +335,7 @@ class Parser:
         self.expect_kw("end")
         self.accept_kw("for")
         self.accept_sym(";")
-        return ast.ForEach(var, port, tuple(body), line=start.line)
+        return ast.ForEach(var, port, tuple(body), line=start.line, column=start.column)
 
     def parse_if(self) -> ast.If:
         start = self.expect_kw("if")
@@ -328,7 +348,13 @@ class Parser:
         self.expect_kw("end")
         self.accept_kw("if")
         self.accept_sym(";")
-        return ast.If(cond, tuple(then_body), tuple(else_body), line=start.line)
+        return ast.If(
+            cond,
+            tuple(then_body),
+            tuple(else_body),
+            line=start.line,
+            column=start.column,
+        )
 
     # -- expressions ------------------------------------------------------------
 
@@ -338,23 +364,23 @@ class Parser:
     def parse_or(self) -> ast.Expr:
         left = self.parse_and()
         while self.current.is_kw("or"):
-            line = self.advance().line
+            op = self.advance()
             right = self.parse_and()
-            left = ast.Binary("or", left, right, line=line)
+            left = ast.Binary("or", left, right, line=op.line, column=op.column)
         return left
 
     def parse_and(self) -> ast.Expr:
         left = self.parse_not()
         while self.current.is_kw("and"):
-            line = self.advance().line
+            op = self.advance()
             right = self.parse_not()
-            left = ast.Binary("and", left, right, line=line)
+            left = ast.Binary("and", left, right, line=op.line, column=op.column)
         return left
 
     def parse_not(self) -> ast.Expr:
         if self.current.is_kw("not"):
-            line = self.advance().line
-            return ast.Unary("not", self.parse_not(), line=line)
+            op = self.advance()
+            return ast.Unary("not", self.parse_not(), line=op.line, column=op.column)
         return self.parse_comparison()
 
     def parse_comparison(self) -> ast.Expr:
@@ -363,7 +389,7 @@ class Parser:
             op = self.advance()
             right = self.parse_additive()
             canonical = {"=": "==", "<>": "!="}.get(op.text, op.text)
-            return ast.Binary(canonical, left, right, line=op.line)
+            return ast.Binary(canonical, left, right, line=op.line, column=op.column)
         return left
 
     def parse_additive(self) -> ast.Expr:
@@ -371,7 +397,7 @@ class Parser:
         while self.current.kind == "sym" and self.current.text in ("+", "-"):
             op = self.advance()
             right = self.parse_multiplicative()
-            left = ast.Binary(op.text, left, right, line=op.line)
+            left = ast.Binary(op.text, left, right, line=op.line, column=op.column)
         return left
 
     def parse_multiplicative(self) -> ast.Expr:
@@ -379,13 +405,13 @@ class Parser:
         while self.current.kind == "sym" and self.current.text in ("*", "/", "%"):
             op = self.advance()
             right = self.parse_unary()
-            left = ast.Binary(op.text, left, right, line=op.line)
+            left = ast.Binary(op.text, left, right, line=op.line, column=op.column)
         return left
 
     def parse_unary(self) -> ast.Expr:
         if self.current.is_sym("-"):
-            line = self.advance().line
-            return ast.Unary("-", self.parse_unary(), line=line)
+            op = self.advance()
+            return ast.Unary("-", self.parse_unary(), line=op.line, column=op.column)
         return self.parse_postfix()
 
     def parse_postfix(self) -> ast.Expr:
@@ -399,11 +425,15 @@ class Parser:
                     while self.accept_sym(","):
                         args.append(self.parse_expr())
                 self.expect_sym(")")
-                expr = ast.Call(expr.ident, tuple(args), line=expr.line)
+                expr = ast.Call(
+                    expr.ident, tuple(args), line=expr.line, column=expr.column
+                )
             elif self.current.is_sym(".") and isinstance(expr, ast.Name):
                 self.advance()
                 field_tok = self.expect_name()
-                expr = ast.FieldRef(expr.ident, field_tok.text, line=expr.line)
+                expr = ast.FieldRef(
+                    expr.ident, field_tok.text, line=expr.line, column=expr.column
+                )
             else:
                 return expr
 
@@ -411,16 +441,16 @@ class Parser:
         token = self.current
         if token.kind in ("int", "real", "string"):
             self.advance()
-            return ast.Literal(token.value, line=token.line)
+            return ast.Literal(token.value, line=token.line, column=token.column)
         if token.is_kw("true"):
             self.advance()
-            return ast.Literal(True, line=token.line)
+            return ast.Literal(True, line=token.line, column=token.column)
         if token.is_kw("false"):
             self.advance()
-            return ast.Literal(False, line=token.line)
+            return ast.Literal(False, line=token.line, column=token.column)
         if token.kind == "ident":
             self.advance()
-            return ast.Name(token.text, line=token.line)
+            return ast.Name(token.text, line=token.line, column=token.column)
         if token.is_sym("("):
             self.advance()
             expr = self.parse_expr()

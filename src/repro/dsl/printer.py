@@ -58,8 +58,12 @@ def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
         args = ", ".join(format_expr(a) for a in expr.args)
         return f"{expr.fn}({args})"
     if isinstance(expr, ast.Unary):
-        inner = format_expr(expr.operand, 7)
-        return f"not {inner}" if expr.op == "not" else f"-{inner}"
+        if expr.op == "not":
+            # 'not' sits between 'and' and the comparisons in the grammar,
+            # so it must be parenthesised as an operand of anything tighter.
+            text = f"not {format_expr(expr.operand, 3)}"
+            return f"({text})" if parent_prec > 3 else text
+        return f"-{format_expr(expr.operand, 7)}"
     if isinstance(expr, ast.Binary):
         prec = _PRECEDENCE.get(expr.op, 3)
         # Comparisons are non-associative in the grammar: a comparison
@@ -229,6 +233,89 @@ def _unwrap_booleanized(fn: Any) -> ast.RuleBody | None:
             if isinstance(value, _RuleInterpreter):
                 return value.body
     return None
+
+
+# ---------------------------------------------------------------------------
+# AST-level printing (no compilation required)
+# ---------------------------------------------------------------------------
+
+
+def format_relationship_decl(rel: ast.RelationshipDecl) -> str:
+    lines = [f"relationship {rel.name} is"]
+    for flow in rel.flows:
+        default = ""
+        if flow.default is not None:
+            default = f" default {format_expr(ast.Literal(flow.default))}"
+        lines.append(
+            f"{_INDENT}{flow.value} : {flow.type_name} from "
+            f"{flow.sent_by}{default};"
+        )
+    lines.append("end relationship;")
+    return "\n".join(lines)
+
+
+def format_class_decl(cls: ast.ClassDecl) -> str:
+    header = f"object class {cls.name}"
+    if cls.supertype is not None:
+        header += f" subtype of {cls.supertype}"
+        if cls.where is not None:
+            header += f" where {format_expr(cls.where)}"
+    lines = [header + " is"]
+    if cls.ports:
+        lines.append(f"{_INDENT}relationships")
+        for port in cls.ports:
+            multi = "multi " if port.multi else ""
+            lines.append(
+                f"{_INDENT*2}{port.name} : {port.rel_type} {multi}{port.end};"
+            )
+    if cls.attrs:
+        lines.append(f"{_INDENT}attributes")
+        for attr in cls.attrs:
+            derived = " derived" if attr.derived else ""
+            default = ""
+            if attr.default is not None:
+                default = f" = {format_expr(ast.Literal(attr.default))}"
+            lines.append(
+                f"{_INDENT*2}{attr.name} : {attr.type_name}{derived}{default};"
+            )
+    if cls.rules:
+        lines.append(f"{_INDENT}rules")
+        for rule in cls.rules:
+            if rule.target_attr is not None:
+                target = rule.target_attr
+            else:
+                target = f"{rule.target_port} {rule.target_value}"
+            lines.append(
+                f"{_INDENT*2}{target} = {format_body(rule.body, 2)};"
+            )
+    if cls.constraints:
+        lines.append(f"{_INDENT}constraints")
+        for constraint in cls.constraints:
+            recover = (
+                f" recover {constraint.recover}"
+                if constraint.recover is not None
+                else ""
+            )
+            lines.append(
+                f"{_INDENT*2}{constraint.name} : "
+                f"{format_expr(constraint.predicate)}{recover};"
+            )
+    lines.append("end object;")
+    return "\n".join(lines)
+
+
+def format_schema_decl(decl: ast.SchemaDecl) -> str:
+    """Render a parsed schema declaration back to source text.
+
+    Unlike :func:`format_schema` this needs no compilation, preserves
+    declaration order exactly, and prints the ``derived`` marker on
+    attributes (the object-level printer infers derivedness from rules).
+    ``parse(format_schema_decl(parse(src)))`` is the identity up to
+    source spans (property-tested).
+    """
+    parts = [format_relationship_decl(rel) for rel in decl.relationships]
+    parts.extend(format_class_decl(cls) for cls in decl.classes)
+    return "\n\n".join(parts) + "\n"
 
 
 def format_schema(schema: Schema, strict: bool = True) -> str:

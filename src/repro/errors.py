@@ -157,7 +157,23 @@ class DslSyntaxError(DslError):
 
 
 class DslCompileError(DslError):
-    """The parsed schema text is semantically invalid (unknown names etc.)."""
+    """The parsed schema text is semantically invalid (unknown names etc.).
+
+    ``line``/``column`` locate the offending construct in the schema source
+    when known (they come from the lexer token that introduced the AST node)
+    and are appended to the message; ``None`` means "no position available"
+    (e.g. errors against schemas built from the Python API).
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            where = f"line {line}"
+            if column:
+                where += f", column {column}"
+            message = f"{message} ({where})"
+        super().__init__(message)
 
 
 class DslRuntimeError(DslError):

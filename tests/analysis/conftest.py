@@ -1,0 +1,28 @@
+"""Shared helpers for the static-analyzer tests."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def lint_fixture():
+    def run(name: str, **kwargs):
+        source = (FIXTURES / name).read_text()
+        return analyze_source(source, filename=name, **kwargs)
+
+    return run
+
+
+def codes(diagnostics) -> set[str]:
+    return {d.code for d in diagnostics}
+
+
+def by_code(diagnostics, code: str):
+    return [d for d in diagnostics if d.code == code]

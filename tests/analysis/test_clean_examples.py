@@ -1,0 +1,67 @@
+"""Every shipped example and paper-figure schema must be analyzer-clean.
+
+This is the same gate `make lint-schema` applies in CI, expressed as unit
+tests so a broken example fails close to the change that broke it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_schema, analyze_source, has_errors
+from repro.env.make import figure4_schema_source, make_schema
+from repro.env.milestones import (
+    MILESTONE_SCHEMA,
+    VERY_LATE_EXTENSION,
+    MilestoneManager,
+)
+
+from tests.analysis.conftest import FIXTURES
+
+EXAMPLES = FIXTURES.parent.parent.parent / "examples" / "schemas"
+
+UNITS = [
+    pytest.param(["milestones.cactis"], (), id="milestones"),
+    pytest.param(["milestones.cactis", "very_late.cactis"], (), id="very_late"),
+    pytest.param(
+        ["make.cactis"], ("file_mod_time", "system_command"), id="make"
+    ),
+    pytest.param(["project.cactis"], (), id="project"),
+]
+
+
+@pytest.mark.parametrize("names, functions", UNITS)
+def test_example_schema_has_no_errors(names, functions):
+    source = "\n".join((EXAMPLES / name).read_text() for name in names)
+    diagnostics = analyze_source(source, functions=functions)
+    assert not has_errors(diagnostics), [
+        d.render() for d in diagnostics if d.is_error
+    ]
+
+
+def test_paper_figure_sources_have_no_errors():
+    assert not has_errors(analyze_source(MILESTONE_SCHEMA))
+    assert not has_errors(
+        analyze_source(
+            MILESTONE_SCHEMA + "\n" + VERY_LATE_EXTENSION.format(limit=10)
+        )
+    )
+    assert not has_errors(
+        analyze_source(
+            figure4_schema_source(),
+            functions=("file_mod_time", "system_command"),
+        )
+    )
+
+
+def test_compiled_make_schema_validates():
+    diagnostics = analyze_schema(make_schema())
+    assert not has_errors(diagnostics), [
+        d.render() for d in diagnostics if d.is_error
+    ]
+
+
+def test_database_validate_schema_strict_accepts_milestones():
+    manager = MilestoneManager()
+    diagnostics = manager.db.validate_schema(strict=True)
+    assert not has_errors(diagnostics)

@@ -1,0 +1,84 @@
+"""The lint CLI: exit codes, rendering, --strict, --paper-figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+from tests.analysis.conftest import FIXTURES
+
+EXAMPLES = FIXTURES.parent.parent.parent / "examples" / "schemas"
+
+
+def run(capsys, *argv) -> tuple[int, str]:
+    status = main(list(argv))
+    return status, capsys.readouterr().out
+
+
+def test_error_fixture_exits_nonzero(capsys):
+    status, out = run(capsys, str(FIXTURES / "local_cycle.cactis"))
+    assert status == 1
+    assert "CA201" in out
+    assert "error" in out
+
+
+def test_clean_schema_exits_zero(capsys):
+    status, out = run(capsys, str(EXAMPLES / "project.cactis"))
+    assert status == 0
+    assert out.strip() == "0 error(s), 0 warning(s), 0 info(s)"
+
+
+def test_warnings_pass_unless_strict(capsys):
+    dead = str(FIXTURES / "dead.cactis")
+    status, _ = run(capsys, dead)
+    assert status == 0
+    status, _ = run(capsys, "--strict", dead)
+    assert status == 1
+
+
+def test_diagnostics_render_with_file_line_column(capsys):
+    path = str(FIXTURES / "local_cycle.cactis")
+    _, out = run(capsys, path)
+    assert any(
+        line.startswith(f"{path}:") and ": error CA201:" in line
+        for line in out.splitlines()
+    )
+
+
+def test_quiet_prints_only_the_summary(capsys):
+    status, out = run(capsys, "--quiet", str(FIXTURES / "dead.cactis"))
+    assert status == 0
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_missing_file_is_a_usage_error(capsys):
+    status = main([str(FIXTURES / "no_such_schema.cactis")])
+    assert status == 2
+
+
+def test_no_files_and_no_paper_figures_is_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_paper_figures_are_error_free(capsys):
+    status, out = run(capsys, "--paper-figures")
+    assert status == 0
+    assert out.strip().endswith("info(s)")
+
+
+def test_multiple_files_form_one_compilation_unit(capsys):
+    """very_late.cactis extends milestones.cactis; alone it cannot
+    resolve `milestone`, together they lint clean."""
+    status, _ = run(
+        capsys,
+        str(EXAMPLES / "milestones.cactis"),
+        str(EXAMPLES / "very_late.cactis"),
+    )
+    assert status == 0
+
+    status, out = run(capsys, str(EXAMPLES / "very_late.cactis"))
+    assert status == 1
+    assert "CA108" in out

@@ -1,0 +1,113 @@
+"""CA2xx: static cycle detection, cross-checked against the runtime.
+
+The headline case: ``connection_cycle.cactis`` compiles without complaint
+and only failed at runtime (``CycleError`` when two instances connect)
+before the analyzer existed.  The tests prove both halves -- the analyzer
+flags it statically (CA202), and the runtime error it predicts really
+happens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.diagnostics import Severity, has_errors
+from repro.core.database import Database
+from repro.dsl import compile_schema
+from repro.env.milestones import MILESTONE_SCHEMA
+from repro.errors import CycleError
+
+from tests.analysis.conftest import FIXTURES, by_code, codes
+
+
+def test_local_cycle_is_ca201_error(lint_fixture):
+    diagnostics = lint_fixture("local_cycle.cactis")
+    (diag,) = by_code(diagnostics, "CA201")
+    assert diag.severity is Severity.ERROR
+    assert "a -> b -> a" in diag.message or "b -> a -> b" in diag.message
+    # Anchored at one of the two rule declarations.
+    assert (diag.line, diag.column) in {(7, 5), (8, 5)}
+
+
+def test_local_cycle_really_raises_at_runtime():
+    schema = compile_schema((FIXTURES / "local_cycle.cactis").read_text())
+    db = Database(schema)
+    iid = db.create("widget")
+    with pytest.raises(CycleError):
+        db.get_attr(iid, "a")
+
+
+def test_connection_cycle_is_ca202_error(lint_fixture):
+    diagnostics = lint_fixture("connection_cycle.cactis")
+    (diag,) = by_code(diagnostics, "CA202")
+    assert diag.severity is Severity.ERROR
+    assert "talker" in diag.message and "replier" in diag.message
+    assert "echo" in diag.message
+    assert diag.line > 0 and diag.column > 0
+
+
+def test_connection_cycle_compiles_but_fails_at_runtime():
+    """Before the analyzer, this schema's bug was invisible until the
+    first connection raised CycleError."""
+    schema = compile_schema((FIXTURES / "connection_cycle.cactis").read_text())
+    db = Database(schema)
+    talker = db.create("talker")
+    replier = db.create("replier")
+    with pytest.raises(CycleError):
+        db.connect(talker, "out", replier, "inp")
+        # Some engines defer detection to demand time.
+        db.get_transmitted(talker, "out", "ping")
+
+
+def test_milestone_recursion_is_info_not_error():
+    diagnostics = analyze_source(MILESTONE_SCHEMA)
+    assert not has_errors(diagnostics)
+    (recursive,) = by_code(diagnostics, "CA203")
+    assert recursive.severity is Severity.INFO
+    assert "milestone_dep" in recursive.message
+    assert not by_code(diagnostics, "CA201")
+    assert not by_code(diagnostics, "CA202")
+
+
+def test_cycle_through_inherited_rules_reported_once():
+    source = """
+    object class base is
+      attributes
+        a : integer;
+        b : integer;
+      rules
+        a = b;
+        b = a;
+    end object;
+
+    object class child subtype of base is
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert len(by_code(diagnostics, "CA201")) == 1
+
+
+def test_three_class_relationship_recursion_is_ca203():
+    source = """
+    relationship chain is
+        v : integer from plug;
+    end relationship;
+
+    object class stage is
+      relationships
+        prev : chain socket;
+        next : chain plug;
+      attributes
+        x : integer;
+      rules
+        x = prev.v + 1;
+        next v = x;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    # Feedback crosses two different ports, so one connection is safe:
+    # info, not error.
+    assert by_code(diagnostics, "CA203")
+    assert not by_code(diagnostics, "CA202")
+    assert not by_code(diagnostics, "CA201")

@@ -1,0 +1,73 @@
+"""CA4xx: dead attributes, ports, flows, and over-declared rule inputs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import analyze_schema
+from repro.analysis.diagnostics import Severity
+from repro.core.rules import Local
+from repro.dsl import compile_schema
+
+from tests.analysis.conftest import FIXTURES, by_code, codes
+
+
+def test_dead_fixture_flags_every_dead_code(lint_fixture):
+    diagnostics = lint_fixture("dead.cactis")
+    assert codes(diagnostics) >= {"CA401", "CA402", "CA403", "CA404", "CA405", "CA407"}
+    assert not [d for d in diagnostics if d.is_error]
+
+
+def test_dead_spans(lint_fixture):
+    diagnostics = lint_fixture("dead.cactis")
+    spans = {d.code: (d.line, d.column) for d in diagnostics}
+    assert spans["CA401"] == (14, 5)  # serial : string;
+    assert spans["CA405"] == (5, 5)  # unused : integer from socket;
+    assert spans["CA403"] == (25, 5)  # spare : plumbing socket;
+    assert spans["CA407"] == (19, 5)  # outlet ignored = rate;
+
+
+def test_consumed_flow_is_not_flagged(lint_fixture):
+    diagnostics = lint_fixture("dead.cactis")
+    for diag in by_code(diagnostics, "CA405") + by_code(diagnostics, "CA407"):
+        assert "flow_rate" not in diag.message
+
+
+def test_unused_declared_input_is_ca406():
+    """A hand-built rule declaring more inputs than its body reads
+    subscribes to spurious change propagation -- only visible on the
+    compiled-Schema path, where declared inputs and the body AST can
+    disagree."""
+    schema = compile_schema(
+        """
+        object class c is
+          attributes
+            a : integer;
+            b : integer;
+            z : integer derived;
+          rules
+            z = a + 1;
+        end object;
+        """
+    )
+    cls = schema.classes["c"]
+    (rule,) = [r for r in cls.rules if r.name == "c.z"]
+    padded = dataclasses.replace(
+        rule, inputs={**rule.inputs, "b": Local("b")}
+    )
+    object.__setattr__(cls, "rules", tuple(
+        padded if r is rule else r for r in cls.rules
+    ))
+
+    diagnostics = analyze_schema(schema)
+    (diag,) = by_code(diagnostics, "CA406")
+    assert diag.severity is Severity.WARNING
+    assert "Local('b')" in diag.message
+    assert "never uses it" in diag.message
+
+
+def test_dsl_compiled_rules_never_trip_ca406():
+    """The compiler derives inputs from the body, so they match by
+    construction."""
+    schema = compile_schema((FIXTURES / "dead.cactis").read_text())
+    assert not by_code(analyze_schema(schema), "CA406")

@@ -1,0 +1,28 @@
+"""docs/DIAGNOSTICS.md must document exactly the registered codes."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.analysis.diagnostics import CODES
+
+DOC = pathlib.Path(__file__).parent.parent.parent / "docs" / "DIAGNOSTICS.md"
+HEADING = re.compile(r"^### (CA\d+) `(\w+)`", re.MULTILINE)
+
+
+def test_every_registered_code_is_documented_and_vice_versa():
+    documented = {code: sev for code, sev in HEADING.findall(DOC.read_text())}
+    assert set(documented) == set(CODES), (
+        "docs/DIAGNOSTICS.md and repro.analysis.diagnostics.CODES disagree"
+    )
+
+
+def test_documented_severities_match_the_registry():
+    for code, severity in HEADING.findall(DOC.read_text()):
+        assert severity == CODES[code][0].value, code
+
+
+def test_codes_are_documented_in_ascending_order():
+    order = [code for code, _ in HEADING.findall(DOC.read_text())]
+    assert order == sorted(order)

@@ -1,0 +1,99 @@
+"""CA5xx: degenerate constraints and subtype predicates."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from repro.analysis.diagnostics import Severity
+
+from tests.analysis.conftest import by_code
+
+
+def test_tautological_constraint_is_ca501(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    (diag,) = by_code(diagnostics, "CA501")
+    assert "tautology" in diag.message
+    assert (diag.line, diag.column) == (11, 5)
+
+
+def test_contradictory_constraint_is_ca502_error(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    (diag,) = by_code(diagnostics, "CA502")
+    assert diag.severity is Severity.ERROR
+    assert "contradiction" in diag.message
+    assert (diag.line, diag.column) == (12, 5)
+
+
+def test_honest_constraint_is_not_flagged(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    assert not any("honest" in d.message for d in diagnostics)
+
+
+def test_unsatisfiable_predicate_is_ca503_error(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    (diag,) = by_code(diagnostics, "CA503")
+    assert diag.severity is Severity.ERROR
+    assert "impossible_task" in diag.message
+    assert (diag.line, diag.column) == (20, 1)
+
+
+def test_always_true_predicate_is_ca504(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    (diag,) = by_code(diagnostics, "CA504")
+    assert "any_task" in diag.message
+    assert (diag.line, diag.column) == (24, 1)
+
+
+def test_equivalent_sibling_predicates_are_ca505(lint_fixture):
+    diagnostics = lint_fixture("predicates.cactis")
+    (diag,) = by_code(diagnostics, "CA505")
+    assert "done_task" in diag.message
+    assert "finished_task" in diag.message
+    assert (diag.line, diag.column) == (28, 1)
+
+
+def test_satisfiable_distinct_predicate_stays_quiet():
+    source = """
+    object class job is
+      attributes
+        urgent : boolean;
+        done   : boolean;
+    end object;
+
+    object class urgent_job subtype of job where urgent is
+    end object;
+
+    object class done_job subtype of job where done is
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert not [d for d in diagnostics if d.code.startswith("CA5")]
+
+
+def test_non_boolean_atoms_abstract_to_opaque_variables():
+    """`cost > 10 or cost <= 10` mixes comparisons the propositional
+    abstraction must treat as independent: no CA501 false positive."""
+    source = """
+    object class c is
+      attributes
+        cost : integer;
+      constraints
+        bound : cost > 10 or cost < 20;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert not [d for d in diagnostics if d.code.startswith("CA5")]
+
+
+def test_identical_comparison_text_is_recognised():
+    """The same comparison spelled identically *is* one variable, so
+    `p or not p` over comparisons still folds to a tautology."""
+    source = """
+    object class c is
+      attributes
+        cost : integer;
+      constraints
+        always : cost > 10 or not (cost > 10);
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert by_code(diagnostics, "CA501")

@@ -1,0 +1,134 @@
+"""CA1xx: name resolution and declaration structure, with source spans."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+
+from tests.analysis.conftest import by_code, codes
+
+
+def test_bad_names_fixture_flags_every_resolution_code(lint_fixture):
+    diagnostics = lint_fixture("bad_names.cactis")
+    assert codes(diagnostics) >= {
+        "CA101",  # unknown name
+        "CA102",  # unknown function
+        "CA103",  # unknown port
+        "CA106",  # multi port used singly
+        "CA107",  # unknown relationship type
+        "CA109",  # duplicate attribute
+        "CA110",  # derived attribute without a rule
+        "CA111",  # rule targets unknown slot
+        "CA112",  # transmit against the flow direction
+        "CA113",  # unknown atom type
+        "CA114",  # unknown recovery function
+    }
+
+
+def test_every_dsl_diagnostic_carries_a_position(lint_fixture):
+    for diag in lint_fixture("bad_names.cactis"):
+        assert diag.line > 0, diag.render()
+        assert diag.column > 0, diag.render()
+        assert diag.file == "bad_names.cactis"
+
+
+def test_unknown_name_span_points_at_the_identifier(lint_fixture):
+    diagnostics = lint_fixture("bad_names.cactis")
+    unknown = by_code(diagnostics, "CA101")
+    spelling = next(d for d in unknown if "speling" in d.message)
+    # `total = speling + 1;` -- the identifier starts at column 13.
+    assert (spelling.line, spelling.column) == (18, 13)
+
+
+def test_multi_port_misuse_span(lint_fixture):
+    diagnostics = lint_fixture("bad_names.cactis")
+    (misuse,) = by_code(diagnostics, "CA106")
+    assert (misuse.line, misuse.column) == (21, 21)
+
+
+def test_for_each_over_single_port_is_ca105():
+    source = """
+    relationship r is
+        v : integer from plug;
+    end relationship;
+    object class c is
+      relationships
+        one : r socket;
+      attributes
+        total : integer;
+      rules
+        total = begin
+            acc : integer;
+            acc := 0;
+            for each x related to one do
+                acc := acc + x.v;
+            end for;
+            return acc;
+        end;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert "CA105" in codes(diagnostics)
+
+
+def test_received_value_unknown_is_ca104():
+    source = """
+    relationship r is
+        v : integer from plug;
+    end relationship;
+    object class c is
+      relationships
+        inp : r socket;
+      attributes
+        total : integer;
+      rules
+        total = inp.w;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    (diag,) = by_code(diagnostics, "CA104")
+    assert "does not receive" in diag.message
+
+
+def test_unknown_supertype_is_ca108_and_analysis_continues():
+    source = """
+    object class sub subtype of missing is
+      attributes
+        x : integer;
+      rules
+        x = x + 1;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert "CA108" in codes(diagnostics)
+    # The class is still analysed as a root: the self-cycle is found.
+    assert "CA201" in codes(diagnostics)
+
+
+def test_duplicate_rule_for_one_slot_is_ca116_warning():
+    source = """
+    object class c is
+      attributes
+        x : integer;
+        y : integer;
+      rules
+        x = y;
+        x = y + 1;
+    end object;
+    """
+    (diag,) = by_code(analyze_source(source), "CA116")
+    assert diag.severity.value == "warning"
+    assert "silently wins" in diag.message
+
+
+def test_clean_schema_has_no_resolution_findings():
+    source = """
+    object class c is
+      attributes
+        x : integer;
+        y : integer;
+      rules
+        y = x + 1;
+    end object;
+    """
+    diagnostics = analyze_source(source)
+    assert not [d for d in diagnostics if d.code.startswith("CA1")]

@@ -68,6 +68,55 @@ class TestRuleFailures:
         assert db.get_attr(good, "inverse") == 20
 
 
+class TestFreezeCollectsAllViolations:
+    def test_single_violation_is_reported_bare(self):
+        schema = Schema()
+        schema.add_class(
+            ObjectClass(
+                "c", attributes=[AttributeDef("x", "no_such_atom")]
+            )
+        )
+        with pytest.raises(SchemaError) as excinfo:
+            schema.freeze()
+        assert "schema violations" not in str(excinfo.value)
+        assert "no_such_atom" in str(excinfo.value)
+
+    def test_violations_across_classes_reported_together(self):
+        schema = Schema()
+        schema.add_class(
+            ObjectClass("a", attributes=[AttributeDef("x", "no_such_atom")])
+        )
+        schema.add_class(
+            ObjectClass(
+                "b",
+                attributes=[
+                    AttributeDef("y", "integer", AttrKind.DERIVED)
+                ],  # derived but no rule
+            )
+        )
+        schema.add_class(ObjectClass("c", supertype="missing"))
+        with pytest.raises(SchemaError) as excinfo:
+            schema.freeze()
+        message = str(excinfo.value)
+        assert "3 schema violations" in message
+        assert "no_such_atom" in message
+        assert "'y'" in message
+        assert "missing" in message
+
+    def test_failed_freeze_leaves_schema_reusable(self):
+        schema = Schema()
+        schema.add_class(
+            ObjectClass("a", attributes=[AttributeDef("x", "no_such_atom")])
+        )
+        with pytest.raises(SchemaError):
+            schema.freeze()
+        fixed = Schema()
+        fixed.add_class(
+            ObjectClass("a", attributes=[AttributeDef("x", "integer")])
+        )
+        assert fixed.freeze() is fixed
+
+
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "exc_type",
