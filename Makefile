@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery examples results ci lint-schema clean
+.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -21,9 +21,16 @@ lint-schema: ## static analysis over every example and paper-figure schema
 		--functions file_mod_time,system_command examples/schemas/make.cactis
 	PYTHONPATH=src python -m repro.analysis examples/schemas/project.cactis
 
+obs-check: ## docs/OBSERVABILITY.md cross-check + CLI smoke on a recorded trace
+	PYTHONPATH=src python -m pytest tests/obs/test_docs.py -q
+	PYTHONPATH=src python -m repro.obs demo --trace /tmp/obs-check.jsonl > /dev/null
+	PYTHONPATH=src python -m repro.obs summarize /tmp/obs-check.jsonl
+	rm -f /tmp/obs-check.jsonl
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	$(MAKE) lint-schema
+	$(MAKE) obs-check
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest tests/persistence -q
 

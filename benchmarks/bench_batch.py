@@ -21,7 +21,7 @@ a delta against this PR's baseline.
 
 import time
 
-from benchmarks.common import report, report_json
+from benchmarks.common import metrics_snapshot, report, report_json
 from repro.core.database import Database
 from repro.workloads import build_chain, sum_node_schema
 from repro.workloads.generators import (
@@ -84,6 +84,7 @@ def _run_bulk_load(fast_path: bool, batch: bool) -> dict:
                 "mark_edge_visits": update_delta.mark_edge_visits,
                 "rule_evaluations_total": total_delta.rule_evaluations,
                 "finals": finals,
+                "metrics": metrics_snapshot(db),
             }
         else:
             result["wall_seconds_best"] = min(result["wall_seconds_best"], elapsed)
@@ -217,6 +218,7 @@ def test_chain_watched_consumer(benchmark):
                     "slots_marked": delta.slots_marked,
                     "waves": delta.waves,
                     "final": final,
+                    "metrics": metrics_snapshot(db),
                 }
             else:
                 result["wall_seconds_best"] = min(

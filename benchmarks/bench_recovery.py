@@ -23,7 +23,7 @@ import shutil
 import tempfile
 import time
 
-from benchmarks.common import report, report_json
+from benchmarks.common import metrics_snapshot, report, report_json
 from repro.core.database import Database
 from repro.persistence.faults import database_fingerprint
 from repro.workloads import build_chain, sum_node_schema
@@ -45,6 +45,7 @@ def _run_commits(db, n_commits: int) -> None:
 def _timed_commit_run(mode: str) -> dict:
     best = float("inf")
     stats = None
+    metrics = None
     for __ in range(ROUNDS):
         workdir = tempfile.mkdtemp(prefix="bench-recovery-")
         try:
@@ -59,6 +60,7 @@ def _timed_commit_run(mode: str) -> dict:
             start = time.perf_counter()
             _run_commits(db, N_COMMITS)
             best = min(best, time.perf_counter() - start)
+            metrics = metrics_snapshot(db)
             if db.persistence is not None:
                 stats = {
                     "commits_logged": db.persistence.stats.commits_logged,
@@ -68,7 +70,7 @@ def _timed_commit_run(mode: str) -> dict:
                 db.close()
         finally:
             shutil.rmtree(workdir, ignore_errors=True)
-    return {"wall_seconds_best": best, **(stats or {})}
+    return {"wall_seconds_best": best, "metrics": metrics, **(stats or {})}
 
 
 def test_commit_throughput_durability_cost(benchmark):
@@ -182,6 +184,7 @@ def test_recovery_time_vs_wal_length(benchmark):
                     "checkpointed": checkpoint,
                     "replayed": recovery.replayed,
                     "recovery_seconds": elapsed,
+                    "metrics": metrics_snapshot(db),
                 }
             finally:
                 shutil.rmtree(workdir, ignore_errors=True)

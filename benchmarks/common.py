@@ -57,6 +57,16 @@ def fresh_results(experiment: str) -> None:
         pass
 
 
+def metrics_snapshot(db: Any) -> dict[str, Any]:
+    """The database's unified observability snapshot as plain JSON.
+
+    Embedded by each benchmark next to its timings so every
+    ``BENCH_*.json`` section carries the full engine/CC/buffer/disk/WAL
+    counter state that produced the numbers (see repro.obs).
+    """
+    return db.metrics().as_dict()
+
+
 def report_json(document: str, section: str, payload: dict[str, Any]) -> str:
     """Merge a machine-readable section into ``results/BENCH_<document>.json``.
 

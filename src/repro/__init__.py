@@ -92,6 +92,7 @@ from repro.errors import (
     SchemaError,
     TransactionAborted,
 )
+from repro.obs import MetricsSnapshot, TraceWriter
 
 __version__ = "1.0.0"
 
@@ -110,6 +111,7 @@ __all__ = [
     "FlowDecl",
     "InstanceView",
     "Local",
+    "MetricsSnapshot",
     "ObjectClass",
     "PortDef",
     "Predicate",
@@ -134,6 +136,7 @@ __all__ = [
     "SubtypePredicate",
     "TIME0",
     "TIME_FUTURE",
+    "TraceWriter",
     "TransactionAborted",
     "TransmitTarget",
     "later_of",

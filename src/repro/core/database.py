@@ -104,7 +104,13 @@ class Database:
         #: data cycles").  Disable only for benchmarks that measure raw
         #: connect throughput; lazy detection at demand time still applies.
         self.detect_cycles = detect_cycles
+        # Observability root first: every substrate below references
+        # ``self.obs.hub`` for its hook points.
+        from repro.obs import Observability
+
+        self.obs = Observability()
         self.storage = StorageManager(block_capacity, pool_capacity)
+        self.storage.buffer.hub = self.obs.hub
         self.usage = self.storage.usage
         from repro.graph.depgraph import DependencyGraph
 
@@ -132,6 +138,123 @@ class Database:
         #: attached by :class:`repro.persistence.manager.PersistenceManager`
         #: when the database was opened durably (:meth:`Database.open`).
         self.persistence = None
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def metrics(self):
+        """One unified snapshot over every substrate's counters.
+
+        Returns a :class:`repro.obs.MetricsSnapshot` covering the engine,
+        scheduler, concurrency control, buffer pool, disk, usage,
+        transaction, and WAL counters plus the latency timers.  Snapshots
+        subtract (``after - before``) to price a workload.
+        """
+        return self.obs.snapshot()
+
+    def _register_metrics(self) -> None:
+        """Register one provider per substrate with the metrics registry.
+
+        Providers are late-binding closures over ``self``, so swapping a
+        baseline engine in or attaching persistence later is picked up.
+        The ``cc`` and ``wal`` sections default to zeros and are overridden
+        by :class:`~repro.txn.manager.MultiUserScheduler` and
+        :class:`~repro.persistence.manager.PersistenceManager` when those
+        components attach.
+        """
+        from dataclasses import fields as dc_fields
+
+        from repro.evaluation.counters import EvalCounters
+        from repro.txn.timestamps import CCStats
+
+        def engine_metrics() -> dict:
+            counters = self.engine.counters
+            data = {
+                f.name: getattr(counters, f.name) for f in dc_fields(EvalCounters)
+            }
+            # Gauges; baseline engines may not carry them.
+            data["out_of_date"] = len(getattr(self.engine, "out_of_date", ()))
+            data["standing_demands"] = len(
+                getattr(self.engine, "standing_demands", ())
+            )
+            return data
+
+        def scheduler_metrics() -> dict:
+            sched = getattr(self.engine, "scheduler", None)
+            return {
+                "chunks_executed": getattr(sched, "executed", 0),
+                "fast_lane_executed": getattr(sched, "fast_executed", 0),
+            }
+
+        def cc_metrics() -> dict:
+            return {f.name: 0 for f in dc_fields(CCStats)}
+
+        def buffer_metrics() -> dict:
+            pool = self.storage.buffer
+            stats = pool.stats
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "dirty_writebacks": stats.dirty_writebacks,
+                "drop_writebacks": stats.drop_writebacks,
+                "resident": len(pool.resident_blocks()),
+                "capacity": pool.capacity,
+            }
+
+        def disk_metrics() -> dict:
+            disk = self.storage.disk
+            return {
+                "reads": disk.stats.reads,
+                "writes": disk.stats.writes,
+                "blocks_allocated": disk.stats.blocks_allocated,
+                "blocks_recycled": disk.stats.blocks_recycled,
+                "blocks_in_use": disk.block_count(),
+            }
+
+        def usage_metrics() -> dict:
+            usage = self.usage
+            return {
+                "instance_accesses": sum(usage.instance_accesses.values()),
+                "relationship_crossings": sum(
+                    usage.relationship_crossings.values()
+                ),
+                "tracked_relationships": len(usage.worst_case),
+            }
+
+        def txn_metrics() -> dict:
+            txn = self.txn
+            return {
+                "commits": txn.commits,
+                "aborts": txn.aborts,
+                "undos": txn.undos,
+                "active": txn.in_transaction,
+                "history_length": len(txn.history),
+            }
+
+        def wal_metrics() -> dict:
+            return {
+                "attached": False,
+                "commits_logged": 0,
+                "undos_logged": 0,
+                "bytes_appended": 0,
+                "checkpoints_taken": 0,
+                "fsyncs": 0,
+                "wal_bytes": 0,
+                "recovery_replayed": 0,
+                "recovery_skipped": 0,
+            }
+
+        self.obs.register("engine", engine_metrics)
+        self.obs.register("scheduler", scheduler_metrics)
+        self.obs.register("cc", cc_metrics)
+        self.obs.register("buffer", buffer_metrics)
+        self.obs.register("disk", disk_metrics)
+        self.obs.register("usage", usage_metrics)
+        self.obs.register("txn", txn_metrics)
+        self.obs.register("wal", wal_metrics)
 
     # ------------------------------------------------------------------
     # durable open / checkpoint / close

@@ -61,6 +61,7 @@ cycles".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable
 
 from repro.core.rules import is_constraint_attr, is_subtype_attr
@@ -69,6 +70,14 @@ from repro.errors import CycleError, RuleEvaluationError
 from repro.evaluation.counters import EvalCounters
 from repro.evaluation.host import DepBinding, EvaluationHost
 from repro.evaluation.scheduler import Chunk, ChunkScheduler, FastEntry, Policy
+from repro.obs.events import (
+    ChunkRun,
+    FastLaneHit,
+    SlotEvaluated,
+    SlotMarked,
+    WaveEnd,
+    WaveStart,
+)
 
 _LOCAL_EDGE_PRIORITY = 0.0  # same-instance edges: no extra block needed
 
@@ -77,6 +86,7 @@ _MARK = 0
 _REQUEST = 1
 _COLLECT = 2
 _COMPUTE = 3
+_KIND_NAMES = ("mark", "request", "collect", "compute")
 
 
 @dataclass
@@ -112,6 +122,9 @@ class IncrementalEngine:
         #: under greedy only; fifo/lifo keep their fixed traversal orders.
         self.fast_path = fast_path
         self.counters = EvalCounters()
+        #: observability root of the host database (None for bare synthetic
+        #: hosts); carries the event hub and the wave/chunk latency timers.
+        self._obs = getattr(host, "obs", None)
         self.out_of_date: set[Slot] = set()
         self.standing_demands: set[Slot] = set()
         self.scheduler = ChunkScheduler(
@@ -204,6 +217,7 @@ class IncrementalEngine:
         self._batch_seen_intrinsic.clear()
         self._batch_seen_derived.clear()
         self.counters.waves += 1
+        started = self._wave_begin("batch", intrinsic, derived)
         placed = self.host.storage.is_placed
         for slot in intrinsic:
             # An instance deleted after its update was buffered has no
@@ -214,8 +228,41 @@ class IncrementalEngine:
             if placed(slot[0]):
                 self._schedule_mark(slot, crossing_port=None)
         self.scheduler.run_to_exhaustion()
+        self._wave_end("batch", started)
         # Important slots found stay queued in _important_found; the batch
         # close (or the caller's own evaluation) picks them up.
+
+    # ------------------------------------------------------------------
+    # observability hook points
+    # ------------------------------------------------------------------
+
+    def _wave_begin(
+        self, kind: str, intrinsic_seeds: Iterable[Slot], derived_seeds: Iterable[Slot]
+    ) -> float:
+        """Emit a wave-start event; returns the start time (0.0 when unobserved)."""
+        obs = self._obs
+        if obs is None:
+            return 0.0
+        hub = obs.hub
+        if hub.active:
+            hub.emit(
+                WaveStart(
+                    kind=kind,
+                    intrinsic_seeds=list(intrinsic_seeds),
+                    derived_seeds=list(derived_seeds),
+                )
+            )
+        return perf_counter()
+
+    def _wave_end(self, kind: str, started: float) -> None:
+        obs = self._obs
+        if obs is None:
+            return
+        seconds = perf_counter() - started
+        obs.timers["wave"].record(seconds)
+        hub = obs.hub
+        if hub.active:
+            hub.emit(WaveEnd(kind=kind, seconds=seconds))
 
     # ------------------------------------------------------------------
     # phase 1: marking
@@ -235,8 +282,10 @@ class IncrementalEngine:
                 self._batch_intrinsic.append(slot)
             return
         self.counters.waves += 1
+        started = self._wave_begin("intrinsic", (slot,), ())
         self._schedule_dependent_marks(slot)
         self._run_marking_then_evaluate()
+        self._wave_end("intrinsic", started)
 
     def invalidate_derived(self, slots: Iterable[Slot]) -> None:
         """React to a structural change (connect/disconnect/subtype flip).
@@ -244,6 +293,7 @@ class IncrementalEngine:
         The given derived slots' inputs changed shape, so they are marked
         directly, then their dependents transitively.
         """
+        slots = list(slots)
         if self._batch_depth:
             self.counters.batched_updates += 1
             for slot in slots:
@@ -252,9 +302,11 @@ class IncrementalEngine:
                     self._batch_derived.append(slot)
             return
         self.counters.waves += 1
+        started = self._wave_begin("derived", (), slots)
         for slot in slots:
             self._schedule_mark(slot, crossing_port=None)
         self._run_marking_then_evaluate()
+        self._wave_end("derived", started)
 
     def _run_marking_then_evaluate(self) -> None:
         self.scheduler.run_to_exhaustion()
@@ -311,6 +363,9 @@ class IncrementalEngine:
         """Execute one fast-lane entry (the scheduler's fast_runner hook)."""
         kind, slot, extra = entry
         self.counters.fast_path_hits += 1
+        obs = self._obs
+        if obs is not None and obs.hub.active:
+            obs.hub.emit(FastLaneHit(kind=_KIND_NAMES[kind], slot=slot))
         if kind == _MARK:
             self._mark_body(slot, extra)
         elif kind == _REQUEST:
@@ -320,16 +375,35 @@ class IncrementalEngine:
         else:
             self._compute_body(slot)
 
+    def _chunk_observed(self, kind: str, slot: Slot) -> float:
+        """Per-chunk instrumentation, active only while the hub has
+        subscribers (chunk bodies are the hottest path in the engine, so
+        the timer is not free-running).  Returns 0.0 when unobserved."""
+        obs = self._obs
+        if obs is None or not obs.hub.active:
+            return 0.0
+        obs.hub.emit(ChunkRun(kind=kind, slot=slot))
+        return perf_counter()
+
+    def _chunk_done(self, started: float) -> None:
+        if started:
+            self._obs.timers["chunk"].record(perf_counter() - started)
+
     def _mark(self, slot: Slot, crossing_port: str | None) -> None:
         """Chunk body: mark one slot and fan out to its dependents."""
         self.counters.chunk_executions += 1
+        started = self._chunk_observed("mark", slot)
         self._mark_body(slot, crossing_port)
+        self._chunk_done(started)
 
     def _mark_body(self, slot: Slot, crossing_port: str | None) -> None:
         if slot in self.out_of_date:
             return  # raced with another path; cut short
         self.out_of_date.add(slot)
         self.counters.slots_marked += 1
+        obs = self._obs
+        if obs is not None and obs.hub.active:
+            obs.hub.emit(SlotMarked(slot=slot, crossing_port=crossing_port))
         # The out-of-date mark lives with the record on disk.
         self.host.storage.touch(slot[0], dirty=True)
         if crossing_port is not None:
@@ -406,7 +480,9 @@ class IncrementalEngine:
     def _request(self, slot: Slot) -> None:
         """Chunk body: first half of an evaluation (gather dependencies)."""
         self.counters.chunk_executions += 1
+        started = self._chunk_observed("request", slot)
         self._request_body(slot)
+        self._chunk_done(started)
 
     def _request_body(self, slot: Slot) -> None:
         if slot in self._pending:
@@ -465,7 +541,9 @@ class IncrementalEngine:
     def _collect(self, slot: Slot) -> None:
         """Chunk body: fetch one clean value from disk for its waiters."""
         self.counters.chunk_executions += 1
+        started = self._chunk_observed("collect", slot)
         self._collect_body(slot)
+        self._chunk_done(started)
 
     def _collect_body(self, slot: Slot) -> None:
         if slot not in self._waiters:
@@ -490,7 +568,9 @@ class IncrementalEngine:
     def _compute(self, slot: Slot) -> None:
         """Chunk body: second half of an evaluation (run the rule)."""
         self.counters.chunk_executions += 1
+        started = self._chunk_observed("compute", slot)
         self._compute_body(slot)
+        self._chunk_done(started)
 
     def _compute_body(self, slot: Slot) -> None:
         pend = self._pending.pop(slot, None)
@@ -514,8 +594,12 @@ class IncrementalEngine:
         self.host.write_slot_value(slot, value)
         self.out_of_date.discard(slot)
         self.counters.rule_evaluations += 1
-        if had_old and old == value:
+        unchanged = had_old and old == value
+        if unchanged:
             self.counters.unchanged_evaluations += 1
+        obs = self._obs
+        if obs is not None and obs.hub.active:
+            obs.hub.emit(SlotEvaluated(slot=slot, value=value, unchanged=unchanged))
         # Self-adaptive statistics: charge the I/O this evaluation incurred
         # to each relationship whose value it requested.
         io_spent = self.host.storage.disk.stats.reads - pend.reads_at_start

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.slots import Slot, describe
 from repro.graph.depgraph import could_change
+from repro.obs.events import Event, SlotEvaluated, SlotMarked, WaveStart
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.database import Database
@@ -64,62 +65,42 @@ class WaveTrace:
 class WaveTracer:
     """Context manager capturing engine activity on one database.
 
-    Implemented by shimming the engine's ``_mark_body``/``_compute_body``
-    work bodies (shared by chunked and fast-lane execution) for the
-    duration of the window; the shims delegate to the originals, so
-    behaviour is unchanged.
+    Implemented as a thin consumer of the observability hook points: the
+    tracer subscribes to the database's event hub for the duration of the
+    window and folds the ``slot_marked`` / ``slot_evaluated`` /
+    ``wave_start`` events into a :class:`WaveTrace`.  No engine internals
+    are touched, so tracing composes with the fast lane, batching, and any
+    other hub consumer (e.g. a JSONL :class:`repro.obs.TraceWriter`).
     """
 
     def __init__(self, db: "Database") -> None:
         self.db = db
         self.trace = WaveTrace()
-        self._originals: dict[str, Any] = {}
+        self._listener: Any = None
 
     # -- context manager ------------------------------------------------------
 
     def __enter__(self) -> WaveTrace:
-        engine = self.db.engine
         stats = self.db.storage.disk.stats
         self._reads_at_start = stats.reads
         self._writes_at_start = stats.writes
-
-        original_mark = engine._mark_body
-        original_compute = engine._compute_body
-        original_propagate = engine.propagate_intrinsic_change
         trace = self.trace
 
-        def traced_mark(slot: Slot, crossing_port: str | None) -> None:
-            already = slot in engine.out_of_date
-            original_mark(slot, crossing_port)
-            if not already and slot in engine.out_of_date:
-                trace.marked.append(slot)
+        def listener(event: Event) -> None:
+            if isinstance(event, SlotMarked):
+                trace.marked.append(event.slot)
+            elif isinstance(event, SlotEvaluated):
+                trace.evaluated.append((event.slot, event.value))
+            elif isinstance(event, WaveStart):
+                trace.seeds.extend(event.intrinsic_seeds)
 
-        def traced_compute(slot: Slot) -> None:
-            pending_before = slot in engine._pending
-            original_compute(slot)
-            if pending_before and self.db.has_slot_value(slot):
-                trace.evaluated.append(
-                    (slot, self.db.read_slot_value(slot))
-                )
-
-        def traced_propagate(slot: Slot) -> None:
-            trace.seeds.append(slot)
-            original_propagate(slot)
-
-        self._originals = {
-            "_mark_body": original_mark,
-            "_compute_body": original_compute,
-            "propagate_intrinsic_change": original_propagate,
-        }
-        engine._mark_body = traced_mark  # type: ignore[method-assign]
-        engine._compute_body = traced_compute  # type: ignore[method-assign]
-        engine.propagate_intrinsic_change = traced_propagate  # type: ignore[method-assign]
+        self._listener = self.db.obs.hub.subscribe(listener)
         return self.trace
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        engine = self.db.engine
-        for name, original in self._originals.items():
-            setattr(engine, name, original)
+        if self._listener is not None:
+            self.db.obs.hub.unsubscribe(self._listener)
+            self._listener = None
         stats = self.db.storage.disk.stats
         self.trace.disk_reads = stats.reads - self._reads_at_start
         self.trace.disk_writes = stats.writes - self._writes_at_start

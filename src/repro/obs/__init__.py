@@ -1,0 +1,40 @@
+"""Unified observability: metrics registry, typed event stream, trace export.
+
+Public surface:
+
+* :class:`Observability` -- per-database root (``db.obs``): event hub,
+  latency timers, and the metrics provider registry behind
+  ``Database.metrics()``.
+* :class:`MetricsSnapshot` / :class:`LatencyTimer` -- diff-able snapshots.
+* :class:`EventHub` and the typed events in :mod:`repro.obs.events`.
+* :class:`TraceWriter` / :func:`read_trace` / :func:`summarize_trace` --
+  JSONL trace export, consumed by ``python -m repro.obs``.
+"""
+
+from repro.obs.events import EVENT_TYPES, Event, EventHub
+from repro.obs.registry import (
+    TIMER_NAMES,
+    LatencyTimer,
+    MetricsSnapshot,
+    Observability,
+)
+from repro.obs.tracefile import (
+    TraceWriter,
+    read_trace,
+    render_summary,
+    summarize_trace,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "Event",
+    "EventHub",
+    "LatencyTimer",
+    "MetricsSnapshot",
+    "Observability",
+    "TIMER_NAMES",
+    "TraceWriter",
+    "read_trace",
+    "render_summary",
+    "summarize_trace",
+]

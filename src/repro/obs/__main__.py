@@ -1,0 +1,140 @@
+"""CLI for the observability layer.
+
+Subcommands::
+
+    python -m repro.obs demo [--trace PATH] [--json]
+        Run a small built-in workload (chain build + updates + a multi-user
+        schedule) and print the unified metrics snapshot.  ``--trace``
+        additionally records the full event stream to a JSONL file --
+        convenient for producing a real trace to feed ``summarize``.
+
+    python -m repro.obs summarize TRACE [--json]
+        Condense a recorded JSONL trace: event counts by type and session,
+        wave costs, evaluation and transaction tallies.
+
+    python -m repro.obs snapshot FILE [--flat]
+        Pretty-print a previously saved metrics snapshot (e.g. the
+        ``metrics`` object embedded in a BENCH_*.json section).
+
+    python -m repro.obs diff AFTER BEFORE
+        Subtract two saved snapshots and print the delta.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsSnapshot
+from repro.obs.tracefile import (
+    TraceWriter,
+    read_trace,
+    render_summary,
+    summarize_trace,
+)
+
+
+def _demo_workload(trace_path: str | None) -> "Any":
+    """Build a chain, push updates through it, run a two-user schedule."""
+    from repro.core.database import Database
+    from repro.txn.manager import MultiUserScheduler
+    from repro.workloads.topologies import build_chain, sum_node_schema
+
+    db = Database(sum_node_schema(), pool_capacity=4)
+    writer = TraceWriter(db, trace_path, start=True) if trace_path else None
+    try:
+        nodes = build_chain(db, 12)
+        for step in range(3):
+            db.set_attr(nodes[0], "weight", 5 + step)
+            db.get_attr(nodes[-1], "total")
+
+        def bump(session, target=nodes[0]):
+            yield
+            session.set_attr(target, "weight", session.get_attr(target, "weight") + 1)
+            yield
+
+        def probe(session, target=nodes[-1]):
+            yield
+            session.get_attr(target, "total")
+            yield
+
+        MultiUserScheduler(db, seed=7).run([("writer", bump), ("reader", probe)])
+    finally:
+        if writer is not None:
+            writer.close()
+    return db
+
+
+def _load_snapshot(path: str) -> MetricsSnapshot:
+    return MetricsSnapshot(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarise traces and metrics snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a demo workload and dump metrics")
+    demo.add_argument("--trace", help="record the event stream to this JSONL file")
+    demo.add_argument("--json", action="store_true", help="emit JSON")
+
+    summarize = sub.add_parser("summarize", help="condense a JSONL trace")
+    summarize.add_argument("trace", help="path to a JSONL trace file")
+    summarize.add_argument("--json", action="store_true", help="emit JSON")
+
+    snapshot = sub.add_parser("snapshot", help="pretty-print a saved snapshot")
+    snapshot.add_argument("file", help="path to a JSON metrics snapshot")
+    snapshot.add_argument(
+        "--flat", action="store_true", help="one dotted name per line"
+    )
+
+    diff = sub.add_parser("diff", help="subtract two saved snapshots")
+    diff.add_argument("after", help="later snapshot (minuend)")
+    diff.add_argument("before", help="earlier snapshot (subtrahend)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "demo":
+        db = _demo_workload(args.trace)
+        snap = db.metrics()
+        if args.json:
+            print(json.dumps(snap.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(snap.render())
+        if args.trace:
+            print(f"\ntrace written to {args.trace}", file=sys.stderr)
+        return 0
+
+    if args.command == "summarize":
+        events = read_trace(args.trace)
+        summary = summarize_trace(events)
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render_summary(summary))
+        return 0
+
+    if args.command == "snapshot":
+        snap = _load_snapshot(args.file)
+        if args.flat:
+            for name, value in sorted(snap.flatten().items()):
+                print(f"{name} = {value}")
+        else:
+            print(snap.render())
+        return 0
+
+    if args.command == "diff":
+        delta = _load_snapshot(args.after) - _load_snapshot(args.before)
+        print(delta.render())
+        return 0
+
+    return 2  # unreachable: argparse enforces a command
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Metrics registry: one diff-able snapshot over every stats substrate.
+
+The reproduction accumulated five ad-hoc stats structures (evaluation
+counters, CC stats, buffer stats, disk stats, usage stats, WAL counters).
+:class:`Observability` unifies them: each substrate registers a *provider*
+-- a zero-argument callable returning a flat ``{name: number}`` dict --
+under a section name, and :meth:`Observability.snapshot` assembles them
+into a single nested :class:`MetricsSnapshot`.
+
+Snapshots are plain immutable views over nested dicts and support
+subtraction (``after - before``) so a workload's cost is one expression.
+Latency distributions for waves, chunks, commits, and recovery are kept in
+:class:`LatencyTimer` instances owned by the registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.obs.events import EventHub
+
+Provider = Callable[[], dict[str, Any]]
+
+#: latency distributions every database carries, in snapshot order.
+TIMER_NAMES = ("wave", "chunk", "commit", "recovery")
+
+
+class LatencyTimer:
+    """A tiny streaming histogram: count / total / min / max seconds."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if self.count == 0 or seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.count += 1
+        self.total += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min,
+            "max_seconds": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyTimer(count={self.count}, total={self.total:.6f}s, "
+            f"mean={self.mean:.6f}s)"
+        )
+
+
+def _diff_value(left: Any, right: Any) -> Any:
+    """Counters subtract; identity-ish values (bools, strings) keep ``left``."""
+    if isinstance(left, dict) and isinstance(right, dict):
+        return {
+            key: _diff_value(left[key], right[key]) if key in right else left[key]
+            for key in left
+        }
+    if (
+        isinstance(left, (int, float))
+        and not isinstance(left, bool)
+        and isinstance(right, (int, float))
+        and not isinstance(right, bool)
+    ):
+        return left - right
+    return left
+
+
+class MetricsSnapshot(Mapping[str, Any]):
+    """An immutable nested view of every registered metric.
+
+    Behaves as a mapping of section name -> ``{metric: value}``; supports
+    ``snapshot_b - snapshot_a`` for workload deltas, :meth:`flatten` for
+    dotted-name access, and :meth:`render` for human-readable dumps.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, Any]) -> None:
+        self._data = data
+
+    # Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # views -----------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deep-copied plain dict (JSON-ready)."""
+        return json.loads(json.dumps(self._data))
+
+    def flatten(self, *, sep: str = ".") -> dict[str, Any]:
+        """``{"buffer.hits": 3, ...}`` -- handy for assertions and docs."""
+        flat: dict[str, Any] = {}
+
+        def walk(prefix: str, node: Any) -> None:
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    walk(f"{prefix}{sep}{key}" if prefix else key, value)
+            else:
+                flat[prefix] = node
+
+        walk("", self._data)
+        return flat
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return MetricsSnapshot(_diff_value(self._data, other._data))
+
+    def render(self) -> str:
+        """Indented text dump, one metric per line."""
+        lines: list[str] = []
+        for section in self._data:
+            lines.append(f"{section}:")
+            for name, value in sorted(self.flatten().items()):
+                prefix = section + "."
+                if name.startswith(prefix):
+                    if isinstance(value, float):
+                        value = f"{value:.6f}"
+                    lines.append(f"  {name[len(prefix):]:<28} {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MetricsSnapshot(sections={list(self._data)})"
+
+
+class Observability:
+    """Per-database observability root: event hub + metrics registry.
+
+    Created by :class:`~repro.core.database.Database` before any substrate,
+    so the storage, evaluation, transaction, and persistence layers can all
+    reference ``db.obs.hub`` and register their providers during their own
+    construction.
+    """
+
+    def __init__(self) -> None:
+        self.hub = EventHub()
+        self.timers: dict[str, LatencyTimer] = {
+            name: LatencyTimer() for name in TIMER_NAMES
+        }
+        self._providers: dict[str, Provider] = {}
+
+    def register(self, section: str, provider: Provider) -> None:
+        """Attach (or replace) the provider for one snapshot section.
+
+        Replacement is deliberate: the database registers a zeroed ``cc``
+        provider so single-user snapshots have the section, and the
+        multi-user scheduler overrides it with its live TimestampManager;
+        likewise ``wal`` is zeroed until persistence attaches.
+        """
+        self._providers[section] = provider
+
+    def sections(self) -> list[str]:
+        return list(self._providers) + ["latency", "events"]
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Collect every provider plus timers and hub accounting."""
+        data: dict[str, Any] = {}
+        for section, provider in self._providers.items():
+            data[section] = dict(provider())
+        data["latency"] = {
+            name: timer.as_dict() for name, timer in self.timers.items()
+        }
+        data["events"] = {
+            "emitted": self.hub.emitted,
+            "subscribers": len(self.hub.subscribers),
+        }
+        return MetricsSnapshot(data)

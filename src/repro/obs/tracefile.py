@@ -1,0 +1,154 @@
+"""JSONL trace export and offline summarisation.
+
+:class:`TraceWriter` subscribes to a database's event hub and streams every
+event to a JSON-lines file -- one self-describing object per line with a
+``type`` field naming the event and ``session``/``txn`` attribution.  The
+file can be re-read with :func:`read_trace` and condensed with
+:func:`summarize_trace`; ``python -m repro.obs summarize`` wraps both.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.events import EVENT_TYPES, Event
+
+
+class TraceWriter:
+    """Stream a database's events to a JSONL file.
+
+    Usage::
+
+        with TraceWriter(db, "run.jsonl"):
+            db.set_attr(node, "weight", 5)
+
+    The writer subscribes on ``__enter__`` (or construction with
+    ``start=True``) and unsubscribes on ``__exit__``/:meth:`close`, so the
+    engine's hot paths return to zero-cost emission afterwards.
+    """
+
+    def __init__(self, db: Any, path: str | Path, *, start: bool = False) -> None:
+        self.hub = db.obs.hub
+        self.path = Path(path)
+        self.written = 0
+        self._fh: IO[str] | None = None
+        if start:
+            self._open()
+
+    def _open(self) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("w", encoding="utf-8")
+            self.hub.subscribe(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(event.to_dict(), default=repr) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.hub.unsubscribe(self._on_event)
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        self._open()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace back into a list of event dicts.
+
+    Unknown event types are kept (forward compatibility); blank lines are
+    skipped; a torn final line (crash mid-write) is dropped.
+    """
+    events: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail -- everything before it is intact
+    return events
+
+
+def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Condense a trace into counts, wave costs, and per-session work."""
+    by_type: dict[str, int] = {}
+    by_session: dict[str, int] = {}
+    wave_seconds = 0.0
+    waves = 0
+    evaluated = 0
+    unchanged = 0
+    commits = 0
+    aborts = 0
+    rejections = 0
+    for event in events:
+        etype = event.get("type", "?")
+        by_type[etype] = by_type.get(etype, 0) + 1
+        session = event.get("session")
+        if session is not None:
+            by_session[session] = by_session.get(session, 0) + 1
+        if etype == "wave_end":
+            waves += 1
+            wave_seconds += event.get("seconds", 0.0)
+        elif etype == "slot_evaluated":
+            evaluated += 1
+            if event.get("unchanged"):
+                unchanged += 1
+        elif etype == "txn_commit":
+            commits += 1
+        elif etype == "txn_abort":
+            aborts += 1
+        elif etype == "to_rejection":
+            rejections += 1
+    return {
+        "events": len(events),
+        "by_type": dict(sorted(by_type.items())),
+        "by_session": dict(sorted(by_session.items())),
+        "waves": waves,
+        "wave_seconds_total": wave_seconds,
+        "slots_evaluated": evaluated,
+        "unchanged_evaluations": unchanged,
+        "commits": commits,
+        "aborts": aborts,
+        "to_rejections": rejections,
+        "unknown_types": sorted(
+            {t for t in by_type if t not in EVENT_TYPES and t != "?"}
+        ),
+    }
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace` output."""
+    lines = [f"events: {summary['events']}"]
+    lines.append("by type:")
+    for etype, count in summary["by_type"].items():
+        lines.append(f"  {etype:<18} {count}")
+    if summary["by_session"]:
+        lines.append("by session:")
+        for session, count in summary["by_session"].items():
+            lines.append(f"  {session:<18} {count}")
+    lines.append(
+        f"waves: {summary['waves']} "
+        f"({summary['wave_seconds_total']:.6f}s total)"
+    )
+    lines.append(
+        f"evaluated: {summary['slots_evaluated']} "
+        f"({summary['unchanged_evaluations']} unchanged)"
+    )
+    lines.append(
+        f"txns: {summary['commits']} committed, {summary['aborts']} aborted, "
+        f"{summary['to_rejections']} TO rejections"
+    )
+    if summary["unknown_types"]:
+        lines.append("unknown types: " + ", ".join(summary["unknown_types"]))
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import TransactionError
+from repro.obs.events import Checkpoint, Recovery, WalAppend
 from repro.persistence.checkpoint import write_checkpoint
 from repro.persistence.recovery import RecoveryReport, recover_database
 from repro.persistence.wal import (
@@ -78,6 +79,7 @@ class PersistenceManager:
         self.seq = 0
         self.db: "Database | None" = None
         self._wal: WriteAheadLog | None = None
+        self._obs = None
 
     # -- opening ------------------------------------------------------------
 
@@ -94,41 +96,87 @@ class PersistenceManager:
         """Recover (or initialise) a durable database under ``directory``."""
         os.makedirs(directory, exist_ok=True)
         manager = cls(directory, sync=sync, injector=injector)
+        from time import perf_counter
+
+        started = perf_counter()
         db, seq, report = recover_database(
             manager.wal_path, manager.checkpoint_path, schema, **db_kwargs
         )
+        recovery_seconds = perf_counter() - started
         manager.seq = seq
         manager.stats.recovery = report
         manager.attach(db)
+        obs = getattr(db, "obs", None)
+        if obs is not None:
+            obs.timers["recovery"].record(recovery_seconds)
+            if obs.hub.active:
+                obs.hub.emit(
+                    Recovery(
+                        replayed=report.replayed,
+                        skipped=report.skipped,
+                        dropped=report.dropped,
+                        seconds=recovery_seconds,
+                    )
+                )
         return db
 
     def attach(self, db: "Database") -> None:
-        """Start logging the database's commits and undos through the WAL."""
+        """Start logging the database's commits and undos through the WAL.
+
+        Also takes over the database's ``wal`` metrics section, replacing
+        the zeroed placeholder registered at construction.
+        """
         self.db = db
+        self._obs = getattr(db, "obs", None)
+        hub = self._obs.hub if self._obs is not None else None
         self._wal = WriteAheadLog(
-            self.wal_path, sync=self.sync, injector=self.injector
+            self.wal_path, sync=self.sync, injector=self.injector, hub=hub
         )
         db.persistence = self
         db.txn.add_commit_listener(self._on_commit)
         db.txn.add_undo_listener(self._on_undo)
+        if self._obs is not None:
+            self._obs.register("wal", self._wal_metrics)
+
+    def _wal_metrics(self) -> dict:
+        report = self.stats.recovery
+        return {
+            "attached": True,
+            "commits_logged": self.stats.commits_logged,
+            "undos_logged": self.stats.undos_logged,
+            "bytes_appended": self.stats.bytes_appended,
+            "checkpoints_taken": self.stats.checkpoints_taken,
+            "fsyncs": self._wal.syncs if self._wal is not None else 0,
+            "wal_bytes": self.wal_bytes,
+            "recovery_replayed": report.replayed if report is not None else 0,
+            "recovery_skipped": report.skipped if report is not None else 0,
+        }
+
+    def _emit(self, event) -> None:
+        if self._obs is not None and self._obs.hub.active:
+            self._obs.hub.emit(event)
 
     # -- the choke point ------------------------------------------------------
 
     def _on_commit(self, delta: Delta) -> None:
         assert self._wal is not None
         self.seq += 1
-        self.stats.bytes_appended += self._wal.append(
-            encode_commit_payload(self.seq, delta)
-        )
+        size = self._wal.append(encode_commit_payload(self.seq, delta))
+        self.stats.bytes_appended += size
         self.stats.commits_logged += 1
+        self._emit(
+            WalAppend(seq=self.seq, kind="commit", bytes=size, synced=self.sync)
+        )
 
     def _on_undo(self, delta: Delta) -> None:
         assert self._wal is not None
         self.seq += 1
-        self.stats.bytes_appended += self._wal.append(
-            encode_undo_payload(self.seq, delta)
-        )
+        size = self._wal.append(encode_undo_payload(self.seq, delta))
+        self.stats.bytes_appended += size
         self.stats.undos_logged += 1
+        self._emit(
+            WalAppend(seq=self.seq, kind="undo", bytes=size, synced=self.sync)
+        )
 
     # -- checkpointing --------------------------------------------------------
 
@@ -147,6 +195,7 @@ class PersistenceManager:
         write_checkpoint(self.db, self.checkpoint_path, self.seq)
         self._wal.reset()
         self.stats.checkpoints_taken += 1
+        self._emit(Checkpoint(seq=self.seq))
         return self.seq
 
     # -- teardown ------------------------------------------------------------

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import StorageError
+from repro.obs.events import WalFsync
 from repro.storage.codec import decode_record, encode_record
 from repro.txn.log import Delta
 
@@ -103,16 +104,31 @@ class WriteAheadLog:
         path: str,
         sync: bool = True,
         injector: "FaultInjector | None" = None,
+        hub=None,
     ) -> None:
         self.path = path
         self.sync = sync
         self.injector = injector
+        #: optional :class:`repro.obs.EventHub` for fsync-latency events.
+        self.hub = hub
         self._fh = open(path, "ab")
         #: frames appended through this handle (injector crash points count
         #: against this index).
         self.appended = 0
         #: fsync calls issued (the benchmark's costed quantity).
         self.syncs = 0
+
+    def _fsync(self) -> None:
+        hub = self.hub
+        if hub is not None and hub.active:
+            from time import perf_counter
+
+            started = perf_counter()
+            os.fsync(self._fh.fileno())
+            hub.emit(WalFsync(seconds=perf_counter() - started))
+        else:
+            os.fsync(self._fh.fileno())
+        self.syncs += 1
 
     def append(self, payload: dict) -> int:
         """Frame, write, and (optionally) fsync one payload; returns its size."""
@@ -123,8 +139,7 @@ class WriteAheadLog:
         self._fh.write(frame)
         self._fh.flush()
         if self.sync:
-            os.fsync(self._fh.fileno())
-            self.syncs += 1
+            self._fsync()
         self.appended += 1
         if self.injector is not None:
             self.injector.after_append(self.appended)
@@ -136,8 +151,7 @@ class WriteAheadLog:
         self._fh.seek(0)
         self._fh.flush()
         if self.sync:
-            os.fsync(self._fh.fileno())
-            self.syncs += 1
+            self._fsync()
 
     def tell(self) -> int:
         return self._fh.tell()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import StorageError
+from repro.obs.events import BlockEvicted, BlockLoaded
 from repro.storage.disk import SimulatedDisk
 
 DEFAULT_POOL_CAPACITY = 8
@@ -28,6 +29,9 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    #: dirty frames written back by :meth:`BufferPool.drop` -- modifications
+    #: that would have been silently lost before drop performed writeback.
+    drop_writebacks: int = 0
 
     @property
     def accesses(self) -> int:
@@ -73,6 +77,9 @@ class BufferPool:
         self.on_load = on_load
         self.on_evict = on_evict
         self.stats = BufferStats()
+        #: optional :class:`repro.obs.EventHub` for block load/evict events;
+        #: attached by the owning :class:`~repro.core.database.Database`.
+        self.hub = None
         #: block id -> dirty flag, in LRU order (oldest first).
         self._frames: OrderedDict[int, bool] = OrderedDict()
 
@@ -101,6 +108,9 @@ class BufferPool:
         self._make_room()
         self.disk.read(block_id)
         self._frames[block_id] = dirty
+        hub = self.hub
+        if hub is not None and hub.active:
+            hub.emit(BlockLoaded(block_id=block_id))
         if self.on_load is not None:
             self.on_load(block_id)
 
@@ -119,8 +129,14 @@ class BufferPool:
             if dirty:
                 self.disk.write(victim)
                 self.stats.dirty_writebacks += 1
-            if self.on_evict is not None:
-                self.on_evict(victim)
+            self._note_evicted(victim, dirty, "lru")
+
+    def _note_evicted(self, block_id: int, dirty: bool, reason: str) -> None:
+        hub = self.hub
+        if hub is not None and hub.active:
+            hub.emit(BlockEvicted(block_id=block_id, dirty=dirty, reason=reason))
+        if self.on_evict is not None:
+            self.on_evict(block_id)
 
     # -- control ------------------------------------------------------------
 
@@ -133,18 +149,29 @@ class BufferPool:
                 self._frames[block_id] = False
 
     def drop(self, block_id: int) -> None:
-        """Discard a frame (used when its block is released by reorganisation)."""
-        if self._frames.pop(block_id, None) is not None and self.on_evict is not None:
-            self.on_evict(block_id)
+        """Discard a frame (used when its block is released by reorganisation).
+
+        A dirty frame is written back first: reorganisation drops a block's
+        frame after relocating its residents, but any modification made to
+        the frame before the drop must reach disk rather than vanish with
+        the frame.
+        """
+        dirty = self._frames.pop(block_id, None)
+        if dirty is None:
+            return
+        if dirty:
+            self.disk.write(block_id)
+            self.stats.dirty_writebacks += 1
+            self.stats.drop_writebacks += 1
+        self._note_evicted(block_id, dirty, "drop")
 
     def clear(self) -> None:
         """Flush and empty the pool (cold-cache benchmark starts)."""
         self.flush()
         dropped = list(self._frames)
         self._frames.clear()
-        if self.on_evict is not None:
-            for block_id in dropped:
-                self.on_evict(block_id)
+        for block_id in dropped:
+            self._note_evicted(block_id, False, "clear")
 
     def __repr__(self) -> str:
         return (

@@ -25,9 +25,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
-from repro.errors import ConcurrencyAbort, TransactionAborted, TransactionError
+from repro.errors import (
+    ConcurrencyAbort,
+    ConstraintViolation,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.txn.log import Delta
 from repro.txn.timestamps import TimestampManager
 
@@ -82,9 +88,21 @@ class Session:
         # timestamp against the id the create is about to allocate *before*
         # touching the database.  A doomed create must not allocate an
         # instance id or mutate anything and then lean on rollback.
-        self.tsm.check_write(self.ts, self.db.next_instance_id)
-        with self._adopted():
-            return self.db.create(class_name, **intrinsics)
+        #
+        # The write mark recorded here is provisional: if the create itself
+        # fails validation (unknown class, bad atom type) the id was never
+        # consumed, and leaving our timestamp on it would spuriously abort
+        # whichever older transaction later allocates that id.
+        target = self.db.next_instance_id
+        previous = self.tsm.check_write(self.ts, target)
+        try:
+            with self._adopted():
+                return self.db.create(class_name, **intrinsics)
+        except ConcurrencyAbort:
+            raise
+        except Exception:
+            self.tsm.retract_write(self.ts, target, previous)
+            raise
 
     def delete(self, iid: int) -> None:
         self.tsm.check_write(self.ts, iid)
@@ -150,6 +168,9 @@ class ScheduleResult:
     committed: list[str]
     restarts: int
     steps: int
+    #: scripts that failed for non-CC reasons (constraint violations and
+    #: other aborts that restarting cannot cure), name -> reason.
+    failed: dict[str, str] = dataclass_field(default_factory=dict)
 
 
 class MultiUserScheduler:
@@ -164,19 +185,44 @@ class MultiUserScheduler:
         self.db = db
         self.tsm = tsm if tsm is not None else TimestampManager()
         self._rng = random.Random(seed) if seed is not None else None
+        # Take over the database's concurrency-control metrics section and
+        # route TO-rejection events through its hub.
+        obs = getattr(db, "obs", None)
+        self._hub = obs.hub if obs is not None else None
+        if obs is not None:
+            self.tsm.hub = obs.hub
+            obs.register("cc", self._cc_metrics)
+
+    def _cc_metrics(self) -> dict:
+        stats = self.tsm.stats
+        return {
+            "reads_checked": stats.reads_checked,
+            "writes_checked": stats.writes_checked,
+            "read_rejections": stats.read_rejections,
+            "write_rejections": stats.write_rejections,
+            "transactions_started": stats.transactions_started,
+            "transactions_committed": stats.transactions_committed,
+            "transactions_restarted": stats.transactions_restarted,
+        }
 
     def run(
         self,
         scripts: Iterable[tuple[str, Script]],
         max_restarts: int = 100,
     ) -> ScheduleResult:
-        """Run all scripts to commit, restarting aborted ones.
+        """Run all scripts to completion, restarting CC-aborted ones.
 
         ``scripts`` is an iterable of ``(name, script)`` pairs.  With no
         seed, the scheduler round-robins at yield points; with a seed it
         picks the next runnable script pseudo-randomly (reproducibly).
-        Raises :class:`TransactionAborted` when a script exceeds
-        ``max_restarts``.
+
+        A :class:`ConcurrencyAbort` rolls the script back and restarts it
+        with a fresh timestamp (basic-TO discipline); exceeding
+        ``max_restarts`` raises :class:`TransactionAborted`.  Any other
+        abort escaping a script -- a constraint violation mid-step or at
+        commit -- is *final*: restarting would deterministically trip it
+        again, so the offending script is rolled back and recorded in
+        :attr:`ScheduleResult.failed` while every other session runs on.
         """
         states: list[_ScriptState] = [
             _ScriptState(name, script, Session(self.db, self.tsm, name))
@@ -185,17 +231,28 @@ class MultiUserScheduler:
         for state in states:
             state.begin()
         committed: list[str] = []
+        failed: dict[str, str] = {}
         restarts = 0
         steps = 0
         cursor = 0
+        hub = self._hub
         while any(not s.done for s in states):
-            runnable = [s for s in states if not s.done]
             if self._rng is not None:
+                runnable = [s for s in states if not s.done]
                 state = runnable[self._rng.randrange(len(runnable))]
             else:
-                state = runnable[cursor % len(runnable)]
+                # Round-robin over a *fixed* rotation of all scripts,
+                # skipping finished ones.  Indexing into the shrinking
+                # ``runnable`` list instead would skew the rotation the
+                # moment a script finished, letting one neighbour step
+                # twice in a row while another starved.
+                while states[cursor % len(states)].done:
+                    cursor += 1
+                state = states[cursor % len(states)]
                 cursor += 1
             steps += 1
+            if hub is not None:
+                hub.session = state.name
             try:
                 next(state.gen)
             except StopIteration:
@@ -203,11 +260,20 @@ class MultiUserScheduler:
                     state.session.commit()
                     state.done = True
                     committed.append(state.name)
-                except (ConcurrencyAbort, TransactionAborted):
+                except ConcurrencyAbort:
                     restarts += self._restart(state, max_restarts)
+                except TransactionAborted as exc:
+                    self._fail(state, failed, exc)
             except ConcurrencyAbort:
                 restarts += self._restart(state, max_restarts)
-        return ScheduleResult(committed=committed, restarts=restarts, steps=steps)
+            except (ConstraintViolation, TransactionAborted) as exc:
+                self._fail(state, failed, exc)
+            finally:
+                if hub is not None:
+                    hub.session = None
+        return ScheduleResult(
+            committed=committed, restarts=restarts, steps=steps, failed=failed
+        )
 
     def _restart(self, state: "_ScriptState", max_restarts: int) -> int:
         state.session.rollback()
@@ -219,6 +285,19 @@ class MultiUserScheduler:
             )
         state.begin()
         return 1
+
+    def _fail(
+        self, state: "_ScriptState", failed: dict[str, str], exc: Exception
+    ) -> None:
+        """Retire a script whose abort no restart can cure.
+
+        The session's remaining delta (if any) is rolled back; the other
+        sessions keep running -- one user's constraint violation must not
+        abandon everyone else's adopted deltas mid-script.
+        """
+        state.session.rollback()
+        state.done = True
+        failed[state.name] = str(exc)
 
 
 class _ScriptState:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConcurrencyAbort
+from repro.obs.events import TORejection
 
 
 @dataclass
@@ -62,6 +63,24 @@ class TimestampManager:
         self._next_ts = 1
         self._marks: dict[int, _Marks] = {}
         self.stats = CCStats()
+        #: optional :class:`repro.obs.EventHub` for TO-rejection events;
+        #: attached by :class:`repro.txn.manager.MultiUserScheduler`.
+        self.hub = None
+
+    def _note_rejection(
+        self, kind: str, iid: int, ts: int, conflict_ts: int, conflict_kind: str
+    ) -> None:
+        hub = self.hub
+        if hub is not None and hub.active:
+            hub.emit(
+                TORejection(
+                    kind=kind,
+                    iid=iid,
+                    ts=ts,
+                    conflict_ts=conflict_ts,
+                    conflict_kind=conflict_kind,
+                )
+            )
 
     def new_timestamp(self) -> int:
         ts = self._next_ts
@@ -82,6 +101,7 @@ class TimestampManager:
         self.stats.reads_checked += 1
         if ts < marks.write_ts:
             self.stats.read_rejections += 1
+            self._note_rejection("read", iid, ts, marks.write_ts, "write")
             raise ConcurrencyAbort(
                 f"read of instance {iid} by ts {ts} rejected: "
                 f"written at ts {marks.write_ts}"
@@ -89,23 +109,43 @@ class TimestampManager:
         if ts > marks.read_ts:
             marks.read_ts = ts
 
-    def check_write(self, ts: int, iid: int) -> None:
-        """Validate and record a write of ``iid`` by a transaction at ``ts``."""
+    def check_write(self, ts: int, iid: int) -> int:
+        """Validate and record a write of ``iid`` by a transaction at ``ts``.
+
+        Returns the write mark the record carried *before* this check, so
+        a caller performing check-then-act can hand it back to
+        :meth:`retract_write` when the act itself fails to happen.
+        """
         marks = self._marks_for(iid)
         self.stats.writes_checked += 1
         if ts < marks.read_ts:
             self.stats.write_rejections += 1
+            self._note_rejection("write", iid, ts, marks.read_ts, "read")
             raise ConcurrencyAbort(
                 f"write of instance {iid} by ts {ts} rejected: "
                 f"read at ts {marks.read_ts}"
             )
         if ts < marks.write_ts:
             self.stats.write_rejections += 1
+            self._note_rejection("write", iid, ts, marks.write_ts, "write")
             raise ConcurrencyAbort(
                 f"write of instance {iid} by ts {ts} rejected: "
                 f"written at ts {marks.write_ts}"
             )
+        previous = marks.write_ts
         marks.write_ts = ts
+        return previous
+
+    def retract_write(self, ts: int, iid: int, previous_write_ts: int) -> None:
+        """Undo a :meth:`check_write` whose write never happened.
+
+        Restores the prior write mark, but only while the record still
+        carries ``ts`` -- if a younger transaction has written since, its
+        mark is the truth and must stand.
+        """
+        marks = self._marks.get(iid)
+        if marks is not None and marks.write_ts == ts:
+            marks.write_ts = previous_write_ts
 
     def note_commit(self) -> None:
         self.stats.transactions_committed += 1

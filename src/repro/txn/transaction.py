@@ -25,6 +25,7 @@ state cannot itself be vetoed.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import (
@@ -34,6 +35,7 @@ from repro.errors import (
     TransactionAborted,
     TransactionError,
 )
+from repro.obs.events import TxnAbort, TxnCommit
 from repro.txn.log import Delta, LogRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,6 +60,13 @@ class TransactionManager:
         self._undo_listeners: list[Callable[[Delta], None]] = []
         self._rolling_back = False
         self._autocommit_pending = False
+        #: lifetime outcome counters (the ``txn`` metrics section).
+        self.commits = 0
+        self.aborts = 0
+        self.undos = 0
+        #: observability root of the owning database (guarded: tests build
+        #: managers over bare stand-in hosts).
+        self._obs = getattr(db, "obs", None)
         #: default for ``begin(batch=None)``: batch propagation across every
         #: explicit transaction (set via ``Database(auto_batch_transactions=)``).
         self.auto_batch = False
@@ -81,6 +90,12 @@ class TransactionManager:
     def add_undo_listener(self, listener: Callable[[Delta], None]) -> None:
         self._undo_listeners.append(listener)
 
+    def _set_txn_context(self, txn_id: int | None) -> None:
+        """Stamp the event hub so emissions attribute to this transaction."""
+        obs = self._obs
+        if obs is not None:
+            obs.hub.txn = txn_id
+
     # -- logging (called by the database primitives) -------------------------
 
     def log(self, record: LogRecord) -> None:
@@ -96,6 +111,7 @@ class TransactionManager:
             self._next_txn_id += 1
             self._active.records.append(record)
             self._autocommit_pending = True
+            self._set_txn_context(self._active.txn_id)
             return
         self._active.records.append(record)
 
@@ -116,6 +132,7 @@ class TransactionManager:
         if self._active is not None:
             raise TransactionError("cannot adopt: a transaction is already active")
         self._active = delta
+        self._set_txn_context(delta.txn_id)
 
     def release(self) -> Delta:
         """Detach the active (adopted) delta without committing or aborting."""
@@ -123,6 +140,7 @@ class TransactionManager:
             raise TransactionError("no active transaction to release")
         delta = self._active
         self._active = None
+        self._set_txn_context(None)
         return delta
 
     # -- lifecycle ------------------------------------------------------------
@@ -140,6 +158,7 @@ class TransactionManager:
             raise TransactionError("a transaction is already active")
         self._active = Delta(txn_id=self._next_txn_id, label=label)
         self._next_txn_id += 1
+        self._set_txn_context(self._active.txn_id)
         if batch is None:
             batch = self.auto_batch
         if batch:
@@ -169,6 +188,7 @@ class TransactionManager:
         """Audit constraints, then commit the active transaction."""
         if self._active is None:
             raise TransactionError("no active transaction to commit")
+        started = perf_counter()
         self._close_engine_batch()
         try:
             self.db.audit_constraints()
@@ -183,6 +203,22 @@ class TransactionManager:
             del self.history[: len(self.history) - self.history_limit]
         for listener in self._commit_listeners:
             listener(delta)
+        self.commits += 1
+        obs = self._obs
+        if obs is not None:
+            seconds = perf_counter() - started
+            obs.timers["commit"].record(seconds)
+            hub = obs.hub
+            if hub.active:
+                hub.emit(
+                    TxnCommit(
+                        txn_id=delta.txn_id,
+                        label=delta.label,
+                        records=len(delta.records),
+                        seconds=seconds,
+                    )
+                )
+            hub.txn = None
         return delta
 
     def abort(self) -> None:
@@ -200,6 +236,19 @@ class TransactionManager:
         self._active = None
         self._autocommit_pending = False
         self._apply_inverse(delta)
+        self.aborts += 1
+        obs = self._obs
+        if obs is not None:
+            hub = obs.hub
+            if hub.active:
+                hub.emit(
+                    TxnAbort(
+                        txn_id=delta.txn_id,
+                        label=delta.label,
+                        records=len(delta.records),
+                    )
+                )
+            hub.txn = None
 
     def undo(self) -> Delta:
         """The meta-action: roll back the most recently committed transaction.
@@ -215,6 +264,7 @@ class TransactionManager:
             raise TransactionError("no committed transaction to undo")
         delta = self.history.pop()
         self._apply_inverse(delta)
+        self.undos += 1
         for listener in self._undo_listeners:
             listener(delta)
         return delta

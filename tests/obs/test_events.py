@@ -1,0 +1,232 @@
+"""The event hub and the hook points that feed it."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.errors import ConcurrencyAbort
+from repro.obs.events import (
+    EVENT_TYPES,
+    BlockEvicted,
+    BlockLoaded,
+    Event,
+    EventHub,
+    SlotEvaluated,
+    SlotMarked,
+    TORejection,
+    TxnAbort,
+    TxnCommit,
+    WaveEnd,
+    WaveStart,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.txn.manager import MultiUserScheduler
+from repro.txn.timestamps import TimestampManager
+from repro.workloads import build_chain, sum_node_schema
+
+
+def collect(db):
+    """Subscribe a list-appending listener; returns (events, listener)."""
+    events: list[Event] = []
+    listener = db.obs.hub.subscribe(events.append)
+    return events, listener
+
+
+class TestHub:
+    def test_subscribe_unsubscribe_maintains_active(self):
+        hub = EventHub()
+        assert not hub.active
+        listener = hub.subscribe(lambda event: None)
+        assert hub.active
+        hub.unsubscribe(listener)
+        assert not hub.active
+
+    def test_unsubscribing_a_stranger_is_harmless(self):
+        hub = EventHub()
+        hub.subscribe(lambda event: None)
+        hub.unsubscribe(lambda event: None)
+        assert hub.active  # the real subscriber is still there
+
+    def test_emit_without_subscribers_is_a_no_op(self):
+        hub = EventHub()
+        hub.emit(WaveStart())
+        assert hub.emitted == 0
+
+    def test_emit_stamps_attribution_context(self):
+        hub = EventHub()
+        seen = []
+        hub.subscribe(seen.append)
+        hub.session = "alice"
+        hub.txn = 12
+        hub.emit(WaveStart())
+        assert seen[0].session == "alice"
+        assert seen[0].txn == 12
+
+    def test_every_event_type_round_trips_to_dict(self):
+        for name, cls in EVENT_TYPES.items():
+            payload = cls().to_dict()
+            assert payload["type"] == name
+            assert "session" in payload and "txn" in payload
+
+    def test_to_dict_converts_slots_to_lists(self):
+        payload = SlotMarked(slot=(4, "total")).to_dict()
+        assert payload["slot"] == [4, "total"]
+
+
+class TestEngineHooks:
+    def test_idle_hub_means_zero_emissions(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 4)
+        db.set_attr(nodes[0], "weight", 9)
+        db.get_attr(nodes[-1], "total")
+        assert db.obs.hub.emitted == 0
+
+    def test_update_emits_a_bracketed_wave(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 4)
+        db.get_attr(nodes[-1], "total")
+        events, listener = collect(db)
+        db.set_attr(nodes[0], "weight", 9)
+        db.obs.hub.unsubscribe(listener)
+        starts = [e for e in events if isinstance(e, WaveStart)]
+        ends = [e for e in events if isinstance(e, WaveEnd)]
+        assert len(starts) == len(ends) == 1
+        assert starts[0].kind == ends[0].kind
+        assert (nodes[0], "weight") in starts[0].intrinsic_seeds
+        assert ends[0].seconds >= 0.0
+        assert any(isinstance(e, SlotMarked) for e in events)
+
+    def test_demand_read_emits_evaluations(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 4)
+        events, listener = collect(db)
+        value = db.get_attr(nodes[-1], "total")
+        db.obs.hub.unsubscribe(listener)
+        evaluated = [e for e in events if isinstance(e, SlotEvaluated)]
+        assert evaluated
+        assert any(
+            e.slot == (nodes[-1], "total") and e.value == value for e in evaluated
+        )
+
+    def test_unchanged_reevaluation_is_flagged(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        db.get_attr(nodes[-1], "total")
+        events, listener = collect(db)
+        with db.batch():
+            # Swap weight between the first two nodes: their partial sums
+            # move but every total from nodes[1] on re-evaluates unchanged.
+            db.set_attr(nodes[0], "weight", 2)
+            db.set_attr(nodes[1], "weight", 0)
+        db.get_attr(nodes[-1], "total")
+        db.obs.hub.unsubscribe(listener)
+        evaluated = [e for e in events if isinstance(e, SlotEvaluated)]
+        assert any(e.unchanged for e in evaluated)
+        assert any(not e.unchanged for e in evaluated)
+
+
+class TestBufferHooks:
+    def hub_pool(self, capacity, n_blocks):
+        disk = SimulatedDisk(256)
+        ids = [disk.allocate_block().block_id for __ in range(n_blocks)]
+        pool = BufferPool(disk, capacity=capacity)
+        hub = EventHub()
+        pool.hub = hub
+        events: list[Event] = []
+        hub.subscribe(events.append)
+        return pool, ids, events
+
+    def test_miss_emits_block_loaded(self):
+        pool, ids, events = self.hub_pool(4, 2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[0])  # hit: silent
+        loaded = [e for e in events if isinstance(e, BlockLoaded)]
+        assert [e.block_id for e in loaded] == [ids[0]]
+
+    def test_lru_eviction_emits_block_evicted(self):
+        pool, ids, events = self.hub_pool(1, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.fetch(ids[1])
+        evicted = [e for e in events if isinstance(e, BlockEvicted)]
+        assert len(evicted) == 1
+        assert evicted[0].block_id == ids[0]
+        assert evicted[0].dirty is True
+        assert evicted[0].reason == "lru"
+
+    def test_drop_and_clear_report_their_reason(self):
+        pool, ids, events = self.hub_pool(4, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.fetch(ids[1])
+        pool.drop(ids[0])
+        pool.clear()
+        reasons = [e.reason for e in events if isinstance(e, BlockEvicted)]
+        assert reasons == ["drop", "clear"]
+
+
+class TestTxnAndCCHooks:
+    def test_commit_event_carries_txn_attribution(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        events, listener = collect(db)
+        with db.transaction("bump"):
+            db.set_attr(nodes[0], "weight", 5)
+        db.obs.hub.unsubscribe(listener)
+        commits = [e for e in events if isinstance(e, TxnCommit)]
+        assert len(commits) == 1
+        assert commits[0].label == "bump"
+        assert commits[0].records >= 1
+        assert commits[0].txn == commits[0].txn_id
+        # Context is torn down with the transaction.
+        assert db.obs.hub.txn is None
+
+    def test_abort_event_on_rolled_back_transaction(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        events, listener = collect(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction("doomed"):
+                db.set_attr(nodes[0], "weight", 5)
+                raise RuntimeError("boom")
+        db.obs.hub.unsubscribe(listener)
+        aborts = [e for e in events if isinstance(e, TxnAbort)]
+        assert len(aborts) == 1
+        assert aborts[0].label == "doomed"
+        assert db.obs.hub.txn is None
+
+    def test_to_rejection_event_names_the_conflict(self):
+        hub = EventHub()
+        seen = []
+        hub.subscribe(seen.append)
+        tsm = TimestampManager()
+        tsm.hub = hub
+        tsm.check_write(50, 7)
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_read(1, 7)
+        rejection = next(e for e in seen if isinstance(e, TORejection))
+        assert rejection.kind == "read"
+        assert rejection.iid == 7
+        assert rejection.ts == 1
+        assert rejection.conflict_ts == 50
+        assert rejection.conflict_kind == "write"
+
+    def test_scheduler_attributes_events_to_sessions(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        db.get_attr(nodes[-1], "total")
+        events, listener = collect(db)
+
+        def writer(session):
+            session.set_attr(nodes[0], "weight", 9)
+            yield
+
+        def reader(session):
+            yield
+            yield
+            session.get_attr(nodes[-1], "total")
+
+        MultiUserScheduler(db).run([("writer", writer), ("reader", reader)])
+        db.obs.hub.unsubscribe(listener)
+        sessions = {e.session for e in events}
+        assert {"writer", "reader"} <= sessions
+        # Scheduler work never leaks attribution past its step.
+        assert db.obs.hub.session is None

@@ -1,0 +1,151 @@
+"""The metrics registry: one snapshot over every stats substrate."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.obs import LatencyTimer, MetricsSnapshot, Observability, TIMER_NAMES
+from repro.workloads import build_chain, sum_node_schema
+
+#: every section a plain in-memory database must expose.
+CORE_SECTIONS = {
+    "engine",
+    "scheduler",
+    "cc",
+    "buffer",
+    "disk",
+    "usage",
+    "txn",
+    "wal",
+    "latency",
+    "events",
+}
+
+
+class TestSnapshotShape:
+    def test_one_call_covers_every_substrate(self):
+        db = Database(sum_node_schema())
+        snap = db.metrics()
+        assert CORE_SECTIONS <= set(snap)
+
+    def test_sections_are_flat_name_to_number_maps(self):
+        db = Database(sum_node_schema())
+        snap = db.metrics()
+        for section in ("engine", "buffer", "disk", "cc", "txn"):
+            for name, value in snap[section].items():
+                assert isinstance(name, str)
+                assert isinstance(value, (int, float)), f"{section}.{name}"
+
+    def test_snapshot_is_a_frozen_copy(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        before = db.metrics()
+        db.get_attr(nodes[-1], "total")
+        after = db.metrics()
+        # The first snapshot did not move when the engine did.
+        assert after["engine"]["rule_evaluations"] > before["engine"][
+            "rule_evaluations"
+        ]
+
+    def test_as_dict_is_json_clean_and_detached(self):
+        db = Database(sum_node_schema())
+        plain = db.metrics().as_dict()
+        plain["engine"]["rule_evaluations"] = -1
+        assert db.metrics()["engine"]["rule_evaluations"] != -1
+
+    def test_flatten_uses_dotted_names(self):
+        db = Database(sum_node_schema())
+        flat = db.metrics().flatten()
+        assert "buffer.hits" in flat
+        assert "latency.wave.count" in flat
+        assert all("." in name for name in flat)
+
+
+class TestSnapshotDiff:
+    def test_workload_cost_is_one_subtraction(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 5)
+        db.get_attr(nodes[-1], "total")
+        before = db.metrics()
+        db.set_attr(nodes[0], "weight", 9)
+        db.get_attr(nodes[-1], "total")
+        delta = db.metrics() - before
+        assert delta["engine"]["rule_evaluations"] > 0
+        assert delta["engine"]["waves"] >= 1
+        # Untouched counters difference to zero.
+        assert delta["wal"]["commits_logged"] == 0
+
+    def test_diff_preserves_identity_values(self):
+        db = Database(sum_node_schema())
+        delta = db.metrics() - db.metrics()
+        # Booleans are identities, not counters: False - False is not 0.
+        assert delta["wal"]["attached"] is False
+
+    def test_diff_requires_a_snapshot(self):
+        db = Database(sum_node_schema())
+        with pytest.raises(TypeError):
+            db.metrics() - {"engine": {}}
+
+    def test_render_mentions_every_section(self):
+        text = Database(sum_node_schema()).metrics().render()
+        for section in ("engine:", "buffer:", "latency:"):
+            assert section in text
+
+
+class TestLatencyTimers:
+    def test_timer_streams_count_total_min_max(self):
+        timer = LatencyTimer()
+        for seconds in (0.5, 0.1, 0.9):
+            timer.record(seconds)
+        assert timer.count == 3
+        assert timer.total == pytest.approx(1.5)
+        assert timer.min == pytest.approx(0.1)
+        assert timer.max == pytest.approx(0.9)
+        assert timer.mean == pytest.approx(0.5)
+
+    def test_empty_timer_is_all_zero(self):
+        timer = LatencyTimer()
+        assert timer.mean == 0.0
+        assert timer.as_dict() == {
+            "count": 0,
+            "total_seconds": 0.0,
+            "min_seconds": 0.0,
+            "max_seconds": 0.0,
+        }
+
+    def test_every_database_carries_the_standard_timers(self):
+        db = Database(sum_node_schema())
+        assert set(db.obs.timers) == set(TIMER_NAMES)
+
+    def test_waves_and_commits_are_timed(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 4)
+        db.set_attr(nodes[0], "weight", 7)
+        with db.transaction("t"):
+            db.set_attr(nodes[1], "weight", 2)
+        snap = db.metrics()
+        assert snap["latency"]["wave"]["count"] > 0
+        assert snap["latency"]["commit"]["count"] > 0
+
+
+class TestProviderRegistry:
+    def test_registering_a_section_replaces_it(self):
+        obs = Observability()
+        obs.register("cc", lambda: {"reads_checked": 0})
+        obs.register("cc", lambda: {"reads_checked": 41})
+        assert obs.snapshot()["cc"]["reads_checked"] == 41
+
+    def test_snapshot_always_appends_latency_and_events(self):
+        obs = Observability()
+        snap = obs.snapshot()
+        assert set(snap) == {"latency", "events"}
+        assert isinstance(snap, MetricsSnapshot)
+
+    def test_persistent_wal_section_has_the_same_keys_as_the_stub(self, tmp_path):
+        stub_keys = set(Database(sum_node_schema()).metrics()["wal"])
+        db = Database.open(str(tmp_path / "db"), sum_node_schema(), sync=False)
+        try:
+            live = db.metrics()["wal"]
+        finally:
+            db.close()
+        assert set(live) == stub_keys
+        assert live["attached"] is True

@@ -1,0 +1,119 @@
+"""JSONL trace export, re-reading, summarisation, and the CLI."""
+
+import json
+
+from repro.core.database import Database
+from repro.obs import TraceWriter, read_trace, render_summary, summarize_trace
+from repro.obs.__main__ import main as obs_main
+from repro.workloads import build_chain, sum_node_schema
+
+
+def traced_workload(tmp_path):
+    """Run a small workload under a TraceWriter; returns (db, path, nodes)."""
+    path = tmp_path / "trace.jsonl"
+    db = Database(sum_node_schema())
+    with TraceWriter(db, path):
+        nodes = build_chain(db, 4)
+        db.set_attr(nodes[0], "weight", 9)
+        db.get_attr(nodes[-1], "total")
+    return db, path, nodes
+
+
+class TestTraceWriter:
+    def test_every_emitted_event_lands_on_one_line(self, tmp_path):
+        db, path, __ = traced_workload(tmp_path)
+        events = read_trace(path)
+        assert len(events) == db.obs.hub.emitted > 0
+        assert all("type" in e and "session" in e and "txn" in e for e in events)
+
+    def test_closing_detaches_from_the_hub(self, tmp_path):
+        db, path, nodes = traced_workload(tmp_path)
+        written = read_trace(path)
+        db.set_attr(nodes[0], "weight", 0)  # after close: not traced
+        assert not db.obs.hub.active
+        assert read_trace(path) == written
+
+    def test_lines_are_self_describing_json(self, tmp_path):
+        __, path, __nodes = traced_workload(tmp_path)
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            assert isinstance(payload["type"], str)
+
+
+class TestReadTrace:
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "wave_start"}\n\n{"type": "wave_end"}\n')
+        assert [e["type"] for e in read_trace(path)] == ["wave_start", "wave_end"]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "wave_start"}\n{"type": "wave_e')
+        assert [e["type"] for e in read_trace(path)] == ["wave_start"]
+
+
+class TestSummarize:
+    def test_counts_by_type_and_session(self):
+        events = [
+            {"type": "wave_end", "session": "a", "seconds": 0.25},
+            {"type": "wave_end", "session": "a", "seconds": 0.25},
+            {"type": "slot_evaluated", "session": "b", "unchanged": True},
+            {"type": "txn_commit", "session": None},
+            {"type": "txn_abort", "session": "b"},
+            {"type": "to_rejection", "session": "b"},
+            {"type": "from_the_future", "session": None},
+        ]
+        summary = summarize_trace(events)
+        assert summary["events"] == 7
+        assert summary["by_type"]["wave_end"] == 2
+        assert summary["by_session"] == {"a": 2, "b": 3}
+        assert summary["waves"] == 2
+        assert summary["wave_seconds_total"] == 0.5
+        assert summary["slots_evaluated"] == 1
+        assert summary["unchanged_evaluations"] == 1
+        assert summary["commits"] == 1
+        assert summary["aborts"] == 1
+        assert summary["to_rejections"] == 1
+        assert summary["unknown_types"] == ["from_the_future"]
+
+    def test_real_trace_summary_matches_engine_counters(self, tmp_path):
+        db, path, __ = traced_workload(tmp_path)
+        summary = summarize_trace(read_trace(path))
+        flat = db.metrics().flatten()
+        assert summary["waves"] == flat["engine.waves"]
+        assert summary["slots_evaluated"] == flat["engine.rule_evaluations"]
+        assert summary["unknown_types"] == []
+
+    def test_render_summary_is_printable(self):
+        text = render_summary(summarize_trace([{"type": "txn_commit"}]))
+        assert "events: 1" in text
+        assert "txn_commit" in text
+
+
+class TestCLI:
+    def test_demo_records_a_summarizable_trace(self, tmp_path, capsys):
+        trace = tmp_path / "demo.jsonl"
+        assert obs_main(["demo", "--trace", str(trace), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["engine"]["waves"] > 0
+
+        assert obs_main(["summarize", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+        assert summary["by_session"]  # scheduler attribution present
+
+    def test_snapshot_and_diff_roundtrip(self, tmp_path, capsys):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 3)
+        before = tmp_path / "before.json"
+        before.write_text(json.dumps(db.metrics().as_dict()))
+        db.set_attr(nodes[0], "weight", 4)
+        after = tmp_path / "after.json"
+        after.write_text(json.dumps(db.metrics().as_dict()))
+
+        assert obs_main(["snapshot", str(after), "--flat"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.waves = " in out
+
+        assert obs_main(["diff", str(after), str(before)]) == 0
+        assert "engine:" in capsys.readouterr().out

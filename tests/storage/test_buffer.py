@@ -93,6 +93,29 @@ class TestControl:
         assert not pool.is_resident(ids[0])
         assert disk.stats.writes == 1  # flushed on clear
 
+    def test_drop_writes_back_a_dirty_frame(self):
+        # Regression: drop() used to discard the frame wholesale, losing
+        # any in-memory modifications the next fetch then re-read stale.
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0], dirty=True)
+        pool.drop(ids[0])
+        assert not pool.is_resident(ids[0])
+        assert disk.stats.writes == 1
+        assert pool.stats.dirty_writebacks == 1
+        assert pool.stats.drop_writebacks == 1
+
+    def test_drop_of_a_clean_frame_does_not_write(self):
+        disk, pool, ids = pool_with_blocks(4, 2)
+        pool.fetch(ids[0])
+        pool.drop(ids[0])
+        assert disk.stats.writes == 0
+        assert pool.stats.drop_writebacks == 0
+
+    def test_drop_of_an_absent_block_is_harmless(self):
+        disk, pool, ids = pool_with_blocks(4, 1)
+        pool.drop(ids[0])
+        assert disk.stats.writes == 0
+
     def test_hit_rate(self):
         disk, pool, ids = pool_with_blocks(4, 1)
         assert pool.stats.hit_rate == 0.0

@@ -1,0 +1,129 @@
+"""Scheduler crash paths and fairness.
+
+Two regressions pinned here:
+
+* an unhandled non-CC abort (constraint violation, commit audit failure)
+  escaping one script used to propagate out of
+  :meth:`MultiUserScheduler.run`, abandoning every other session mid-step
+  with its delta still adopted.  The scheduler now retires the offending
+  script, records it in :attr:`ScheduleResult.failed`, and runs everyone
+  else to completion.
+* the round-robin cursor used to index into the *shrinking* list of
+  runnable scripts, so the first completion skewed the rotation and let
+  one script step twice while its neighbour starved.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.rules import Constraint, Local
+from repro.errors import TransactionAborted
+from repro.txn.manager import MultiUserScheduler
+from repro.workloads import build_chain, link, sum_node_schema
+
+
+def constrained_db():
+    from repro.workloads.topologies import sum_node_schema as base
+
+    schema = base()
+    schema.unfreeze()
+    schema.extend_class("node").add_constraint(
+        Constraint("cap", {"t": Local("total")}, lambda t: t <= 100)
+    )
+    schema.freeze()
+    return Database(schema, pool_capacity=64)
+
+
+class TestNonCCFailures:
+    def test_unhandled_violation_fails_one_script_not_the_run(self):
+        db = constrained_db()
+        a = db.create("node", weight=10)
+        b = db.create("node", weight=10)
+        link(db, a, b)
+
+        def violator(session):
+            yield
+            session.set_attr(a, "weight", 500)  # trips cap; NOT caught
+            yield
+
+        def bystander(session):
+            session.set_attr(b, "weight", 20)
+            yield
+            session.get_attr(b, "total")
+
+        result = MultiUserScheduler(db).run(
+            [("violator", violator), ("bystander", bystander)]
+        )
+        assert result.committed == ["bystander"]
+        assert set(result.failed) == {"violator"}
+        assert result.failed["violator"]  # reason captured
+        # The violator's work is rolled back; the bystander's is not.
+        assert db.get_attr(a, "weight") == 10
+        assert db.get_attr(b, "weight") == 20
+        assert db.get_attr(b, "total") == 30
+
+    def test_failed_script_leaves_no_adopted_delta_behind(self):
+        db = constrained_db()
+        a = db.create("node", weight=10)
+
+        def violator(session):
+            session.set_attr(a, "weight", 999)
+            yield
+
+        result = MultiUserScheduler(db).run([("violator", violator)])
+        assert result.committed == []
+        assert set(result.failed) == {"violator"}
+        # The database is back to single-stream health: a plain
+        # transaction can run after the schedule.
+        with db.transaction("after"):
+            db.set_attr(a, "weight", 11)
+        assert db.get_attr(a, "weight") == 11
+
+    def test_exceeding_max_restarts_still_raises(self):
+        db = Database(sum_node_schema())
+        nodes = build_chain(db, 2)
+
+        def old_reader(session):
+            yield  # let the younger writer get its mark in first
+            session.get_attr(nodes[0], "weight")
+
+        def young_writer(session):
+            session.set_attr(nodes[0], "weight", 7)
+            yield
+            yield
+
+        # A pathological cap turns the first genuine CC restart into the
+        # terminal error -- that contract is unchanged.
+        with pytest.raises(TransactionAborted, match="restarts"):
+            MultiUserScheduler(db).run(
+                [("old", old_reader), ("young", young_writer)], max_restarts=0
+            )
+
+
+class TestRoundRobinFairness:
+    def test_rotation_stays_fair_after_a_script_finishes(self):
+        db = Database(sum_node_schema())
+        order = []
+
+        def script(tag, yields):
+            def body(session):
+                for __ in range(yields):
+                    order.append(tag)
+                    yield
+
+            return body
+
+        result = MultiUserScheduler(db).run(
+            [
+                ("s", script("s", 1)),
+                ("b", script("b", 3)),
+                ("c", script("c", 3)),
+                ("d", script("d", 3)),
+            ]
+        )
+        # After "s" commits, the rotation resumes with the script that was
+        # due next ("b") -- not with whichever index the shrunken runnable
+        # list happened to put under the cursor.
+        assert order == ["s", "b", "c", "d", "b", "c", "d", "b", "c", "d"]
+        assert sorted(result.committed) == ["b", "c", "d", "s"]
+        assert result.failed == {}

@@ -65,6 +65,54 @@ def test_successful_create_still_records_write_mark():
         tsm.check_read(0, iid)
 
 
+class TestFailedCreateRetractsItsMark:
+    """Regression: a create that fails *validation* must unmark its target.
+
+    ``Session.create`` records a provisional write mark on the id it is
+    about to allocate.  When the create itself then fails (unknown class,
+    bad atom type) the id was never consumed -- leaving the mark behind
+    poisoned ``next_instance_id``, spuriously aborting whichever older
+    transaction later allocated that id.
+    """
+
+    def test_failed_create_leaves_no_write_mark(self):
+        db = Database(sum_node_schema())
+        tsm = TimestampManager()
+        older = Session(db, tsm, "older")
+        older.start()  # ts=1
+        younger = Session(db, tsm, "younger")
+        younger.start()  # ts=2
+        with pytest.raises(Exception) as excinfo:
+            younger.create("no_such_class")
+        assert not isinstance(excinfo.value, ConcurrencyAbort)
+        # The older session now allocates the very id the failed create
+        # targeted; a leftover ts=2 mark would abort it here.
+        iid = older.create("node", weight=1)
+        older.commit()
+        assert db.get_attr(iid, "weight") == 1
+
+    def test_retraction_restores_the_previous_mark(self):
+        db = Database(sum_node_schema())
+        tsm = TimestampManager()
+        target = db.next_instance_id
+        tsm.check_write(3, target)  # pre-existing younger mark
+        session = Session(db, tsm, "s")
+        session.start()  # ts=1 -- doomed against the ts=3 mark
+        with pytest.raises(ConcurrencyAbort):
+            session.create("node")
+        # A CC rejection happens before anything is marked: ts=3 survives.
+        with pytest.raises(ConcurrencyAbort):
+            tsm.check_read(2, target)
+
+    def test_cc_rejection_is_not_swallowed_by_the_retraction_path(self):
+        db = Database(sum_node_schema())
+        session, tsm = doomed_session(db)
+        with pytest.raises(ConcurrencyAbort):
+            session.create("node", weight=3)
+        # The younger reader's mark is intact.
+        assert tsm._marks[db.next_instance_id].read_ts == 50
+
+
 def test_scheduler_restart_still_converges_with_creates():
     db = Database(sum_node_schema())
 
