@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check clean
+.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check reorg-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -27,12 +27,19 @@ obs-check: ## docs/OBSERVABILITY.md cross-check + CLI smoke on a recorded trace
 	PYTHONPATH=src python -m repro.obs summarize /tmp/obs-check.jsonl
 	rm -f /tmp/obs-check.jsonl
 
+reorg-check: ## online-reorg crash matrix + docs cross-check + benchmark smoke
+	PYTHONPATH=src python -m pytest tests/persistence/test_reorg_crash.py \
+		tests/storage/test_reorg_driver.py tests/storage/test_reorg_properties.py \
+		tests/storage/test_storage_docs.py -q
+	PYTHONPATH=src python -m pytest benchmarks/bench_reorg.py --benchmark-only -q
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	$(MAKE) lint-schema
 	$(MAKE) obs-check
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest tests/persistence -q
+	$(MAKE) reorg-check
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

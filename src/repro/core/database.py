@@ -71,6 +71,7 @@ from repro.evaluation.host import DepBinding
 from repro.evaluation.scheduler import Policy
 from repro.storage.clustering import greedy_cluster, worst_case_estimates
 from repro.storage.manager import StorageManager
+from repro.storage.reorg import ReorgDriver, ReorgEpoch
 from repro.txn.log import (
     ConnectRecord,
     CreateRecord,
@@ -138,6 +139,8 @@ class Database:
         #: attached by :class:`repro.persistence.manager.PersistenceManager`
         #: when the database was opened durably (:meth:`Database.open`).
         self.persistence = None
+        #: online incremental reorganisation driver (see repro.storage.reorg).
+        self.reorg = ReorgDriver(self)
         self._register_metrics()
 
     # ------------------------------------------------------------------
@@ -186,6 +189,7 @@ class Database:
             return {
                 "chunks_executed": getattr(sched, "executed", 0),
                 "fast_lane_executed": getattr(sched, "fast_executed", 0),
+                "background_executed": getattr(sched, "background_executed", 0),
             }
 
         def cc_metrics() -> dict:
@@ -245,6 +249,24 @@ class Database:
                 "wal_bytes": 0,
                 "recovery_replayed": 0,
                 "recovery_skipped": 0,
+                "reorg_records": 0,
+            }
+
+        def reorg_metrics() -> dict:
+            driver = self.reorg
+            stats = driver.stats
+            epoch = driver.epoch
+            return {
+                "epochs_started": stats.epochs_started,
+                "epochs_completed": stats.epochs_completed,
+                "epochs_abandoned": stats.epochs_abandoned,
+                "steps_run": stats.steps_run,
+                "instances_moved": stats.instances_moved,
+                "instances_skipped": stats.instances_skipped,
+                "blocks_released": stats.blocks_released,
+                "reorg_writes": self.storage.reorg_writes,
+                "active": driver.active,
+                "pending_steps": epoch.pending_steps if epoch is not None else 0,
             }
 
         self.obs.register("engine", engine_metrics)
@@ -255,6 +277,7 @@ class Database:
         self.obs.register("usage", usage_metrics)
         self.obs.register("txn", txn_metrics)
         self.obs.register("wal", wal_metrics)
+        self.obs.register("reorg", reorg_metrics)
 
     # ------------------------------------------------------------------
     # durable open / checkpoint / close
@@ -494,6 +517,13 @@ class Database:
         """
         with self._primitive():
             instance = self.instance(iid)
+            # Capture the far ends before they are disconnected: the peers'
+            # crossing counters toward this instance must be forgotten too,
+            # or the clusterer keeps weighing ghost relationships.
+            peer_keys = [
+                (conn.peer, conn.peer_port)
+                for __, conn in instance.all_connections()
+            ]
             for port, conn in list(instance.all_connections()):
                 self.disconnect(iid, port, conn.peer, conn.peer_port)
             snapshot = instance.snapshot()
@@ -505,16 +535,18 @@ class Database:
                 if slot_iid == iid
             ]
             self.txn.log(DeleteRecord(snapshot=snapshot))
-            self._do_delete(iid)
+            self._do_delete(iid, peer_keys)
 
-    def _do_delete(self, iid: int) -> None:
+    def _do_delete(
+        self, iid: int, peer_keys: list[tuple[int, str]] = ()
+    ) -> None:
         instance = self.instance(iid)
         for slot in self._all_slots(instance):
             self.depgraph.remove_slot(slot)
             self.engine.forget_slot(slot)
             self._unchecked_constraints.discard(slot)
         self.storage.remove(iid)
-        self.usage.forget_instance(iid)
+        self.usage.forget_instance(iid, peer_keys)
         del self._catalog[iid]
 
     def _all_slots(self, instance: Instance) -> list[Slot]:
@@ -1020,21 +1052,49 @@ class Database:
     def reorganize(self) -> list[list[int]]:
         """Run the paper's greedy clustering and install the new layout.
 
-        Also refreshes cluster-time worst-case statistics and resets the
-        usage counters for the next adaptation epoch.
+        This is the *offline* (stop-the-world) path: every block is rebuilt
+        at once and the buffer pool is dropped.  Also refreshes cluster-time
+        worst-case statistics, re-seeds the decaying averages (observations
+        against the old layout would otherwise keep mispredicting I/O), and
+        resets the usage counters for the next adaptation epoch.  See
+        :meth:`reorganize_online` for the incremental alternative.
         """
+        if self.reorg.active:
+            raise StorageError(
+                "cannot run an offline reorganisation while an online "
+                "epoch is active; finish or abandon it first"
+            )
         sizes = {iid: inst.record_size() for iid, inst in self._catalog.items()}
         layout = greedy_cluster(
             sizes, self.neighbors, self.usage, self.storage.disk.block_capacity
         )
         self.storage.apply_layout(layout, lambda iid: sizes[iid])
+        self._refresh_usage_after_reorg()
+        return layout
+
+    def reorganize_online(self, steps_per_drain: int = 1) -> ReorgEpoch:
+        """Start an online reorganisation epoch (see repro.storage.reorg).
+
+        Plans the same layout :meth:`reorganize` would install, then
+        migrates it a block at a time from the chunk scheduler's idle lane
+        (at most ``steps_per_drain`` steps per queue drain) so queries keep
+        running against a mixed-but-correct layout.  Returns the epoch
+        handle; drive it manually with ``db.reorg.step()`` /
+        ``db.reorg.run_to_completion()`` or just keep working and let the
+        idle lane finish it.
+        """
+        return self.reorg.start_epoch(steps_per_drain=steps_per_drain)
+
+    def _refresh_usage_after_reorg(self, reset_counters: bool = True) -> None:
+        """Re-align the usage statistics with the (newly changed) layout."""
         estimates = worst_case_estimates(
             self.instance_ids(), self.neighbors, self.storage.block_of
         )
         for (iid, port), estimate in estimates.items():
             self.usage.set_worst_case(iid, port, estimate)
-        self.usage.reset_counters()
-        return layout
+        self.usage.reseed_averages()
+        if reset_counters:
+            self.usage.reset_counters()
 
     # ------------------------------------------------------------------
     # EvaluationHost implementation

@@ -94,6 +94,12 @@ class ChunkScheduler:
         self.executed = 0
         #: fast-lane entries executed (no Chunk was allocated for these).
         self.fast_executed = 0
+        #: idle-lane task (e.g. reorg migration steps): runs only when every
+        #: queue has drained, returns True while it has more work.
+        self._background: Callable[[], bool] | None = None
+        self._background_budget = 1
+        #: background units executed from the idle lane.
+        self.background_executed = 0
 
     # -- scheduling ------------------------------------------------------------
 
@@ -236,12 +242,55 @@ class ChunkScheduler:
                 return chunk
         return None
 
+    # -- background (idle) lane ---------------------------------------------
+
+    def set_background(self, task: Callable[[], bool], budget: int = 1) -> None:
+        """Install an idle-lane task, throttled to ``budget`` units per drain.
+
+        The task runs only after every queue has emptied inside one
+        :meth:`run_to_exhaustion` call -- the lowest-priority lane there is
+        -- so query work never waits behind it.  It returns True while more
+        work remains; returning False deregisters it.
+        """
+        self._background = task
+        self._background_budget = max(1, budget)
+
+    def clear_background(self) -> None:
+        self._background = None
+
+    def _run_background(self) -> bool:
+        """Run up to one budget's worth of idle work; True if any ran."""
+        task = self._background
+        if task is None:
+            return False
+        ran = False
+        for __ in range(self._background_budget):
+            if self._background is not task:
+                break  # task replaced or cleared itself mid-budget
+            ran = True
+            self.background_executed += 1
+            if not task():
+                if self._background is task:
+                    self._background = None
+                break
+        return ran
+
     def run_to_exhaustion(self) -> int:
-        """Execute entries until no queue has work; returns units executed."""
+        """Execute entries until no queue has work; returns units executed.
+
+        When the queues drain and an idle-lane task is installed, one budget
+        of background work runs (then any chunks it scheduled), after which
+        the call returns -- the background lane never monopolises a drain.
+        """
         executed = 0
+        background_ran = False
         while True:
             entry = self._pop()
             if entry is None:
+                if not background_ran:
+                    background_ran = True
+                    if self._run_background():
+                        continue
                 return executed
             if type(entry) is tuple:
                 runner = self.fast_runner

@@ -211,6 +211,42 @@ class Recovery(Event):
     seconds: float = 0.0
 
 
+@dataclass
+class ReorgEpochStart(Event):
+    """An online reorganisation epoch planned its target layout."""
+
+    TYPE = "reorg_epoch_start"
+
+    epoch: int = 0
+    steps_planned: int = 0
+    instances: int = 0
+
+
+@dataclass
+class ReorgStep(Event):
+    """One bounded migration step moved a target block's worth of instances."""
+
+    TYPE = "reorg_step"
+
+    epoch: int = 0
+    step: int = 0
+    moved: int = 0
+    skipped: int = 0
+    blocks_released: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ReorgEpochEnd(Event):
+    """The epoch finished (every step ran) or was abandoned."""
+
+    TYPE = "reorg_epoch_end"
+
+    epoch: int = 0
+    steps_run: int = 0
+    completed: bool = True
+
+
 #: event type name -> class; the doc cross-check and trace tooling key off it.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
@@ -230,6 +266,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         WalFsync,
         Checkpoint,
         Recovery,
+        ReorgEpochStart,
+        ReorgStep,
+        ReorgEpochEnd,
     )
 }
 

@@ -23,7 +23,7 @@ from repro.obs.events import EventHub
 Provider = Callable[[], dict[str, Any]]
 
 #: latency distributions every database carries, in snapshot order.
-TIMER_NAMES = ("wave", "chunk", "commit", "recovery")
+TIMER_NAMES = ("wave", "chunk", "commit", "recovery", "reorg_step")
 
 
 class LatencyTimer:

@@ -36,6 +36,9 @@ from repro.persistence.recovery import RecoveryReport, recover_database
 from repro.persistence.wal import (
     WriteAheadLog,
     encode_commit_payload,
+    encode_reorg_begin_payload,
+    encode_reorg_end_payload,
+    encode_reorg_step_payload,
     encode_undo_payload,
 )
 from repro.txn.log import Delta
@@ -56,6 +59,8 @@ class PersistenceStats:
     undos_logged: int = 0
     bytes_appended: int = 0
     checkpoints_taken: int = 0
+    #: reorg begin/step/end records appended for online epochs.
+    reorg_records: int = 0
     #: what the opening recovery pass found.
     recovery: RecoveryReport | None = field(default=None, repr=False)
 
@@ -150,6 +155,7 @@ class PersistenceManager:
             "wal_bytes": self.wal_bytes,
             "recovery_replayed": report.replayed if report is not None else 0,
             "recovery_skipped": report.skipped if report is not None else 0,
+            "reorg_records": self.stats.reorg_records,
         }
 
     def _emit(self, event) -> None:
@@ -176,6 +182,37 @@ class PersistenceManager:
         self.stats.undos_logged += 1
         self._emit(
             WalAppend(seq=self.seq, kind="undo", bytes=size, synced=self.sync)
+        )
+
+    # -- reorganisation journalling ------------------------------------------
+
+    def _log_reorg(self, payload: dict, kind: str) -> None:
+        assert self._wal is not None
+        size = self._wal.append(payload)
+        self.stats.bytes_appended += size
+        self.stats.reorg_records += 1
+        self._emit(WalAppend(seq=self.seq, kind=kind, bytes=size, synced=self.sync))
+
+    def log_reorg_begin(self, epoch: int, steps: int) -> None:
+        """Journal the opening of an online reorganisation epoch."""
+        self.seq += 1
+        self._log_reorg(
+            encode_reorg_begin_payload(self.seq, epoch, steps), "reorg_begin"
+        )
+
+    def log_reorg_step(self, epoch: int, step: int, instances: list[int]) -> None:
+        """Journal one migration step *before* it is applied (write-ahead)."""
+        self.seq += 1
+        self._log_reorg(
+            encode_reorg_step_payload(self.seq, epoch, step, instances),
+            "reorg_step",
+        )
+
+    def log_reorg_end(self, epoch: int, completed: bool) -> None:
+        """Journal the close of an epoch (completed or abandoned)."""
+        self.seq += 1
+        self._log_reorg(
+            encode_reorg_end_payload(self.seq, epoch, completed), "reorg_end"
         )
 
     # -- checkpointing --------------------------------------------------------

@@ -53,6 +53,12 @@ class RecoveryReport:
     dropped: str | None
     #: bytes truncated off the WAL during repair.
     truncated_bytes: int
+    #: reorganisation migration steps re-applied from the WAL tail (counted
+    #: apart from ``replayed``, which covers commit/undo records only).
+    reorg_steps_replayed: int = 0
+    #: a reorg epoch was open (begun, never ended) when the log stopped; the
+    #: layout is mixed-but-correct and the epoch is considered abandoned.
+    reorg_abandoned: bool = False
 
     @property
     def clean(self) -> bool:
@@ -90,11 +96,33 @@ def recover_database(
     seq = base_seq
     replayed = 0
     skipped = 0
+    reorg_steps_replayed = 0
+    open_reorg_epoch: int | None = None
     max_iid = db._next_iid - 1
     for payload in scan.payloads:
         kind, record_seq, delta = decode_wal_payload(payload)
         if record_seq <= base_seq:
             skipped += 1
+            continue
+        if kind in ("reorg_begin", "reorg_step", "reorg_end"):
+            # Migration steps are replayed through the same deterministic
+            # group move the live driver used; a begin with no matching end
+            # means the crash interrupted the epoch, which recovery abandons
+            # (the layout stays mixed but every instance is placed once).
+            if kind == "reorg_begin":
+                open_reorg_epoch = payload["epoch"]
+            elif kind == "reorg_step":
+                # A checkpoint taken mid-epoch truncates the begin record;
+                # orphan steps still mean the epoch was in flight.
+                open_reorg_epoch = payload["epoch"]
+                db.storage.migrate_group(
+                    payload["instances"],
+                    lambda iid: db.instance(iid).record_size(),
+                )
+                reorg_steps_replayed += 1
+            else:
+                open_reorg_epoch = None
+            seq = record_seq
             continue
         if kind == "commit":
             assert delta is not None
@@ -133,5 +161,7 @@ def recover_database(
         skipped=skipped,
         dropped=scan.dropped,
         truncated_bytes=truncated,
+        reorg_steps_replayed=reorg_steps_replayed,
+        reorg_abandoned=open_reorg_epoch is not None,
     )
     return db, seq, report

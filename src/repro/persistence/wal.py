@@ -66,6 +66,39 @@ def encode_undo_payload(seq: int, delta: Delta) -> dict:
     return {"type": "undo", "seq": seq, "txn_id": delta.txn_id}
 
 
+def encode_reorg_begin_payload(seq: int, epoch: int, steps: int) -> dict:
+    """The WAL payload opening one online reorganisation epoch."""
+    return {"type": "reorg_begin", "seq": seq, "epoch": epoch, "steps": steps}
+
+
+def encode_reorg_step_payload(
+    seq: int, epoch: int, step: int, instances: list[int]
+) -> dict:
+    """One migration step: the planned group about to be moved.
+
+    Written *before* the step runs (write-ahead): replaying the group
+    through the same deterministic migration reproduces the move, and a
+    crash between append and apply merely re-runs a step whose effects were
+    lost with the in-memory layout.
+    """
+    return {
+        "type": "reorg_step",
+        "seq": seq,
+        "epoch": epoch,
+        "step": step,
+        "instances": list(instances),
+    }
+
+
+def encode_reorg_end_payload(seq: int, epoch: int, completed: bool) -> dict:
+    """The WAL payload closing an epoch (completed or abandoned)."""
+    return {"type": "reorg_end", "seq": seq, "epoch": epoch, "completed": completed}
+
+
+#: WAL payload types describing reorganisation epochs rather than deltas.
+REORG_PAYLOAD_TYPES = frozenset({"reorg_begin", "reorg_step", "reorg_end"})
+
+
 def decode_wal_payload(payload: dict) -> tuple[str, int, Delta | None]:
     """Decode one scanned payload to ``(type, seq, delta-or-None)``."""
     kind = payload["type"]
@@ -74,7 +107,7 @@ def decode_wal_payload(payload: dict) -> tuple[str, int, Delta | None]:
         delta = Delta(txn_id=payload["txn_id"], label=payload["label"])
         delta.records.extend(decode_record(r) for r in payload["records"])
         return kind, seq, delta
-    if kind == "undo":
+    if kind == "undo" or kind in REORG_PAYLOAD_TYPES:
         return kind, seq, None
     raise StorageError(f"unknown WAL payload type {kind!r}")
 

@@ -15,6 +15,9 @@ storage stack with countable I/O:
   gateway (``touch``).
 * :mod:`repro.storage.clustering` -- the paper's greedy reorganisation
   algorithm and cluster-time worst-case statistics.
+* :mod:`repro.storage.reorg` -- the online incremental reorganiser that
+  migrates the clustered layout a block at a time instead of
+  stop-the-world.
 """
 
 from repro.storage.block import Block
@@ -32,6 +35,7 @@ from repro.storage.codec import (
 )
 from repro.storage.disk import DEFAULT_BLOCK_CAPACITY, DiskStats, SimulatedDisk
 from repro.storage.manager import StorageManager
+from repro.storage.reorg import ReorgDriver, ReorgEpoch, ReorgStats
 from repro.storage.usage import DecayingAverage, UsageStats
 
 __all__ = [
@@ -42,6 +46,9 @@ __all__ = [
     "DEFAULT_POOL_CAPACITY",
     "DecayingAverage",
     "DiskStats",
+    "ReorgDriver",
+    "ReorgEpoch",
+    "ReorgStats",
     "SimulatedDisk",
     "StorageManager",
     "UsageStats",

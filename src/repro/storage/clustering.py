@@ -76,6 +76,17 @@ def greedy_cluster(
     seed_pos = 0
     layout: list[list[int]] = []
 
+    # Reverse-weight map: crossings observed from the far side of each
+    # connection, folded into one O(E) pass instead of re-walking
+    # ``neighbors(peer)`` on every frontier push.
+    reverse: dict[tuple[int, int], int] = {}
+    for iid in instance_sizes:
+        for port, peer in neighbors(iid):
+            count = usage.crossing_count(iid, port)
+            if count:
+                key = (iid, peer)
+                reverse[key] = reverse.get(key, 0) + count
+
     while unassigned:
         while seeds[seed_pos] not in unassigned:
             seed_pos += 1
@@ -94,8 +105,8 @@ def greedy_cluster(
             for port, peer in neighbors(iid):
                 if peer not in unassigned:
                     continue
-                weight = usage.crossing_count(iid, port) + _reverse_crossings(
-                    usage, peer, iid, neighbors
+                weight = usage.crossing_count(iid, port) + reverse.get(
+                    (peer, iid), 0
                 )
                 counter += 1
                 heapq.heappush(frontier, (-weight, counter, peer))
@@ -117,17 +128,6 @@ def greedy_cluster(
     return layout
 
 
-def _reverse_crossings(
-    usage: UsageStats, peer: int, origin: int, neighbors: NeighborFn
-) -> int:
-    """Crossing count observed from ``peer``'s side of the connection."""
-    total = 0
-    for port, other in neighbors(peer):
-        if other == origin:
-            total += usage.crossing_count(peer, port)
-    return total
-
-
 def worst_case_estimates(
     instance_ids: Iterable[int],
     neighbors: NeighborFn,
@@ -135,19 +135,24 @@ def worst_case_estimates(
 ) -> dict[tuple[int, str], float]:
     """Cluster-time worst-case I/O statistics.
 
-    For each ``(instance, port)``, the number of *distinct blocks* that hold
-    the instances directly connected on that port -- the blocks a traversal
-    crossing the relationship must visit assuming nothing is cached and no
-    attribute is already out of date.  The engine installs these into
-    :class:`~repro.storage.usage.UsageStats` after each reorganisation.
+    For each ``(instance, port)``, the number of *distinct extra blocks* that
+    hold the instances directly connected on that port -- the blocks a
+    traversal crossing the relationship must visit assuming nothing is cached
+    and no attribute is already out of date.  The instance's own home block is
+    excluded: a peer clustered into the same block costs no additional read
+    (the home block is already resident when the traversal starts), so a port
+    whose peers all share the instance's block estimates 0.0.  The engine
+    installs these into :class:`~repro.storage.usage.UsageStats` after each
+    reorganisation.
     """
     estimates: dict[tuple[int, str], float] = {}
     for iid in instance_ids:
+        home = block_of(iid)
         per_port: dict[str, set[int]] = {}
         for port, peer in neighbors(iid):
             per_port.setdefault(port, set()).add(block_of(peer))
         for port, blocks in per_port.items():
-            estimates[(iid, port)] = float(len(blocks))
+            estimates[(iid, port)] = float(len(blocks - {home}))
     return estimates
 
 

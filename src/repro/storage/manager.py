@@ -141,3 +141,61 @@ class StorageManager:
                 block.add(iid, sizes(iid))
                 self._block_of[iid] = block.block_id
             self.reorg_writes += 1
+
+    def migrate_group(
+        self, iids: Iterable[int], sizes: Callable[[int], int]
+    ) -> tuple[int | None, int, int, int]:
+        """Move one planned group into a freshly allocated block.
+
+        The incremental counterpart of :meth:`apply_layout`: instead of
+        tearing the whole database down, one group of instances is pulled out
+        of its current blocks into a new one.  The placement map is updated
+        per instance, emptied source blocks are written back through the
+        buffer pool and released, and surviving source blocks are marked
+        dirty so their shrunken contents reach disk on eviction.
+
+        The step is tolerant of drift between plan time and step time: an
+        instance that was deleted since the plan was taken is skipped, and an
+        instance that grew past the target block's free space stays where it
+        is (the layout remains mixed but correct).  Applying every group of a
+        plan over a quiescent database therefore reaches exactly the
+        partition :meth:`apply_layout` would install.
+
+        Returns ``(target_block_id, moved, skipped, blocks_released)``;
+        ``target_block_id`` is None when nothing moved.
+        """
+        target = None
+        moved = 0
+        skipped = 0
+        released = 0
+        for iid in iids:
+            source_id = self._block_of.get(iid)
+            if source_id is None:
+                skipped += 1  # deleted since the plan was taken
+                continue
+            size = sizes(iid)
+            if target is None:
+                target = self.disk.allocate_block()
+            if source_id == target.block_id or not target.fits(size):
+                skipped += 1  # grew past the target's free space
+                continue
+            source = self.disk.block(source_id)
+            source.remove(iid)
+            target.add(iid, size)
+            self._block_of[iid] = target.block_id
+            moved += 1
+            if source.residents:
+                if self.buffer.is_resident(source_id):
+                    self.buffer.mark_dirty(source_id)
+            else:
+                self.buffer.drop(source_id)  # writes back a dirty frame
+                self.disk.release_block(source_id)
+                if self._fill_block == source_id:
+                    self._fill_block = None
+                released += 1
+        if target is not None:
+            if target.residents:
+                self.reorg_writes += 1
+                return target.block_id, moved, skipped, released
+            self.disk.release_block(target.block_id)
+        return None, moved, skipped, released

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 DEFAULT_DECAY = 0.5
 
@@ -103,8 +104,16 @@ class UsageStats:
     def set_worst_case(self, iid: int, port: str, estimate: float) -> None:
         self.worst_case[(iid, port)] = estimate
 
-    def forget_instance(self, iid: int) -> None:
-        """Drop all statistics mentioning a deleted instance."""
+    def forget_instance(
+        self, iid: int, peer_keys: Iterable[RelKey] = ()
+    ) -> None:
+        """Drop all statistics mentioning a deleted instance.
+
+        ``peer_keys`` names the ``(peer, port)`` ends of the deleted
+        instance's former connections; their crossing counts (and predictors)
+        pointed *at* the deleted instance, so leaving them alive would weight
+        clustering and scheduling decisions with ghost relationships.
+        """
         self.instance_accesses.pop(iid, None)
         for key in [k for k in self.relationship_crossings if k[0] == iid]:
             del self.relationship_crossings[key]
@@ -112,6 +121,19 @@ class UsageStats:
             del self._averages[key]
         for key in [k for k in self.worst_case if k[0] == iid]:
             del self.worst_case[key]
+        for key in peer_keys:
+            self.relationship_crossings.pop(key, None)
+            self._averages.pop(key, None)
+            self.worst_case.pop(key, None)
+
+    def reseed_averages(self) -> None:
+        """Drop decaying averages so predictions re-seed from ``worst_case``.
+
+        Called at reorganisation time: observations accumulated against the
+        previous layout would otherwise keep mispredicting I/O for whole
+        epochs after the blocks they describe are gone.
+        """
+        self._averages.clear()
 
     def reset_counters(self) -> None:
         """Zero access/crossing counters (after a reorganisation epoch)."""

@@ -1,0 +1,214 @@
+"""Crash safety for online reorganisation: the step-boundary matrix.
+
+A deterministic build (C commit appends) is followed by an online epoch
+(1 ``reorg_begin`` + S ``reorg_step`` + 1 ``reorg_end`` appends).  Each
+step is logged write-ahead, so for every k in 0..S a crash after the
+(C+1+k)-th append must recover to:
+
+* the logical state of the full build (migration moves no logical data --
+  fingerprints compare instances, values, connections, history, and
+  deliberately exclude physical placement);
+* the first k plan groups co-located, one block each;
+* a consistent layout (every instance placed once, capacities respected);
+* ``reorg_abandoned`` true -- the epoch never completed.
+
+Placement itself is physical state: a recovered database recomputes
+record sizes without the live run's cached derived values, so block ids
+need not match the live run -- only the clustering the WAL promised.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.persistence.faults import (
+    CrashPoint,
+    crash_after,
+    database_fingerprint,
+)
+from repro.workloads.topologies import build_chain, link, sum_node_schema
+
+SCHEMA = sum_node_schema()
+GEOMETRY = {"block_capacity": 256, "pool_capacity": 4}
+
+
+def build(db):
+    """C = 3 commit appends; accesses train the usage counters for free."""
+    with db.transaction("build"):
+        build_chain(db, 6, weight=2)  # iids 1..6
+    with db.transaction("crosslink"):
+        a = db.create("node", weight=5)  # iid 7
+        link(db, a, 1)
+    with db.transaction("retune"):
+        db.set_attr(1, "weight", 3)
+    for __ in range(4):
+        for iid in (6, 7):
+            db.get_attr(iid, "total")
+
+
+C = 3  # commit appends produced by build()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """A never-crashed epoch: the plan it logged and the logical state."""
+    db = Database.open(
+        str(tmp_path_factory.mktemp("ref") / "db"), SCHEMA, sync=False, **GEOMETRY
+    )
+    build(db)
+    fingerprint = database_fingerprint(db)
+    total6 = db.get_attr(6, "total")
+    epoch = db.reorganize_online()
+    plan = [list(group) for group in epoch.plan]
+    db.reorg.run_to_completion()
+    assert epoch.completed
+    db.close()
+    return {
+        "steps": len(plan),
+        "plan": plan,
+        "fingerprint": fingerprint,
+        "total6": total6,
+    }
+
+
+def partition(db):
+    groups = {}
+    for iid in db.instance_ids():
+        groups.setdefault(db.storage.block_of(iid), set()).add(iid)
+    return {frozenset(g) for g in groups.values()}
+
+
+def assert_layout_consistent(db):
+    seen = set()
+    for block_id, block in db.storage.disk.blocks.items():
+        for iid in block.residents:
+            assert iid not in seen
+            seen.add(iid)
+            assert db.storage.block_of(iid) == block_id
+        assert block.used <= block.capacity
+    assert seen == set(db.instance_ids())
+
+
+def assert_plan_prefix_applied(db, plan, k):
+    """The first k migrated groups each occupy exactly one block."""
+    for group in plan[:k]:
+        blocks = {db.storage.block_of(iid) for iid in group}
+        assert len(blocks) == 1, f"group {group} split across {blocks}"
+
+
+def crashed_epoch(directory, k):
+    """Build, then crash after the k-th reorg append (0 = after begin)."""
+    db = Database.open(
+        str(directory), SCHEMA, sync=False, injector=crash_after(C + 1 + k), **GEOMETRY
+    )
+    with pytest.raises(CrashPoint):
+        build(db)
+        db.reorganize_online()
+        db.reorg.run_to_completion()
+
+
+def recover(directory):
+    db = Database.open(str(directory), SCHEMA, sync=False, **GEOMETRY)
+    return db, db.persistence.stats.recovery
+
+
+class TestStepBoundaryMatrix:
+    def test_crash_at_every_step_boundary(self, tmp_path, reference):
+        steps = reference["steps"]
+        assert steps >= 2, "workload too small to exercise the matrix"
+        for k in range(steps + 1):
+            directory = tmp_path / f"crash-{k}"
+            crashed_epoch(directory, k)
+            db, report = recover(directory)
+            ctx = f"crash after reorg append {k}"
+            assert database_fingerprint(db) == reference["fingerprint"], ctx
+            assert_layout_consistent(db)
+            assert_plan_prefix_applied(db, reference["plan"], k)
+            assert report.replayed == C, ctx
+            assert report.reorg_steps_replayed == k, ctx
+            assert report.reorg_abandoned, ctx
+            # Readable: derived values survive the mixed layout.
+            assert db.get_attr(6, "total") == reference["total6"], ctx
+            db.close()
+
+    def test_full_epoch_lands_exactly_on_the_plan(self, tmp_path, reference):
+        # Crash after the reorg_end append: every step is durable and the
+        # recovered partition is precisely the planned clustering.
+        steps = reference["steps"]
+        crashed_epoch(tmp_path / "db", steps + 1)
+        db, report = recover(tmp_path / "db")
+        assert database_fingerprint(db) == reference["fingerprint"]
+        assert partition(db) == {frozenset(g) for g in reference["plan"]}
+        assert report.reorg_steps_replayed == steps
+        assert not report.reorg_abandoned
+        db.close()
+
+    def test_new_epoch_after_abandoned_recovery(self, tmp_path, reference):
+        # The interrupted epoch does not resume; a fresh one re-plans and
+        # finishes the job from the mixed layout.
+        crashed_epoch(tmp_path / "db", 1)
+        db, report = recover(tmp_path / "db")
+        assert report.reorg_abandoned
+        epoch = db.reorganize_online()
+        db.reorg.run_to_completion()
+        assert epoch.completed
+        assert_layout_consistent(db)
+        db.close()
+
+    def test_recovery_is_idempotent(self, tmp_path, reference):
+        crashed_epoch(tmp_path / "db", 2)
+        db1, __ = recover(tmp_path / "db")
+        first = partition(db1)
+        db1.close()
+        db2, report2 = recover(tmp_path / "db")
+        assert partition(db2) == first
+        assert report2.reorg_steps_replayed == 2
+        db2.close()
+
+
+class TestCheckpointMidEpoch:
+    def test_checkpoint_folds_mixed_layout_into_image(self, tmp_path, reference):
+        db = Database.open(str(tmp_path / "db"), SCHEMA, sync=False, **GEOMETRY)
+        build(db)
+        db.reorganize_online()
+        db.reorg.step()
+        db.reorg.step()
+        db.checkpoint()  # mixed placement lands in the image; WAL truncates
+        live = partition(db)
+        db.close()  # "crash" here: the epoch never finished
+        recovered, report = recover(tmp_path / "db")
+        # The image stores per-instance placement, so the mixed layout is
+        # restored exactly -- nothing to replay.
+        assert partition(recovered) == live
+        assert database_fingerprint(recovered) == reference["fingerprint"]
+        assert report.reorg_steps_replayed == 0
+        assert_layout_consistent(recovered)
+        recovered.close()
+
+    def test_steps_after_checkpoint_replay_on_restored_layout(
+        self, tmp_path, reference
+    ):
+        steps = reference["steps"]
+        db = Database.open(
+            str(tmp_path / "db"),
+            SCHEMA,
+            sync=False,
+            injector=crash_after(C + 1 + steps),  # append count survives truncation
+            **GEOMETRY,
+        )
+        build(db)
+        db.reorganize_online()
+        plan = [list(group) for group in db.reorg.epoch.plan]
+        db.reorg.step()
+        db.checkpoint()
+        with pytest.raises(CrashPoint):
+            db.reorg.run_to_completion()
+        recovered, report = recover(tmp_path / "db")
+        # Steps 2..S sit in the WAL tail; step 1 came from the image.
+        # Orphan step records (their begin was truncated away) still mark
+        # the epoch as in flight.
+        assert report.reorg_steps_replayed == steps - 1
+        assert report.reorg_abandoned
+        assert_layout_consistent(recovered)
+        assert_plan_prefix_applied(recovered, plan, steps)
+        assert database_fingerprint(recovered) == reference["fingerprint"]
+        recovered.close()

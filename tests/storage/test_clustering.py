@@ -112,3 +112,24 @@ class TestWorstCaseEstimates:
         block_of = {1: 0, 2: 1, 3: 2}.__getitem__
         estimates = worst_case_estimates([1], lambda i: adjacency.get(i, []), block_of)
         assert estimates[(1, "p")] == 2.0
+
+    def test_home_block_excluded(self):
+        # Regression: a port whose peers all share the instance's own block
+        # costs no extra I/O -- the home block is already resident when the
+        # traversal starts.  The old code counted it and returned 1.0,
+        # making the scheduler over-prioritise crossings that are free.
+        adjacency = {1: [("p", 2), ("p", 3)], 2: [("p", 1)], 3: [("p", 1)]}
+        block_of = {1: 0, 2: 0, 3: 0}.__getitem__
+        estimates = worst_case_estimates(
+            [1, 2, 3], lambda i: adjacency.get(i, []), block_of
+        )
+        assert estimates[(1, "p")] == 0.0
+        assert estimates[(2, "p")] == 0.0
+
+    def test_home_block_excluded_among_remote_peers(self):
+        # One co-resident peer and one remote peer: only the remote block
+        # counts toward the estimate.
+        adjacency = {1: [("p", 2), ("p", 3)]}
+        block_of = {1: 0, 2: 0, 3: 1}.__getitem__
+        estimates = worst_case_estimates([1], lambda i: adjacency.get(i, []), block_of)
+        assert estimates[(1, "p")] == 1.0

@@ -157,6 +157,28 @@ class TestUsageStats:
         assert usage.crossing_count(1, "p") == 0
         assert usage.expected_io(1, "p") == usage.default_worst_case
 
+    def test_forget_instance_clears_peer_ghosts(self):
+        # Regression: deleting instance 2 must also drop the *peers'*
+        # statistics pointing at it, or greedy_cluster keeps weighing seed
+        # order and frontier pushes with relationships that no longer exist.
+        usage = UsageStats()
+        usage.note_crossing(1, "to2")
+        usage.observe_io(1, "to2", 3.0)
+        usage.set_worst_case(1, "to2", 2.0)
+        usage.note_crossing(2, "to1")
+        usage.forget_instance(2, peer_keys=[(1, "to2")])
+        assert usage.crossing_count(2, "to1") == 0
+        assert usage.crossing_count(1, "to2") == 0
+        assert usage.expected_io(1, "to2") == usage.default_worst_case
+
+    def test_reseed_averages_falls_back_to_worst_case(self):
+        usage = UsageStats(decay=0.5)
+        usage.set_worst_case(1, "p", 8.0)
+        usage.observe_io(1, "p", 0.0)
+        assert usage.expected_io(1, "p") == 4.0
+        usage.reseed_averages()
+        assert usage.expected_io(1, "p") == 8.0
+
     def test_reset_counters_keeps_predictors(self):
         usage = UsageStats()
         usage.note_instance_access(1)

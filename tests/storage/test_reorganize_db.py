@@ -5,6 +5,7 @@ import pytest
 from repro.core.database import Database
 from repro.workloads import (
     build_software_project,
+    link,
     skewed_access_pattern,
     sum_node_schema,
 )
@@ -86,3 +87,46 @@ class TestReorganize:
     def test_reorganize_empty_database(self):
         db = Database(sum_node_schema())
         assert db.reorganize() == []
+
+    def test_reorganize_reseeds_decaying_averages(self):
+        # Regression: averages observed against the *previous* layout must
+        # not survive a reorganisation -- expected_io has to track the new
+        # blocks, which the freshly computed worst-case estimates describe.
+        db = Database(sum_node_schema(), block_capacity=512, pool_capacity=4)
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+        link(db, a, b)
+        db.usage.observe_io(b, "inputs", 9.0)
+        assert db.usage.expected_io(b, "inputs") != db.usage.worst_case_io(
+            b, "inputs"
+        )
+        db.reorganize()
+        # Both nodes fit one block, so the new worst case is 0 extra reads
+        # and the stale 9.0-seeded average is gone.
+        assert db.usage.worst_case_io(b, "inputs") == 0.0
+        assert db.usage.expected_io(b, "inputs") == 0.0
+
+
+class TestDeleteForgetsGhostWeights:
+    def test_delete_clears_peer_crossing_counts(self):
+        # Regression: deleting an instance left its peers' crossing counts
+        # toward it alive, feeding greedy_cluster ghost weights.
+        db = Database(sum_node_schema())
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+        link(db, a, b)
+        db.usage.note_crossing(a, "outputs")
+        db.usage.note_crossing(b, "inputs")
+        db.delete(b)
+        assert db.usage.crossing_count(b, "inputs") == 0
+        assert db.usage.crossing_count(a, "outputs") == 0
+
+    def test_delete_clears_peer_predictors(self):
+        db = Database(sum_node_schema())
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+        link(db, a, b)
+        db.usage.observe_io(a, "outputs", 5.0)
+        db.usage.set_worst_case(a, "outputs", 5.0)
+        db.delete(b)
+        assert db.usage.expected_io(a, "outputs") == db.usage.default_worst_case

@@ -1,0 +1,68 @@
+"""docs/STORAGE.md must stay truthful about the names it cites.
+
+Unlike docs/OBSERVABILITY.md (the exhaustive reference, held to the
+registries by tests/obs/test_docs.py), STORAGE.md is narrative -- but every
+metric, event type, and WAL payload kind it mentions must exist, and the
+``reorg`` metric namespace it owns must be covered completely.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.core.database import Database
+from repro.obs.events import EVENT_TYPES
+from repro.persistence.wal import REORG_PAYLOAD_TYPES
+from repro.workloads import sum_node_schema
+
+DOC = pathlib.Path(__file__).parent.parent.parent / "docs" / "STORAGE.md"
+# Backticked dotted names in the namespaces this doc talks about.
+METRIC_REF = re.compile(r"`((?:reorg|wal|scheduler|latency)\.[a-z_.]+)`")
+# `reorg_begin`/`reorg_end` in prose are WAL payload kinds, not events.
+EVENT_REF = re.compile(r"`(reorg_epoch_start|reorg_step|reorg_epoch_end)`")
+PAYLOAD_KIND = re.compile(r"\"type\": \"(\w+)\"")
+
+
+def live_metrics() -> set[str]:
+    return set(Database(sum_node_schema()).metrics().flatten())
+
+
+def test_every_cited_metric_is_live():
+    live = live_metrics()
+    for name in METRIC_REF.findall(DOC.read_text()):
+        # Timer families are cited by prefix (`latency.reorg_step` stands
+        # for its .count/.mean/... children).
+        resolves = name in live or any(m.startswith(name + ".") for m in live)
+        assert resolves, f"STORAGE.md cites unknown metric {name!r}"
+
+
+def test_reorg_namespace_fully_documented():
+    text = DOC.read_text()
+    reorg_metrics = {m for m in live_metrics() if m.startswith("reorg.")}
+    cited = set(METRIC_REF.findall(text))
+    assert reorg_metrics <= cited, (
+        f"reorg metrics missing from STORAGE.md: {sorted(reorg_metrics - cited)}"
+    )
+
+
+def test_every_cited_event_type_is_live():
+    cited = set(EVENT_REF.findall(DOC.read_text()))
+    live_reorg_events = {t for t in EVENT_TYPES if t.startswith("reorg")}
+    assert cited == live_reorg_events, (
+        f"STORAGE.md events {sorted(cited)} != live {sorted(live_reorg_events)}"
+    )
+
+
+def test_wal_payload_kinds_match_registry():
+    kinds = set(PAYLOAD_KIND.findall(DOC.read_text()))
+    assert kinds == set(REORG_PAYLOAD_TYPES), (
+        f"STORAGE.md WAL examples {sorted(kinds)} != "
+        f"registry {sorted(REORG_PAYLOAD_TYPES)}"
+    )
+
+
+def test_cited_test_and_bench_files_exist():
+    root = DOC.parent.parent
+    for rel in re.findall(r"`((?:tests|benchmarks)/[\w/]+\.py)`", DOC.read_text()):
+        assert (root / rel).exists(), f"STORAGE.md cites missing file {rel}"
