@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check reorg-check clean
+.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check reorg-check compile-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,10 @@ reorg-check: ## online-reorg crash matrix + docs cross-check + benchmark smoke
 		tests/storage/test_storage_docs.py -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_reorg.py --benchmark-only -q
 
+compile-check: ## codegen/slot-plan contract: unit + property + doc tests, A/B benchmark
+	PYTHONPATH=src python -m pytest tests/compile -q
+	PYTHONPATH=src python -m pytest benchmarks/bench_compile.py --benchmark-only -q
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	$(MAKE) lint-schema
@@ -40,6 +44,7 @@ ci: ## what .github/workflows/ci.yml runs
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest tests/persistence -q
 	$(MAKE) reorg-check
+	$(MAKE) compile-check
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

@@ -1,0 +1,122 @@
+"""The freeze-time compilation pass: compile once, serve many.
+
+``Schema.freeze`` calls :func:`compile_frozen_schema` after validation.
+The pass walks every resolved rule plus the raw constraint and
+subtype-membership predicates and swaps each DSL-interpreted body
+(:class:`~repro.dsl.compiler._RuleInterpreter`, possibly behind the
+``_booleanize`` predicate wrapper) for a
+:class:`~repro.compile.codegen.CompiledBody` -- a specialized closure
+produced by :mod:`repro.compile.codegen`.  Hand-written Python bodies are
+left untouched (counted as ``native_bodies``); bodies the generator
+declines stay on the interpreter (counted as ``fallbacks``).
+
+The second compilation product -- the flattened per-class slot plan the
+evaluation engine's inner loops iterate -- lives in
+:mod:`repro.compile.slotplan` and is built lazily per instance shape by
+the :class:`~repro.compile.slotplan.SlotPlanCache` a
+:class:`~repro.core.database.Database` owns.
+
+Setting ``REPRO_NO_COMPILE=1`` in the environment disables both products:
+rules keep their interpreters and the engine walks the classic
+string-keyed dependency graph.  The A/B is observable -- see the
+``compile.*`` section of ``docs/OBSERVABILITY.md`` -- and exercised by
+``benchmarks/bench_compile.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.compile.codegen import CompiledBody, code_cache_size, compile_interpreter
+from repro.dsl.compiler import _RuleInterpreter
+
+__all__ = [
+    "COMPILE_DISABLED_ENV",
+    "CompiledBody",
+    "code_cache_size",
+    "compile_enabled",
+    "compile_frozen_schema",
+]
+
+#: set (to any non-empty value) to run the interpreter end to end.
+COMPILE_DISABLED_ENV = "REPRO_NO_COMPILE"
+
+
+def compile_enabled() -> bool:
+    return not os.environ.get(COMPILE_DISABLED_ENV)
+
+
+def _classify(body: Any) -> tuple[_RuleInterpreter | None, bool] | None:
+    """(interpreter, bool_mode) for a compilable body; None otherwise."""
+    if isinstance(body, CompiledBody):
+        return None  # already compiled (idempotent across re-freezes)
+    if isinstance(body, _RuleInterpreter):
+        return body, False
+    wrapped = getattr(body, "__wrapped__", None)
+    if isinstance(wrapped, _RuleInterpreter):
+        # The _booleanize predicate wrapper: compile in bool mode so the
+        # closure coerces its result exactly as the wrapper did.
+        return wrapped, True
+    return None
+
+
+def _compile_attr(holder: Any, attr: str, inputs: Any, stats: dict) -> None:
+    body = getattr(holder, attr)
+    classified = _classify(body)
+    if classified is None:
+        if not isinstance(body, CompiledBody):
+            stats["native_bodies"] += 1
+        return
+    interp, bool_mode = classified
+    compiled = compile_interpreter(interp, inputs, bool_mode, stats)
+    if compiled is None:
+        return  # declined; fallback already counted
+    object.__setattr__(holder, attr, compiled)
+    stats["rules_compiled"] += 1
+
+
+def compile_frozen_schema(schema: Any) -> dict[str, Any]:
+    """Compile every rule body reachable from a just-frozen schema.
+
+    Returns the compile stats (also stored by the caller as
+    ``schema.compile_stats``).  Event counters (``rules_compiled``,
+    ``cache_hits``, ``code_objects``, ``compile_seconds``) accumulate
+    across re-freezes -- dynamic schema extension triggers another pass
+    over the (mostly already-compiled) rule set.  ``native_bodies`` and
+    ``fallbacks`` are gauges recomputed per pass: still-interpreted bodies
+    are re-walked every freeze, so accumulating them would double-count.
+    """
+    prev = getattr(schema, "compile_stats", None) or {}
+    stats: dict[str, Any] = {
+        "enabled": compile_enabled(),
+        "rules_compiled": prev.get("rules_compiled", 0),
+        "cache_hits": prev.get("cache_hits", 0),
+        "code_objects": prev.get("code_objects", 0),
+        "fallbacks": 0,
+        "native_bodies": 0,
+        "compile_seconds": prev.get("compile_seconds", 0.0),
+    }
+    if not stats["enabled"]:
+        return stats
+    started = time.perf_counter()
+    seen: set[int] = set()
+    for resolved in schema._resolved.values():
+        for rule in resolved.rules:
+            if id(rule) in seen:
+                continue  # inherited Rule objects are shared across classes
+            seen.add(id(rule))
+            _compile_attr(rule, "body", rule.inputs, stats)
+    # The raw constraint / membership predicates feed the *next* freeze's
+    # synthetic rules (Constraint.as_rule wraps self.predicate) and the
+    # recovery re-check path, so compile them at the source too.
+    for cls in schema.classes.values():
+        for constraint in cls.constraints:
+            _compile_attr(constraint, "predicate", constraint.inputs, stats)
+        if cls.predicate is not None:
+            _compile_attr(
+                cls.predicate, "predicate", cls.predicate.inputs, stats
+            )
+    stats["compile_seconds"] += time.perf_counter() - started
+    return stats

@@ -1,0 +1,400 @@
+"""Rule-body codegen: DSL ASTs -> specialized Python closures.
+
+The DSL pipeline compiles each rule body into a :class:`_RuleInterpreter`,
+a tree-walking evaluator that re-dispatches on AST node types for every
+evaluation.  That interpreter stays the *semantic reference*; this module
+adds a second backend that emits the equivalent Python source once, at
+``Schema.freeze`` time, and ``compile()``+``exec``s it into a closure
+taking the rule's declared inputs as positional arguments.
+
+Canonicalization makes the emitted source structure-only: parameters are
+named ``a0..aN`` in declared-input order, block-local variables ``v0..vM``
+in first-occurrence order, loop indices ``_i<depth>``, and every
+environment object (registered functions, non-literal constants) is hoisted
+into a numbered global slot.  Two structurally identical rule bodies --
+across classes, subtypes, or repeated constraint resolution -- therefore
+emit byte-identical source, and the module-level cache keyed on
+``(source, environment object identities)`` lets them share one code
+object.
+
+Semantics are mirrored from the interpreter exactly:
+
+* ``/`` is integer division when both operands are ints (``_div``);
+* ``and`` / ``or`` booleanize both sides and short-circuit;
+* ``For Each`` iterates ``len()`` of a received list for the port;
+* a variable read on a path that skipped every assignment resolves to the
+  local-attribute input, then a named constant, then raises
+  :class:`DslRuntimeError` -- emulated by a prologue that pre-binds every
+  assigned name to its fallback (or an ``_UNBOUND`` sentinel checked on
+  read);
+* a block falling off the end without ``return`` raises
+  :class:`DslRuntimeError` ("... without a return statement").
+
+Bodies the generator cannot prove equivalent (a ``For Each`` variable
+shadowing an enclosing loop variable, a ``var`` declaration with an
+unregistered atom type) are *declined*: the rule keeps its interpreter and
+the compile pass counts a fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.dsl import ast
+from repro.dsl.compiler import _kw_local, _kw_received, _RuleInterpreter
+from repro.errors import DslRuntimeError
+
+
+class _UnboundType:
+    """Sentinel for a block-local variable no path has assigned yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unbound>"
+
+
+_UNBOUND = _UnboundType()
+
+
+def _div(left: Any, right: Any) -> Any:
+    """DSL division: C-style integer division when both operands are ints."""
+    if isinstance(left, int) and isinstance(right, int):
+        return left // right
+    return left / right
+
+
+def _chk(value: Any, name: str) -> Any:
+    """Guard a read of a maybe-unassigned variable (interpreter parity)."""
+    if value is _UNBOUND:
+        raise DslRuntimeError(f"unbound name {name!r}")
+    return value
+
+
+def _bare(name: str) -> Any:
+    """A loop variable used bare is a runtime error, as in the interpreter."""
+    raise DslRuntimeError(
+        f"loop variable {name!r} used bare; reference a transmitted "
+        f"value as {name}.<value>"
+    )
+
+
+def _no_return() -> DslRuntimeError:
+    return DslRuntimeError("rule body finished without a return statement")
+
+
+_BASE_GLOBALS = {
+    "_div": _div,
+    "_chk": _chk,
+    "_bare": _bare,
+    "_no_return": _no_return,
+    "_UNBOUND": _UNBOUND,
+}
+
+_SOURCE_NAME = "<repro.compile rule>"
+
+#: canonical source + env-object identities -> compiled positional function.
+#: Entries hold strong references to their environment objects, so the
+#: ``id()``-based portion of the key can never alias a live entry.
+_CODE_CACHE: dict[tuple, Any] = {}
+
+
+def code_cache_size() -> int:
+    return len(_CODE_CACHE)
+
+
+class Unsupported(Exception):
+    """Raised when a body must stay on the interpreter (counted as fallback)."""
+
+
+class CompiledBody:
+    """A compiled rule body: positional fast path plus a kwargs adapter.
+
+    ``fn`` is the specialized closure taking the declared inputs as
+    positional arguments in ``kwnames`` order -- the evaluation engine's
+    slot plan calls it directly.  Calling the object itself keeps the
+    ``body(**kwargs)`` contract every existing caller (and hand-written
+    rule) uses.  ``__wrapped__`` keeps the original interpreter reachable
+    for the printer, the static analyzer, and equivalence tests.
+    """
+
+    __slots__ = ("fn", "kwnames", "source", "__wrapped__", "__name__")
+
+    #: engine hint: ``fn`` may be called positionally in kwnames order.
+    positional = True
+
+    def __init__(
+        self, fn: Any, kwnames: tuple[str, ...], source: str, interpreter: Any
+    ) -> None:
+        self.fn = fn
+        self.kwnames = kwnames
+        self.source = source
+        self.__wrapped__ = interpreter
+        self.__name__ = getattr(interpreter, "__name__", "dsl_rule")
+
+    def __call__(self, **kwargs: Any) -> Any:
+        try:
+            args = [kwargs[name] for name in self.kwnames]
+        except KeyError as exc:
+            raise DslRuntimeError(
+                f"missing rule input {exc.args[0]!r}"
+            ) from None
+        return self.fn(*args)
+
+
+class _Codegen:
+    """One body's emission pass: AST -> canonical source + env slots."""
+
+    def __init__(
+        self,
+        interp: _RuleInterpreter,
+        inputs: Mapping[str, Any],
+        bool_mode: bool,
+    ) -> None:
+        self.interp = interp
+        self.compiler = interp.compiler
+        self.analysis = interp.analysis
+        self.bool_mode = bool_mode
+        self.kwnames = tuple(inputs)
+        self.param_of = {kw: f"a{i}" for i, kw in enumerate(self.kwnames)}
+        self.env_objects: list[Any] = []
+        self.env_index: dict[int, str] = {}
+        self.vars: dict[str, str] = {}
+        self.guarded: set[str] = set()
+        self.lines: list[str] = []
+        self.depth = 1
+
+    # -- emission helpers --------------------------------------------------
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def _env_ref(self, obj: Any) -> str:
+        """A numbered global slot for an environment object (by identity)."""
+        name = self.env_index.get(id(obj))
+        if name is None:
+            name = f"_g{len(self.env_objects)}"
+            self.env_index[id(obj)] = name
+            self.env_objects.append(obj)
+        return name
+
+    def _const_expr(self, value: Any) -> str:
+        """Inline literal constants; hoist anything else into an env slot."""
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return repr(value)
+        return self._env_ref(value)
+
+    # -- variable prologue -------------------------------------------------
+
+    def _collect_vars(self, stmts: list) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+                if stmt.name not in self.vars:
+                    self.vars[stmt.name] = f"v{len(self.vars)}"
+            elif isinstance(stmt, ast.ForEach):
+                self._collect_vars(stmt.body)
+            elif isinstance(stmt, ast.If):
+                self._collect_vars(stmt.then_body)
+                self._collect_vars(stmt.else_body)
+
+    def _emit_prologue(self) -> None:
+        """Pre-bind every assigned name to what an unassigned read yields.
+
+        The interpreter resolves a name through vars -> local-attribute
+        kwargs -> constants at each read; binding the fallback up front
+        (or ``_UNBOUND`` when there is none) reproduces that resolution
+        for reads on paths that skipped every assignment.
+        """
+        for name, pyname in self.vars.items():
+            kw = _kw_local(name)
+            if kw in self.param_of:
+                self._line(f"{pyname} = {self.param_of[kw]}")
+            elif name in self.compiler.constants:
+                value = self._const_expr(self.compiler.constants[name])
+                self._line(f"{pyname} = {value}")
+            else:
+                self._line(f"{pyname} = _UNBOUND")
+                self.guarded.add(name)
+
+    # -- statements --------------------------------------------------------
+
+    def _emit_stmts(self, stmts: list, loops: dict[str, tuple[str, int]]) -> None:
+        if not stmts:
+            self._line("pass")
+            return
+        for stmt in stmts:
+            self._emit_stmt(stmt, loops)
+
+    def _emit_stmt(self, stmt: ast.Stmt, loops: dict[str, tuple[str, int]]) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            atoms = self.compiler.schema.atoms
+            if stmt.type_name not in atoms:
+                # The interpreter fails lazily at execution; keep it.
+                raise Unsupported(f"unknown var type {stmt.type_name!r}")
+            zero = self._const_expr(atoms.get(stmt.type_name).default)
+            self._line(f"{self.vars[stmt.name]} = {zero}")
+        elif isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.value, loops)
+            self._line(f"{self.vars[stmt.name]} = {value}")
+        elif isinstance(stmt, ast.ForEach):
+            if stmt.var in loops:
+                # The interpreter's loop teardown *pops* the variable, so
+                # the outer binding would be lost after the inner loop --
+                # lexical codegen cannot reproduce that; decline.
+                raise Unsupported(f"loop variable {stmt.var!r} shadows a loop")
+            count = self._loop_count_param(stmt.port)
+            depth = len(loops)
+            self._line(f"for _i{depth} in range(len({count})):")
+            inner = dict(loops)
+            inner[stmt.var] = (stmt.port, depth)
+            self.depth += 1
+            self._emit_stmts(stmt.body, inner)
+            self.depth -= 1
+        elif isinstance(stmt, ast.If):
+            self._line(f"if {self._expr(stmt.cond, loops)}:")
+            self.depth += 1
+            self._emit_stmts(stmt.then_body, loops)
+            self.depth -= 1
+            if stmt.else_body:
+                self._line("else:")
+                self.depth += 1
+                self._emit_stmts(stmt.else_body, loops)
+                self.depth -= 1
+        elif isinstance(stmt, ast.Return):
+            self._line(f"return {self._result(stmt.value, loops)}")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._line(self._expr(stmt.value, loops))
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise Unsupported(f"unknown statement {stmt!r}")
+
+    def _loop_count_param(self, port: str) -> str:
+        """The received list whose length drives a ``For Each`` over ``port``.
+
+        Every received list for a port has one element per connection, so
+        any of them works; the smallest value name keeps emission canonical.
+        """
+        values = sorted(
+            value for (p, value) in self.analysis.received_final if p == port
+        )
+        if not values:  # pragma: no cover - build_inputs guarantees one
+            raise Unsupported(f"no received list for port {port!r}")
+        return self.param_of[_kw_received(port, values[0])]
+
+    # -- expressions -------------------------------------------------------
+
+    def _result(self, expr: ast.Expr, loops: dict[str, tuple[str, int]]) -> str:
+        text = self._expr(expr, loops)
+        return f"bool({text})" if self.bool_mode else text
+
+    def _expr(self, expr: ast.Expr, loops: dict[str, tuple[str, int]]) -> str:
+        if isinstance(expr, ast.Literal):
+            return self._const_expr(expr.value)
+        if isinstance(expr, ast.Name):
+            return self._name(expr, loops)
+        if isinstance(expr, ast.FieldRef):
+            return self._field(expr, loops)
+        if isinstance(expr, ast.Call):
+            fn = self.compiler.functions.get(expr.fn)
+            if fn is None:
+                raise Unsupported(f"unknown function {expr.fn!r}")
+            args = ", ".join(self._expr(arg, loops) for arg in expr.args)
+            return f"{self._env_ref(fn)}({args})"
+        if isinstance(expr, ast.Unary):
+            operand = self._expr(expr.operand, loops)
+            return f"(not {operand})" if expr.op == "not" else f"(- {operand})"
+        if isinstance(expr, ast.Binary):
+            left = self._expr(expr.left, loops)
+            right = self._expr(expr.right, loops)
+            op = expr.op
+            if op in ("and", "or"):
+                return f"(bool({left}) {op} bool({right}))"
+            if op == "/":
+                return f"_div({left}, {right})"
+            if op in ("+", "-", "*", "%", "==", "!=", "<", "<=", ">", ">="):
+                return f"({left} {op} {right})"
+            raise Unsupported(f"unknown operator {op!r}")
+        raise Unsupported(f"unknown expression {expr!r}")
+
+    def _name(self, expr: ast.Name, loops: dict[str, tuple[str, int]]) -> str:
+        ident = expr.ident
+        if ident in loops:
+            return f"_bare({ident!r})"
+        if ident in self.vars:
+            pyname = self.vars[ident]
+            if ident in self.guarded:
+                # The guard names the canonical register, not the source
+                # variable: embedding the user name would make otherwise
+                # structurally identical bodies emit different source and
+                # defeat code-object sharing.  (The interpreter's message
+                # cites the source name and line; both say "unbound name".)
+                return f"_chk({pyname}, {pyname!r})"
+            return pyname
+        param = self.param_of.get(_kw_local(ident))
+        if param is not None:
+            return param
+        if ident in self.compiler.constants:
+            return self._const_expr(self.compiler.constants[ident])
+        raise Unsupported(f"unresolvable name {ident!r}")
+
+    def _field(self, expr: ast.FieldRef, loops: dict[str, tuple[str, int]]) -> str:
+        base = expr.base
+        if base in loops:
+            port, depth = loops[base]
+            param = self.param_of.get(_kw_received(port, expr.field_name))
+            if param is None:
+                raise Unsupported(f"unresolvable field {base}.{expr.field_name}")
+            return f"{param}[_i{depth}]"
+        param = self.param_of.get(_kw_received(base, expr.field_name))
+        if param is None:
+            raise Unsupported(f"unresolvable field {base}.{expr.field_name}")
+        return param
+
+    # -- assembly ----------------------------------------------------------
+
+    def build(self) -> tuple[str, list[Any]]:
+        body = self.interp.body
+        if isinstance(body, ast.Block):
+            self._collect_vars(body.body)
+            self._emit_prologue()
+            self._emit_stmts(body.body, {})
+            self._line("raise _no_return()")
+        else:
+            self._line(f"return {self._result(body, {})}")
+        params = ", ".join(f"a{i}" for i in range(len(self.kwnames)))
+        source = f"def _rule({params}):\n" + "\n".join(self.lines) + "\n"
+        return source, self.env_objects
+
+
+def compile_interpreter(
+    interp: _RuleInterpreter,
+    inputs: Mapping[str, Any],
+    bool_mode: bool,
+    stats: dict[str, Any],
+) -> CompiledBody | None:
+    """Compile one interpreter body; None means "keep the interpreter".
+
+    Updates ``stats`` in place: ``cache_hits`` when the canonical source
+    (plus its environment objects) already has a code object,
+    ``code_objects`` when a new one is exec'd, ``fallbacks`` when the body
+    is declined.
+    """
+    try:
+        source, env = _Codegen(interp, inputs, bool_mode).build()
+    except Unsupported:
+        stats["fallbacks"] += 1
+        return None
+    key = (source, tuple(map(id, env)))
+    fn = _CODE_CACHE.get(key)
+    if fn is None:
+        namespace = dict(_BASE_GLOBALS)
+        namespace.update((f"_g{i}", obj) for i, obj in enumerate(env))
+        # Keep the env objects alive alongside the code object so the
+        # id()-based key can never alias a freed object.
+        namespace["__repro_env__"] = tuple(env)
+        exec(compile(source, _SOURCE_NAME, "exec"), namespace)  # noqa: S102
+        fn = namespace["_rule"]
+        _CODE_CACHE[key] = fn
+        stats["code_objects"] += 1
+    else:
+        stats["cache_hits"] += 1
+    return CompiledBody(fn, tuple(inputs), source, interp)

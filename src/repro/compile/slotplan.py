@@ -1,0 +1,302 @@
+"""Flattened per-class slot plans: the engine's index-based hot path.
+
+The incremental evaluator's unit of work is the slot ``(iid, name)``.  The
+classic engine resolves everything about a slot -- does it carry a rule,
+which slots depend on it, which port a name crosses -- through string-keyed
+dict lookups and name re-parsing, per visit.  A :class:`SlotPlan` does all
+of that once per *instance shape* (class + active predicate subtypes,
+exactly the key :meth:`Database._effective_key` already uses):
+
+* every slot name of the shape gets a dense integer id (``sid``);
+* per-sid arrays carry the rule, the compiled executor, the special role
+  (constraint / subtype membership), the slot kind, and -- for transmit
+  slots -- the pre-split port and value names (satellite of ISSUE 6: no
+  ``str.partition`` inside a wave);
+* the *local* dependency edges (attribute -> dependent rule targets within
+  one instance) are index arrays, ``sid -> tuple of dependent sids``;
+* the *port-crossing* edges are a ``(receive_port, value) -> tuple of
+  consumer sids`` table; the producer walks its live connections and joins
+  against the peer shape's table, which also yields the crossing port with
+  no :meth:`receive_port_between` search;
+* per-sid binding specs rebuild the engine's ``DepBinding`` list from the
+  live connection table without consulting the rule map.
+
+Plans are immutable and shared: the :class:`SlotPlanCache` keyed on the
+effective-shape key hands the same plan to every instance of a shape, with
+a per-iid memo in front.  Membership flips and deletions invalidate the
+memo entry (the shape key changes); schema extension clears everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compile.codegen import CompiledBody
+from repro.core.rules import (
+    Local,
+    Received,
+    Rule,
+    SelfRef,
+    is_constraint_attr,
+    is_subtype_attr,
+)
+from repro.core.slots import is_transmit_name, split_transmit_name, transmit_name
+from repro.evaluation.host import DepBinding
+
+# special roles (plan.special)
+PLAIN = 0
+CONSTRAINT = 1
+SUBTYPE = 2
+
+# slot kinds (plan.kind)
+ATTR = 0
+TRANSMIT = 1
+
+# binding-spec tags
+_B_LOCAL = 0
+_B_RECEIVED = 1
+_B_SELF = 2
+
+
+class RuleExec:
+    """How to invoke one slot's rule body from the engine's inner loop."""
+
+    __slots__ = ("fn", "positional", "special")
+
+    def __init__(self, fn: Any, positional: bool, special: int) -> None:
+        self.fn = fn
+        self.positional = positional
+        self.special = special
+
+
+class SlotPlan:
+    """The flattened structure of one instance shape.  Immutable once built."""
+
+    __slots__ = (
+        "class_name",
+        "names",
+        "index",
+        "rules",
+        "execs",
+        "special",
+        "kind",
+        "port_of",
+        "value_of",
+        "local_dependents",
+        "receivers",
+        "binding_specs",
+        "flow_defaults",
+    )
+
+    def __init__(self) -> None:
+        self.class_name: str = ""
+        #: sid -> slot name (the only translation back to string space).
+        self.names: list[str] = []
+        #: slot name -> sid.
+        self.index: dict[str, int] = {}
+        #: sid -> Rule or None (intrinsic slots carry no rule).
+        self.rules: list[Rule | None] = []
+        #: sid -> RuleExec or None.
+        self.execs: list[RuleExec | None] = []
+        #: sid -> PLAIN | CONSTRAINT | SUBTYPE.
+        self.special: list[int] = []
+        #: sid -> ATTR | TRANSMIT.
+        self.kind: list[int] = []
+        #: sid -> port name for TRANSMIT slots, else None (pre-split).
+        self.port_of: list[str | None] = []
+        #: sid -> value name for TRANSMIT slots, else None (pre-split).
+        self.value_of: list[str | None] = []
+        #: sid -> dependent sids within the same instance.
+        self.local_dependents: list[tuple[int, ...]] = []
+        #: (receive_port, value) -> consumer sids; joined from the peer side.
+        self.receivers: dict[tuple[str, str], tuple[int, ...]] = {}
+        #: sid -> binding spec tuples in rule-input order (None if no rule).
+        self.binding_specs: list[tuple | None] = []
+        #: transmit name -> dummy-instance default for every flow of every
+        #: port, so a dangling read never re-parses the name.
+        self.flow_defaults: dict[str, Any] = {}
+
+    def resolve_bindings(self, sid: int, iid: int, instance: Any) -> list[DepBinding]:
+        """The engine's DepBinding list for one slot, from live connections."""
+        out: list[DepBinding] = []
+        for tag, kw, name, value, multi, default, name_cache in self.binding_specs[sid]:
+            if tag == _B_LOCAL:
+                out.append(DepBinding(kw=kw, slots=[(iid, name)]))
+            elif tag == _B_RECEIVED:
+                slots = []
+                for conn in instance.connections_on(name):
+                    slot_name = name_cache.get(conn.peer_port)
+                    if slot_name is None:
+                        slot_name = transmit_name(conn.peer_port, value)
+                        name_cache[conn.peer_port] = slot_name
+                    slots.append((conn.peer, slot_name))
+                out.append(
+                    DepBinding(
+                        kw=kw, slots=slots, port=name, multi=multi, default=default
+                    )
+                )
+            else:
+                out.append(DepBinding(kw=kw, self_ref=True))
+        return out
+
+
+def _effective_ports(db: Any, instance: Any) -> dict:
+    base = db.schema.resolved(instance.class_name)
+    ports = dict(base.ports)
+    for subtype in sorted(instance.active_subtypes):
+        ports.update(db.schema.resolved(subtype).ports)
+    return ports
+
+
+def build_slot_plan(db: Any, instance: Any) -> SlotPlan:
+    """Flatten one instance shape against a Database's cached structure."""
+    plan = SlotPlan()
+    plan.class_name = instance.class_name
+    rulemap = db._rulemap(instance)
+    attrmap = db._attrmap(instance)
+    names = plan.names
+    index = plan.index
+
+    def sid_of(name: str) -> int:
+        sid = index.get(name)
+        if sid is None:
+            sid = len(names)
+            index[name] = sid
+            names.append(name)
+        return sid
+
+    # Ruled slots first (rulemap order mirrors the legacy edge wiring),
+    # then declared attributes, then any attribute a rule reads that is
+    # not otherwise declared (synthetic constraint/subtype inputs).
+    for name in rulemap:
+        sid_of(name)
+    for name in attrmap:
+        sid_of(name)
+    for rule in rulemap.values():
+        for __, inp in rule.local_inputs():
+            sid_of(inp.attr)
+
+    ports = _effective_ports(db, instance)
+    for port_name, port_def in ports.items():
+        rel = db.schema.relationship_type(port_def.rel_type)
+        for flow in rel.flows.values():
+            default = flow.default
+            if default is None:
+                default = db.schema.atoms.get(flow.atom).default
+            plan.flow_defaults[transmit_name(port_name, flow.value)] = default
+
+    for name in names:
+        rule = rulemap.get(name)
+        plan.rules.append(rule)
+        if is_transmit_name(name):
+            port, value = split_transmit_name(name)
+            plan.kind.append(TRANSMIT)
+            plan.port_of.append(port)
+            plan.value_of.append(value)
+        else:
+            plan.kind.append(ATTR)
+            plan.port_of.append(None)
+            plan.value_of.append(None)
+        if is_constraint_attr(name):
+            special = CONSTRAINT
+        elif is_subtype_attr(name):
+            special = SUBTYPE
+        else:
+            special = PLAIN
+        plan.special.append(special)
+        if rule is None:
+            plan.execs.append(None)
+            plan.binding_specs.append(None)
+            continue
+        body = rule.body
+        if isinstance(body, CompiledBody) and body.kwnames == tuple(rule.inputs):
+            plan.execs.append(RuleExec(body.fn, True, special))
+        else:
+            plan.execs.append(RuleExec(body, False, special))
+        specs = []
+        for kw, inp in rule.inputs.items():
+            if isinstance(inp, Local):
+                specs.append((_B_LOCAL, kw, inp.attr, None, False, None, None))
+            elif isinstance(inp, Received):
+                port_def = ports.get(inp.port)
+                if port_def is None:
+                    port_def = db._port_def(instance, inp.port)
+                rel = db.schema.relationship_type(port_def.rel_type)
+                flow = rel.flow(inp.value)
+                default = flow.default
+                if default is None:
+                    default = db.schema.atoms.get(flow.atom).default
+                specs.append(
+                    (_B_RECEIVED, kw, inp.port, inp.value, port_def.multi, default, {})
+                )
+            elif isinstance(inp, SelfRef):
+                specs.append((_B_SELF, kw, None, None, False, None, None))
+            else:  # pragma: no cover - exhaustive over Input
+                raise TypeError(f"unknown input declaration {inp!r}")
+        plan.binding_specs.append(tuple(specs))
+
+    # Local dependency edges and the receive table, deduplicated exactly
+    # the way the dict-of-sets dependency graph collapses repeats.
+    local_deps: list[list[int]] = [[] for __ in names]
+    receivers: dict[tuple[str, str], list[int]] = {}
+    for target_name, rule in rulemap.items():
+        tsid = index[target_name]
+        seen_attrs: set[str] = set()
+        for __, inp in rule.local_inputs():
+            if inp.attr in seen_attrs:
+                continue
+            seen_attrs.add(inp.attr)
+            local_deps[index[inp.attr]].append(tsid)
+        for __, inp in rule.received_inputs():
+            key = (inp.port, inp.value)
+            bucket = receivers.setdefault(key, [])
+            if tsid not in bucket:
+                bucket.append(tsid)
+    plan.local_dependents = [tuple(deps) for deps in local_deps]
+    plan.receivers = {key: tuple(sids) for key, sids in receivers.items()}
+    return plan
+
+
+class SlotPlanCache:
+    """Shape-keyed plan store with a per-instance memo in front.
+
+    The memo must be invalidated whenever an instance's effective shape
+    changes (subtype membership flips -- routed here through
+    :meth:`Database.invalidate_rulemap` -- or deletion); schema extension
+    clears both layers because every shape key embeds the schema version.
+    """
+
+    def __init__(self, db: Any) -> None:
+        self._db = db
+        self._by_key: dict[tuple, SlotPlan] = {}
+        self._by_iid: dict[int, SlotPlan] = {}
+        self.plans_built = 0
+
+    def plan_of(self, iid: int) -> SlotPlan | None:
+        plan = self._by_iid.get(iid)
+        if plan is None:
+            instance = self._db._catalog.get(iid)
+            if instance is None:
+                return None
+            key = self._db._effective_key(instance)
+            plan = self._by_key.get(key)
+            if plan is None:
+                plan = build_slot_plan(self._db, instance)
+                self._by_key[key] = plan
+                self.plans_built += 1
+            self._by_iid[iid] = plan
+        return plan
+
+    def instance_of(self, iid: int) -> Any:
+        return self._db._catalog.get(iid)
+
+    @property
+    def instances_cached(self) -> int:
+        return len(self._by_iid)
+
+    def invalidate_instance(self, iid: int) -> None:
+        self._by_iid.pop(iid, None)
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._by_iid.clear()

@@ -83,6 +83,24 @@ from repro.txn.log import (
 from repro.txn.transaction import TransactionManager
 
 
+#: distinguishes "attribute absent" from a stored None.
+_MISSING = object()
+
+
+def _value_width(value: Any) -> int:
+    """One value's contribution to :meth:`Instance.record_size`.
+
+    Must mirror the size model exactly: equal widths for the old and new
+    value of one attribute imply an unchanged record size, which lets the
+    write paths skip the full per-attribute resize recomputation.
+    """
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple)):
+        return 8 * len(value)
+    return 8
+
+
 class Database:
     """An open Cactis database over a frozen schema."""
 
@@ -116,6 +134,15 @@ class Database:
         from repro.graph.depgraph import DependencyGraph
 
         self.depgraph = DependencyGraph()
+        # Flattened slot plans (repro.compile.slotplan): the engine's
+        # index-based hot path.  Must exist before the engine is built --
+        # IncrementalEngine captures it at construction.  None (under
+        # REPRO_NO_COMPILE=1) routes the engine through the classic
+        # string-keyed dependency-graph walk.
+        from repro.compile import compile_enabled
+        from repro.compile.slotplan import SlotPlanCache
+
+        self.slot_plans = SlotPlanCache(self) if compile_enabled() else None
         # ``engine_factory`` swaps in a baseline propagation strategy
         # (see :mod:`repro.baselines`); the default is the paper's engine.
         if engine_factory is None:
@@ -269,7 +296,25 @@ class Database:
                 "pending_steps": epoch.pending_steps if epoch is not None else 0,
             }
 
+        def compile_metrics() -> dict:
+            stats = self.schema.compile_stats
+            plans = self.slot_plans
+            return {
+                "enabled": bool(stats.get("enabled", False)),
+                "rules_compiled": stats.get("rules_compiled", 0),
+                "cache_hits": stats.get("cache_hits", 0),
+                "code_objects": stats.get("code_objects", 0),
+                "fallbacks": stats.get("fallbacks", 0),
+                "native_bodies": stats.get("native_bodies", 0),
+                "compile_seconds": stats.get("compile_seconds", 0.0),
+                "plans_built": plans.plans_built if plans is not None else 0,
+                "plan_instances": (
+                    plans.instances_cached if plans is not None else 0
+                ),
+            }
+
         self.obs.register("engine", engine_metrics)
+        self.obs.register("compile", compile_metrics)
         self.obs.register("scheduler", scheduler_metrics)
         self.obs.register("cc", cc_metrics)
         self.obs.register("buffer", buffer_metrics)
@@ -368,10 +413,12 @@ class Database:
     def invalidate_rulemap(self, iid: int) -> None:
         """Drop cached structure views after a membership flip.
 
-        The cache is keyed by (class, active subtypes), so flips simply
-        select a different key; this hook exists for symmetry and future
-        finer-grained caching.
+        The rulemap/attrmap caches are keyed by (class, active subtypes),
+        so flips simply select a different key; the slot-plan cache keeps a
+        per-instance memo in front of that key and must drop it here.
         """
+        if self.slot_plans is not None:
+            self.slot_plans.invalidate_instance(iid)
 
     def _rulemap(self, instance: Instance) -> dict[str, Rule]:
         key = self._effective_key(instance)
@@ -547,6 +594,8 @@ class Database:
             self._unchecked_constraints.discard(slot)
         self.storage.remove(iid)
         self.usage.forget_instance(iid, peer_keys)
+        if self.slot_plans is not None:
+            self.slot_plans.invalidate_instance(iid)
         del self._catalog[iid]
 
     def _all_slots(self, instance: Instance) -> list[Slot]:
@@ -740,8 +789,11 @@ class Database:
     def _do_set_attr(self, iid: int, attr: str, value: Any) -> None:
         instance = self.instance(iid)
         self.storage.touch(iid, dirty=True)
-        instance.attrs[attr] = value
-        self.storage.resize(iid, instance.record_size())
+        attrs = instance.attrs
+        old = attrs.get(attr, _MISSING)
+        attrs[attr] = value
+        if old is _MISSING or _value_width(old) != _value_width(value):
+            self.storage.resize(iid, instance.record_size())
         self.engine.propagate_intrinsic_change(attr_slot(iid, attr))
 
     def get_attr(self, iid: int, attr: str) -> Any:
@@ -853,12 +905,20 @@ class Database:
 
     def audit_constraints(self) -> None:
         """Evaluate every unverified constraint; raises on violation."""
-        pending = {
-            slot
-            for slot in self.engine.out_of_date
-            if is_constraint_attr(slot[1])
-        }
+        index = getattr(self.engine, "out_of_date_constraints", None)
+        if index is None:
+            # Baseline engines keep no constraint index; scan the full
+            # out-of-date set the classic way.
+            pending = {
+                slot
+                for slot in self.engine.out_of_date
+                if is_constraint_attr(slot[1])
+            }
+        else:
+            pending = set(index)
         pending.update(self._unchecked_constraints)
+        if not pending:
+            return
         for slot in sorted(pending):
             if slot[0] not in self._catalog:
                 self._unchecked_constraints.discard(slot)
@@ -900,8 +960,12 @@ class Database:
                 snap["attrs"],
                 active_subtypes=snap["active_subtypes"],
             )
+            restore = getattr(self.engine, "restore_mark", None)
             for name in snap.get("out_of_date", ()):
-                self.engine.out_of_date.add((snap["iid"], name))
+                if restore is not None:
+                    restore((snap["iid"], name))
+                else:  # baseline engines: bare mark set only
+                    self.engine.out_of_date.add((snap["iid"], name))
         elif isinstance(record, ConnectRecord):
             self._do_disconnect(
                 record.iid_a, record.port_a, record.iid_b, record.port_b
@@ -1016,6 +1080,8 @@ class Database:
             self.schema.freeze()
             self._rulemaps.clear()
             self._attrmaps.clear()
+            if self.slot_plans is not None:
+                self.slot_plans.clear()
             self._reconcile_after_extension()
 
     def _reconcile_after_extension(self) -> None:
@@ -1102,6 +1168,13 @@ class Database:
 
     def rule_for(self, slot: Slot) -> Rule | None:
         iid, name = slot
+        plans = self.slot_plans
+        if plans is not None:
+            plan = plans.plan_of(iid)
+            if plan is None:
+                return None
+            sid = plan.index.get(name)
+            return plan.rules[sid] if sid is not None else None
         instance = self._catalog.get(iid)
         if instance is None:
             return None
@@ -1152,6 +1225,16 @@ class Database:
         instance = self.instance(iid)
         if name in instance.attrs:
             return instance.attrs[name]
+        plans = self.slot_plans
+        if plans is not None:
+            # The plan pre-splits every transmit name into its flow default
+            # (dummy-instance semantics), so a dangling read stays free of
+            # string parsing inside a wave.
+            plan = plans.plan_of(iid)
+            if plan is not None:
+                default = plan.flow_defaults.get(name, _MISSING)
+                if default is not _MISSING:
+                    return default
         if is_transmit_name(name):
             # A peer consumes a flow this class never computes: the flow
             # default stands in (dummy-instance semantics).
@@ -1164,8 +1247,13 @@ class Database:
     def write_slot_value(self, slot: Slot, value: Any) -> None:
         iid, name = slot
         instance = self.instance(iid)
-        instance.attrs[name] = value
-        self.storage.resize(iid, instance.record_size())
+        attrs = instance.attrs
+        old = attrs.get(name, _MISSING)
+        attrs[name] = value
+        # Equal stored widths mean an identical record size, so the resize
+        # (a full per-attribute size recomputation) is a provable no-op.
+        if old is _MISSING or _value_width(old) != _value_width(value):
+            self.storage.resize(iid, instance.record_size())
 
     def has_slot_value(self, slot: Slot) -> bool:
         iid, name = slot

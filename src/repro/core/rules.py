@@ -115,14 +115,27 @@ class Rule:
             raise SchemaError("rule body must be callable")
         if not self.name:
             object.__setattr__(self, "name", _default_name(self.target))
+        # Both input views are consulted inside marking waves (edge wiring,
+        # receive-port resolution), so they are computed once here rather
+        # than rebuilt per call.
+        object.__setattr__(
+            self,
+            "_received_inputs",
+            [(k, i) for k, i in self.inputs.items() if isinstance(i, Received)],
+        )
+        object.__setattr__(
+            self,
+            "_local_inputs",
+            [(k, i) for k, i in self.inputs.items() if isinstance(i, Local)],
+        )
 
     def received_inputs(self) -> list[tuple[str, Received]]:
         """The subset of inputs that cross relationships, with their kw names."""
-        return [(k, i) for k, i in self.inputs.items() if isinstance(i, Received)]
+        return self._received_inputs
 
     def local_inputs(self) -> list[tuple[str, Local]]:
         """The subset of inputs that are local attributes, with their kw names."""
-        return [(k, i) for k, i in self.inputs.items() if isinstance(i, Local)]
+        return self._local_inputs
 
 
 def _default_name(target: Target) -> str:

@@ -306,6 +306,9 @@ class Schema:
         #: bumped on every freeze; lets caches keyed on schema state expire
         #: when the type structure is dynamically extended.
         self.version = 0
+        #: stats from the freeze-time rule-body compilation pass
+        #: (see :mod:`repro.compile`); surfaced as ``compile.*`` metrics.
+        self.compile_stats: dict[str, Any] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -411,6 +414,13 @@ class Schema:
             )
         self._frozen = True
         self.version += 1
+        # Compile once, serve many: swap DSL-interpreted rule bodies for
+        # specialized closures (no-op under REPRO_NO_COMPILE=1).  Imported
+        # lazily -- repro.compile pulls in the DSL compiler, which imports
+        # this module.
+        from repro.compile import compile_frozen_schema
+
+        self.compile_stats = compile_frozen_schema(self)
         return self
 
     def _mro(self, name: str) -> tuple[str, ...]:

@@ -654,4 +654,7 @@ def _booleanize(evaluator: Callable[..., Any]) -> Callable[..., bool]:
         return bool(evaluator(**kwargs))
 
     predicate.__name__ = getattr(evaluator, "__name__", "dsl_predicate")
+    # Expose the interpreter for the printer, the static analyzer, and the
+    # freeze-time compiler (which re-applies the bool coercion itself).
+    predicate.__wrapped__ = evaluator
     return predicate

@@ -118,8 +118,14 @@ def format_body(body: ast.RuleBody, depth: int) -> str:
 
 
 def _ast_of(callable_body: Any) -> ast.RuleBody | None:
-    if isinstance(callable_body, _RuleInterpreter):
-        return callable_body.body
+    # Compiled bodies (and the _booleanize predicate wrapper) keep the
+    # interpreter reachable through __wrapped__; follow the chain.
+    seen: set[int] = set()
+    while callable_body is not None and id(callable_body) not in seen:
+        if isinstance(callable_body, _RuleInterpreter):
+            return callable_body.body
+        seen.add(id(callable_body))
+        callable_body = getattr(callable_body, "__wrapped__", None)
     return None
 
 
@@ -220,9 +226,10 @@ def _format_constraint(constraint: Constraint, strict: bool) -> str:
 
 
 def _unwrap_booleanized(fn: Any) -> ast.RuleBody | None:
-    """Recover the AST from a _booleanize-wrapped interpreter."""
-    if isinstance(fn, _RuleInterpreter):
-        return fn.body
+    """Recover the AST from a _booleanize-wrapped (or compiled) interpreter."""
+    body = _ast_of(fn)
+    if body is not None:
+        return body
     closure = getattr(fn, "__closure__", None)
     if closure:
         for cell in closure:

@@ -126,7 +126,14 @@ class IncrementalEngine:
         #: hosts); carries the event hub and the wave/chunk latency timers.
         self._obs = getattr(host, "obs", None)
         self.out_of_date: set[Slot] = set()
+        #: the constraint-attribute subset of ``out_of_date``, maintained on
+        #: every add/discard so commit-time audits never scan the full set.
+        self.out_of_date_constraints: set[Slot] = set()
         self.standing_demands: set[Slot] = set()
+        #: flattened slot plans (repro.compile.slotplan) when the host is a
+        #: Database with compilation enabled; None routes every inner loop
+        #: through the classic string-keyed dependency graph.
+        self._plans = getattr(host, "slot_plans", None)
         self.scheduler = ChunkScheduler(
             is_resident=host.storage.is_resident,
             block_of=host.storage.block_of,
@@ -322,11 +329,61 @@ class IncrementalEngine:
             self.evaluate_all_out_of_date()
 
     def _schedule_dependent_marks(self, slot: Slot) -> None:
+        plans = self._plans
+        if plans is not None:
+            plan = plans.plan_of(slot[0])
+            if plan is not None:
+                sid = plan.index.get(slot[1])
+                if sid is not None:
+                    self._plan_fanout(slot, plan, sid, plans)
+                    return
         for dependent in self.host.depgraph.iter_dependents(slot):
             self.counters.mark_edge_visits += 1
             if dependent in self.out_of_date:
                 continue  # cut short: already marked
             self._schedule_mark_chunk(slot, dependent)
+
+    def _plan_fanout(self, slot: Slot, plan: Any, sid: int, plans: Any) -> None:
+        """Fan one mark out to its dependents via index arrays.
+
+        Replaces the depgraph walk plus :meth:`~repro.core.database.Database.
+        receive_port_between` per crossing: local dependents are a tuple of
+        slot ids, and crossing edges come from joining the live connection
+        table against the peer shape's ``receivers`` index, whose key
+        already *is* the crossing port.  Counter accounting (one
+        ``mark_edge_visits`` per dependent edge, cut short at marked slots)
+        matches the legacy walk exactly.
+        """
+        iid = slot[0]
+        counters = self.counters
+        marked = self.out_of_date
+        names = plan.names
+        for dsid in plan.local_dependents[sid]:
+            counters.mark_edge_visits += 1
+            dep = (iid, names[dsid])
+            if dep in marked:
+                continue  # cut short: already marked
+            self._schedule_mark(dep, None)
+        if plan.kind[sid]:  # TRANSMIT: fan out across live connections
+            instance = plans.instance_of(iid)
+            if instance is None:
+                return
+            value = plan.value_of[sid]
+            for conn in instance.connections_on(plan.port_of[sid]):
+                peer = conn.peer
+                peer_plan = plans.plan_of(peer)
+                if peer_plan is None:
+                    continue
+                targets = peer_plan.receivers.get((conn.peer_port, value))
+                if not targets:
+                    continue
+                peer_names = peer_plan.names
+                for tsid in targets:
+                    counters.mark_edge_visits += 1
+                    dep = (peer, peer_names[tsid])
+                    if dep in marked:
+                        continue
+                    self._schedule_mark(dep, conn.peer_port)
 
     def _fast_ok(self, iid: int) -> bool:
         """True when work on ``iid`` may ride the allocation-free fast lane."""
@@ -408,7 +465,25 @@ class IncrementalEngine:
         self.host.storage.touch(slot[0], dirty=True)
         if crossing_port is not None:
             self.host.usage.note_crossing(slot[0], crossing_port)
-        if self.is_important(slot):
+        plans = self._plans
+        if plans is not None:
+            plan = plans.plan_of(slot[0])
+            if plan is not None:
+                sid = plan.index.get(slot[1])
+                if sid is not None:
+                    special = plan.special[sid]
+                    if special == 1:  # constraint: always important
+                        self.out_of_date_constraints.add(slot)
+                        self._important_found.append(slot)
+                    elif special == 2 or slot in self.standing_demands:
+                        self._important_found.append(slot)
+                    self._plan_fanout(slot, plan, sid, plans)
+                    return
+        name = slot[1]
+        if is_constraint_attr(name):
+            self.out_of_date_constraints.add(slot)
+            self._important_found.append(slot)
+        elif is_subtype_attr(name) or slot in self.standing_demands:
             self._important_found.append(slot)
         for dependent in self.host.depgraph.iter_dependents(slot):
             self.counters.mark_edge_visits += 1
@@ -458,6 +533,17 @@ class IncrementalEngine:
 
     def _slot_ready(self, slot: Slot) -> bool:
         """True when the slot has a usable value without evaluation."""
+        plans = self._plans
+        if plans is not None:
+            plan = plans.plan_of(slot[0])
+            if plan is not None:
+                sid = plan.index.get(slot[1])
+                if sid is None or plan.rules[sid] is None:
+                    return True  # intrinsic: always carries its stored value
+                return (
+                    slot not in self.out_of_date
+                    and self.host.has_slot_value(slot)
+                )
         if self.host.rule_for(slot) is None:
             return True  # intrinsic slots always carry their stored value
         return slot not in self.out_of_date and self.host.has_slot_value(slot)
@@ -493,7 +579,18 @@ class IncrementalEngine:
             # their copy when they registered, or will at notification time.
             self._notify_waiters(slot, self.host.read_slot_value(slot))
             return
-        bindings = self.host.resolved_inputs(slot)
+        bindings = None
+        plans = self._plans
+        if plans is not None:
+            plan = plans.plan_of(slot[0])
+            if plan is not None:
+                sid = plan.index.get(slot[1])
+                if sid is not None and plan.binding_specs[sid] is not None:
+                    bindings = plan.resolve_bindings(
+                        sid, slot[0], plans.instance_of(slot[0])
+                    )
+        if bindings is None:
+            bindings = self.host.resolved_inputs(slot)
         pend = _Pending(
             bindings=bindings,
             reads_at_start=self.host.storage.disk.stats.reads,
@@ -576,15 +673,34 @@ class IncrementalEngine:
         pend = self._pending.pop(slot, None)
         if pend is None:
             return  # already computed via another path
-        rule = self.host.rule_for(slot)
-        assert rule is not None, f"compute scheduled for intrinsic {describe(slot)}"
-        self.host.storage.touch(slot[0], dirty=True)
-        kwargs = {
-            binding.kw: binding.assemble(slot[0], pend.values)
-            for binding in pend.bindings
-        }
+        iid = slot[0]
+        # Re-fetch the executor from the *current* plan at compute time: a
+        # subtype flip earlier in this wave may have swapped the shape.
+        rexec = None
+        plans = self._plans
+        if plans is not None:
+            plan = plans.plan_of(iid)
+            if plan is not None:
+                sid = plan.index.get(slot[1])
+                if sid is not None:
+                    rexec = plan.execs[sid]
+        self.host.storage.touch(iid, dirty=True)
+        values = pend.values
         try:
-            value = rule.body(**kwargs)
+            if rexec is None:
+                rule = self.host.rule_for(slot)
+                assert (
+                    rule is not None
+                ), f"compute scheduled for intrinsic {describe(slot)}"
+                value = rule.body(
+                    **{b.kw: b.assemble(iid, values) for b in pend.bindings}
+                )
+            elif rexec.positional:
+                value = rexec.fn(*[b.assemble(iid, values) for b in pend.bindings])
+            else:
+                value = rexec.fn(
+                    **{b.kw: b.assemble(iid, values) for b in pend.bindings}
+                )
         except RuleEvaluationError:
             raise
         except Exception as exc:
@@ -607,11 +723,19 @@ class IncrementalEngine:
             if binding.port is not None:
                 self.host.usage.observe_io(slot[0], binding.port, float(io_spent))
         # Special slot families.
-        name = slot[1]
-        if is_constraint_attr(name):
-            self.host.handle_constraint_result(slot, bool(value))
-        elif is_subtype_attr(name):
-            self.host.handle_subtype_result(slot, bool(value))
+        if rexec is not None:
+            if rexec.special == 1:
+                self.out_of_date_constraints.discard(slot)
+                self.host.handle_constraint_result(slot, bool(value))
+            elif rexec.special == 2:
+                self.host.handle_subtype_result(slot, bool(value))
+        else:
+            name = slot[1]
+            if is_constraint_attr(name):
+                self.out_of_date_constraints.discard(slot)
+                self.host.handle_constraint_result(slot, bool(value))
+            elif is_subtype_attr(name):
+                self.host.handle_subtype_result(slot, bool(value))
         self._notify_waiters(slot, value)
 
     def _notify_waiters(self, slot: Slot, value: Any) -> None:
@@ -631,7 +755,19 @@ class IncrementalEngine:
     def forget_slot(self, slot: Slot) -> None:
         """Drop engine state about a slot (instance deletion)."""
         self.out_of_date.discard(slot)
+        self.out_of_date_constraints.discard(slot)
         self.standing_demands.discard(slot)
+
+    def restore_mark(self, slot: Slot) -> None:
+        """Re-mark a slot directly (rollback / snapshot restore paths).
+
+        Unlike :meth:`_mark_body` this neither fans out nor collects
+        importance -- the mark is being *reinstated*, not discovered -- but
+        it keeps the constraint index consistent with ``out_of_date``.
+        """
+        self.out_of_date.add(slot)
+        if is_constraint_attr(slot[1]):
+            self.out_of_date_constraints.add(slot)
 
     def reset_wave(self) -> None:
         """Abandon an in-flight wave (a constraint vetoed the transaction).

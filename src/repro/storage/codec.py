@@ -261,8 +261,12 @@ def restore_database(image: dict, schema, **db_kwargs) -> "Database":
         for rule in db._rulemap(instance).values():
             db.add_rule_edges(entry["iid"], rule)
     # Pass 3: marks, layout, and history.
+    restore = getattr(db.engine, "restore_mark", None)
     for iid, name in image["out_of_date"]:
-        db.engine.out_of_date.add((iid, name))
+        if restore is not None:
+            restore((iid, name))
+        else:  # baseline engines: bare mark set only
+            db.engine.out_of_date.add((iid, name))
     sizes = {iid: db.instance(iid).record_size() for iid in db.instance_ids()}
     layout = [blocks[block_id] for block_id in sorted(blocks)]
     if layout:

@@ -1,0 +1,15 @@
+"""These tests pin the compiler itself, so an outer ``REPRO_NO_COMPILE=1``
+(e.g. someone running the whole suite through the escape hatch) must not
+leak in.  Tests that exercise the hatch set the variable explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile import COMPILE_DISABLED_ENV
+
+
+@pytest.fixture(autouse=True)
+def _compilation_enabled(monkeypatch):
+    monkeypatch.delenv(COMPILE_DISABLED_ENV, raising=False)

@@ -1,0 +1,177 @@
+"""Flattened slot plans: structure, sharing, and invalidation.
+
+The engine's hot loops trust :class:`repro.compile.slotplan.SlotPlan` to be
+an exact flattening of the string-keyed dependency structure, and trust the
+:class:`SlotPlanCache` to drop a memoized plan the moment an instance's
+effective shape changes.  These tests pin both down, plus the A/B contract:
+a plan-driven engine produces byte-identical counters to the classic
+dependency-graph walk.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from tests.conftest import give_cars, make_person_schema
+
+from repro.compile import COMPILE_DISABLED_ENV
+from repro.core.database import Database
+from repro.workloads import sum_node_schema
+from repro.workloads.generators import (
+    build_random_dag,
+    random_update_script,
+    run_update_script,
+)
+
+
+class TestPlanStructure:
+    def test_local_and_crossing_edges_flattened(self, db):
+        a = db.create("node", weight=1)
+        db.get_attr(a, "total")
+        plan = db.slot_plans.plan_of(a)
+        weight = plan.index["weight"]
+        total = plan.index["total"]
+        transmit = plan.index["outputs>total"]
+        # weight -> total -> outputs>total, as index arrays.
+        assert total in plan.local_dependents[weight]
+        assert transmit in plan.local_dependents[total]
+        # The transmit slot carries its pre-split port and value.
+        assert plan.kind[transmit] == 1
+        assert plan.port_of[transmit] == "outputs"
+        assert plan.value_of[transmit] == "total"
+        # Consumers joining from the peer side find `total` under the
+        # receive port.
+        assert plan.receivers[("inputs", "total")] == (total,)
+
+    def test_plans_shared_across_instances_of_one_shape(self, db):
+        a = db.create("node", weight=1)
+        b = db.create("node", weight=2)
+        assert db.slot_plans.plan_of(a) is db.slot_plans.plan_of(b)
+        assert db.slot_plans.plans_built == 1
+        assert db.slot_plans.instances_cached == 2
+
+    def test_dangling_port_read_uses_flow_default(self, db):
+        a = db.create("node", weight=1)
+        plan = db.slot_plans.plan_of(a)
+        # Every flow of every port is precomputed (integer default: 0).
+        assert plan.flow_defaults["inputs>total"] == 0
+        assert db.read_slot_value((a, "inputs>total")) == 0
+
+
+class TestInvalidation:
+    def test_subtype_flip_swaps_the_plan(self, person_db):
+        alice = person_db.create("person", name="alice")
+        person_db.is_member(alice, "car_buff")
+        before = person_db.slot_plans.plan_of(alice)
+        assert "club" not in before.index
+        give_cars(person_db, alice, 4)
+        assert person_db.is_member(alice, "car_buff")
+        after = person_db.slot_plans.plan_of(alice)
+        assert after is not before
+        assert "club" in after.index
+
+    def test_membership_lapse_restores_base_plan(self, person_db):
+        alice = person_db.create("person", name="alice")
+        cars = give_cars(person_db, alice, 4)
+        assert person_db.is_member(alice, "car_buff")
+        rich = person_db.slot_plans.plan_of(alice)
+        person_db.disconnect(cars[0], "owner", alice, "cars")
+        assert not person_db.is_member(alice, "car_buff")
+        assert person_db.slot_plans.plan_of(alice) is not rich
+        # Same shape key as the original base plan: served from cache.
+        bob = person_db.create("person", name="bob")
+        assert person_db.slot_plans.plan_of(alice) is person_db.slot_plans.plan_of(bob)
+
+    def test_delete_drops_the_memo(self, db):
+        a = db.create("node", weight=1)
+        assert db.slot_plans.plan_of(a) is not None
+        db.delete(a)
+        assert db.slot_plans.plan_of(a) is None
+
+    def test_schema_extension_clears_every_plan(self, db):
+        a = db.create("node", weight=1)
+        stale = db.slot_plans.plan_of(a)
+        with db.extend_schema() as schema:
+            from repro.core.schema import AttributeDef, ObjectClass
+
+            schema.add_class(
+                ObjectClass("memo", attributes=[AttributeDef("text", "string")])
+            )
+        fresh = db.slot_plans.plan_of(a)
+        assert fresh is not stale  # shape keys embed the schema version
+
+
+class TestABParity:
+    """Same workload, plans on vs. REPRO_NO_COMPILE=1: identical counters."""
+
+    SCRIPT = r"""
+import json, sys
+sys.path.insert(0, "src")
+from repro.core.database import Database
+from repro.workloads import sum_node_schema
+from repro.workloads.generators import (
+    build_random_dag, random_update_script, run_update_script,
+)
+
+db = Database(sum_node_schema(), pool_capacity=256, fast_path=True)
+nodes = build_random_dag(db, 40, edge_prob=0.3, seed=5)
+for iid in nodes:
+    db.get_attr(iid, "total")
+script = random_update_script(nodes, 120, seed=9, query_fraction=0.25)
+run_update_script(db, script, batch=False)
+finals = [db.get_attr(iid, "total") for iid in nodes]
+c = db.engine.counters
+print(json.dumps({
+    "waves": c.waves,
+    "slots_marked": c.slots_marked,
+    "mark_edge_visits": c.mark_edge_visits,
+    "rule_evaluations": c.rule_evaluations,
+    "finals": finals,
+}))
+"""
+
+    def _run(self, no_compile: bool) -> dict:
+        env = dict(os.environ)
+        env.pop(COMPILE_DISABLED_ENV, None)
+        if no_compile:
+            env[COMPILE_DISABLED_ENV] = "1"
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            check=True,
+        )
+        import json
+
+        return json.loads(proc.stdout)
+
+    def test_counters_and_values_identical(self):
+        compiled = self._run(no_compile=False)
+        interpreted = self._run(no_compile=True)
+        assert compiled == interpreted
+
+
+class TestInProcessParity:
+    def test_mark_fanout_matches_legacy_engine(self):
+        """Two in-process databases, one with plans disabled via its cache."""
+        results = []
+        for disable in (False, True):
+            db = Database(sum_node_schema(), pool_capacity=256, fast_path=True)
+            if disable:
+                db.slot_plans = None
+                db.engine._plans = None
+            nodes = build_random_dag(db, 30, edge_prob=0.3, seed=3)
+            for iid in nodes:
+                db.get_attr(iid, "total")
+            script = random_update_script(nodes, 80, seed=4, query_fraction=0.0)
+            run_update_script(db, script, batch=False)
+            finals = tuple(db.get_attr(iid, "total") for iid in nodes)
+            c = db.engine.counters
+            results.append(
+                (c.waves, c.slots_marked, c.mark_edge_visits, c.rule_evaluations, finals)
+            )
+        assert results[0] == results[1]
