@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery examples results ci lint-schema obs-check reorg-check compile-check clean
+.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema obs-check reorg-check compile-check server-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -37,6 +37,13 @@ compile-check: ## codegen/slot-plan contract: unit + property + doc tests, A/B b
 	PYTHONPATH=src python -m pytest tests/compile -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_compile.py --benchmark-only -q
 
+server-check: ## wire-protocol suite + live server smoke (start, drive 8 clients, clean shutdown)
+	PYTHONPATH=src python -m pytest tests/server -q
+	PYTHONPATH=src python -m repro.server --smoke
+
+bench-server: ## served txn/s + p99 under 16 clients -> benchmarks/results/BENCH_server.json
+	PYTHONPATH=src python -m pytest benchmarks/bench_server.py --benchmark-only -q
+
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	$(MAKE) lint-schema
@@ -45,6 +52,7 @@ ci: ## what .github/workflows/ci.yml runs
 	PYTHONPATH=src python -m pytest tests/persistence -q
 	$(MAKE) reorg-check
 	$(MAKE) compile-check
+	$(MAKE) server-check
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

@@ -1,0 +1,121 @@
+"""BENCH -- served throughput and tail latency under concurrent clients.
+
+Not one of the paper's experiments: Cactis was measured as a library
+inside one process, so this benchmark prices the serving layer the
+reproduction adds on top.  A :class:`ServerThread` hosts a fresh database;
+16 closed-loop clients (each its own connection and OS thread) submit
+four-op transactions back-to-back and time every round-trip.  Reported:
+sustained transactions per second, client-observed p50/p99 latency, and
+the server's own counters -- with *exact* accounting asserted (every
+submitted transaction answered exactly once, every create a distinct
+instance id; nothing lost, nothing duplicated).
+
+Numbers land in ``results/BENCH_server.json`` so later PRs can diff the
+serving overhead against this PR's baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.common import metrics_snapshot, report, report_json
+from repro.client import ReproClient, TxnBuilder
+from repro.core.database import Database
+from repro.server.server import ServerThread
+from repro.workloads import sum_node_schema
+
+CLIENTS = 16
+TXNS_PER_CLIENT = 25
+ROUNDS = 3
+
+
+def _storm() -> dict:
+    """One full run: fresh db + server, 16 concurrent closed-loop clients."""
+    db = Database(sum_node_schema(), pool_capacity=1024)
+    latencies: list[float] = []
+    results: list = []
+    failures: list[str] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            with ReproClient(*address) as client:
+                for t in range(TXNS_PER_CLIENT):
+                    txn = TxnBuilder()
+                    a = txn.create("node", weight=worker_id + 1)
+                    b = txn.create("node", weight=t + 1)
+                    txn.connect(a, "outputs", b, "inputs")
+                    txn.get_attr(b, "total")
+                    start = time.perf_counter()
+                    result = client.run(txn)
+                    latencies.append(time.perf_counter() - start)
+                    results.append(result)
+        except Exception as exc:  # noqa: BLE001 - surface, don't hang
+            failures.append(repr(exc))
+
+    with ServerThread(db) as thread:
+        address = thread.address
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(CLIENTS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        with ReproClient(*address) as probe:
+            server = probe.metrics()["server"]
+        metrics = metrics_snapshot(db)
+
+    # Exact accounting: zero lost, zero duplicated.
+    submitted = CLIENTS * TXNS_PER_CLIENT
+    assert not failures, failures
+    assert len(results) == submitted
+    assert all(r.committed for r in results)
+    iids = [iid for r in results for iid in r.results[:2]]
+    assert len(iids) == len(set(iids)) == 2 * submitted
+    assert server["txns_committed"] == submitted
+    assert server["txns_committed"] + server["txns_failed"] == submitted
+    assert server["txns_in_flight"] == 0
+
+    latencies.sort()
+    return {
+        "clients": CLIENTS,
+        "txns": submitted,
+        "wall_seconds": wall,
+        "txn_per_second": submitted / wall,
+        "latency_p50_ms": 1e3 * latencies[len(latencies) // 2],
+        "latency_p99_ms": 1e3 * latencies[int(len(latencies) * 0.99)],
+        "latency_max_ms": 1e3 * latencies[-1],
+        "server": server,
+        "metrics": metrics,
+    }
+
+
+def test_served_throughput_and_tail_latency(benchmark):
+    """16 concurrent connections, closed loop, exact accounting."""
+    rounds: list[dict] = []
+
+    def run() -> dict:
+        stats = _storm()
+        rounds.append(stats)
+        return stats
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    best = max(rounds, key=lambda s: s["txn_per_second"])
+    report(
+        "BENCH_server",
+        "served throughput (best of %d rounds)" % ROUNDS,
+        ["clients", "txns", "txn/s", "p50 ms", "p99 ms"],
+        [
+            [
+                best["clients"],
+                best["txns"],
+                f"{best['txn_per_second']:.0f}",
+                f"{best['latency_p50_ms']:.2f}",
+                f"{best['latency_p99_ms']:.2f}",
+            ]
+        ],
+    )
+    report_json("server", "served_throughput", best)

@@ -1,0 +1,26 @@
+"""Thin client library for the :mod:`repro.server` wire protocol.
+
+Two transports over the same frames: :class:`ReproClient` wraps a blocking
+socket (one request, one response -- the shape tests and the smoke check
+want), :class:`AsyncReproClient` wraps an asyncio stream pair and pipelines
+-- many transactions may be in flight per connection, matched back to their
+futures by request id.  :class:`TxnBuilder` composes the ``ops`` payload
+(with ``ref()`` for referencing earlier results) without hand-writing
+lists; :class:`TxnResult` is the parsed terminal answer.
+"""
+
+from repro.client.client import (
+    AsyncReproClient,
+    ReproClient,
+    ServerError,
+    TxnBuilder,
+    TxnResult,
+)
+
+__all__ = [
+    "AsyncReproClient",
+    "ReproClient",
+    "ServerError",
+    "TxnBuilder",
+    "TxnResult",
+]

@@ -1,0 +1,232 @@
+"""Sync and async clients, the op builder, and the parsed result."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any
+
+from repro.errors import CactisError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+)
+
+
+class ServerError(CactisError):
+    """The server answered with an ``error`` frame."""
+
+
+class TxnBuilder:
+    """Compose a transaction's op list fluently.
+
+    Every method appends one op and returns a ``{"$": k}`` reference to its
+    result, so later ops can use it::
+
+        txn = TxnBuilder()
+        a = txn.create("node", weight=3)
+        b = txn.create("node", weight=4)
+        txn.connect(a, "outputs", b, "inputs")
+        txn.get_attr(b, "total")
+        result = client.run(txn)
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[list] = []
+
+    def _add(self, op: list) -> dict:
+        self.ops.append(op)
+        return {"$": len(self.ops) - 1}
+
+    def create(self, class_name: str, **intrinsics: Any) -> dict:
+        return self._add(["create", class_name, intrinsics])
+
+    def delete(self, iid: Any) -> dict:
+        return self._add(["delete", iid])
+
+    def connect(self, iid_a: Any, port_a: str, iid_b: Any, port_b: str) -> dict:
+        return self._add(["connect", iid_a, port_a, iid_b, port_b])
+
+    def disconnect(self, iid_a: Any, port_a: str, iid_b: Any, port_b: str) -> dict:
+        return self._add(["disconnect", iid_a, port_a, iid_b, port_b])
+
+    def set_attr(self, iid: Any, attr: str, value: Any) -> dict:
+        return self._add(["set_attr", iid, attr, value])
+
+    def get_attr(self, iid: Any, attr: str) -> dict:
+        return self._add(["get_attr", iid, attr])
+
+
+class TxnResult:
+    """The terminal answer for one submitted transaction."""
+
+    __slots__ = ("status", "results", "error", "restarts")
+
+    def __init__(self, frame: dict) -> None:
+        self.status: str = frame["status"]
+        self.results: list = frame.get("results") or []
+        self.error: str | None = frame.get("error")
+        self.restarts: int = frame.get("restarts", 0)
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TxnResult(status={self.status!r}, results={self.results!r}, "
+            f"error={self.error!r}, restarts={self.restarts})"
+        )
+
+
+def _ops_of(txn: "TxnBuilder | list") -> list:
+    return txn.ops if isinstance(txn, TxnBuilder) else list(txn)
+
+
+class ReproClient:
+    """Blocking client: one request in flight at a time."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 1
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _roundtrip(self, request: dict) -> dict:
+        rid = self._next_id
+        self._next_id += 1
+        request["id"] = rid
+        self._sock.sendall(encode_frame(request, self._max_frame_bytes))
+        response = recv_frame(self._sock, self._max_frame_bytes)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("t") == "error":
+            raise ServerError(str(response.get("error")))
+        if response.get("id") != rid:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request {rid}"
+            )
+        return response
+
+    def ping(self) -> None:
+        self._roundtrip({"t": "ping"})
+
+    def metrics(self) -> dict:
+        return self._roundtrip({"t": "metrics"})["metrics"]
+
+    def run(self, txn: "TxnBuilder | list") -> TxnResult:
+        """Submit one transaction and block for its terminal result."""
+        return TxnResult(self._roundtrip({"t": "txn", "ops": _ops_of(txn)}))
+
+
+class AsyncReproClient:
+    """Asyncio client; pipelines many transactions per connection."""
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 1
+        self._pending: dict[int, asyncio.Future] = {}
+        self._pump: asyncio.Task | None = None
+
+    async def connect(self, host: str, port: int) -> "AsyncReproClient":
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._pump = asyncio.ensure_future(self._pump_responses())
+        return self
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._fail_pending(ProtocolError("client closed"))
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _pump_responses(self) -> None:
+        """Match response frames back to their submitters by request id."""
+        try:
+            while True:
+                frame = await read_frame(self._reader, self._max_frame_bytes)
+                if frame is None:
+                    self._fail_pending(ProtocolError("server closed the connection"))
+                    return
+                future = self._pending.pop(frame.get("id"), None)
+                if future is None or future.done():
+                    continue  # e.g. an unsolicited error frame
+                if frame.get("t") == "error":
+                    future.set_exception(ServerError(str(frame.get("error"))))
+                else:
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._fail_pending(ProtocolError(f"connection lost: {exc}"))
+
+    async def _request(self, request: dict) -> "asyncio.Future[dict]":
+        rid = self._next_id
+        self._next_id += 1
+        request["id"] = rid
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[rid] = future
+        self._writer.write(encode_frame(request, self._max_frame_bytes))
+        await self._writer.drain()
+        return future
+
+    async def ping(self) -> None:
+        await (await self._request({"t": "ping"}))
+
+    async def metrics(self) -> dict:
+        frame = await (await self._request({"t": "metrics"}))
+        return frame["metrics"]
+
+    async def submit(self, txn: "TxnBuilder | list") -> "asyncio.Future[dict]":
+        """Fire one transaction; returns the future of its raw result frame.
+
+        This is the pipelining primitive: callers may submit many before
+        awaiting any.  Use :meth:`run` for the one-shot convenience.
+        """
+        return await self._request({"t": "txn", "ops": _ops_of(txn)})
+
+    async def run(self, txn: "TxnBuilder | list") -> TxnResult:
+        return TxnResult(await (await self.submit(txn)))

@@ -1,0 +1,57 @@
+"""The serving layer: an asyncio front-end over one Cactis database.
+
+The paper's multi-user story stops at timestamp concurrency control inside
+one process; this package turns that engine into a service.  A
+:class:`ReproServer` accepts many concurrent client connections speaking a
+length-prefixed JSON wire protocol (:mod:`repro.server.protocol`), each
+submitted transaction becomes a yield-between-operations script
+(:mod:`repro.server.txnscript`), and a :class:`SessionMultiplexer`
+(:mod:`repro.server.mux`) feeds those scripts to the live
+:class:`~repro.txn.manager.MultiUserScheduler` core -- scripts arrive and
+retire dynamically instead of running as a fixed batch.  Admission control
+bounds the in-flight transaction count, per-connection backpressure stops
+reading from clients that outrun the engine, and a dropped connection
+mid-transaction rolls its work back and retracts its timestamp marks.
+
+Server counters flow through :mod:`repro.obs` as the ``server.*`` metrics
+section plus a ``latency.request`` timer; ``python -m repro.server`` runs a
+stand-alone server (or ``--smoke``, the self-contained smoke check used by
+``make server-check``).  The thin client library lives in
+:mod:`repro.client`.  The protocol and knobs are documented in
+``docs/SERVER.md``, held truthful by ``tests/server/test_docs.py``.
+"""
+
+from repro.server.mux import ServerConfig, SessionMultiplexer, TxnHandle
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    TXN_STATUSES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+)
+from repro.server.server import ReproServer, ServerThread, serve
+from repro.server.txnscript import script_from_ops, validate_ops
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "ReproServer",
+    "ServerConfig",
+    "ServerThread",
+    "SessionMultiplexer",
+    "TXN_STATUSES",
+    "TxnHandle",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "script_from_ops",
+    "serve",
+    "validate_ops",
+]

@@ -1,0 +1,203 @@
+"""The session multiplexer: live transactions over one scheduler.
+
+:class:`SessionMultiplexer` is the transport-free heart of the server --
+the asyncio front-end in :mod:`repro.server.server` feeds it parsed
+frames, tests drive it directly.  It owns the live
+:class:`~repro.txn.manager.MultiUserScheduler`, enforces admission
+control (at most ``max_inflight`` transactions in the engine at once),
+tracks every counter in the ``server.*`` metrics section, and times each
+request into the ``latency.request`` timer of the database's
+observability root.
+
+Teardown discipline: :meth:`cancel` (the disconnect path) rolls the
+transaction back *and* retracts the session's timestamp marks, and the
+scheduler resets ``hub.session`` attribution around the teardown -- a
+dropped client must leave no trace in the engine beyond its aborted
+delta's undo records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from repro.obs.registry import LatencyTimer
+from repro.server.txnscript import script_from_ops, validate_ops
+from repro.txn.manager import MultiUserScheduler
+
+
+@dataclass
+class ServerConfig:
+    """Every serving knob in one place (documented in docs/SERVER.md)."""
+
+    #: interface the asyncio server binds.
+    host: str = "127.0.0.1"
+    #: TCP port; 0 picks an ephemeral port (reported by ``Server.address``).
+    port: int = 0
+    #: connections beyond this are greeted with an ``error`` frame and closed.
+    max_connections: int = 64
+    #: admission control: transactions live in the scheduler at once;
+    #: submissions beyond this are answered ``status="rejected"``.
+    max_inflight: int = 256
+    #: per-connection backpressure: stop reading a client's socket while it
+    #: has this many transactions unanswered.
+    max_pending_per_conn: int = 32
+    #: refuse request frames larger than this many bytes.
+    max_frame_bytes: int = 1 << 20
+    #: scheduler steps run per event-loop tick; the knob trading fairness
+    #: against syscall overhead.
+    steps_per_tick: int = 64
+    #: per-transaction CC restart budget before it fails terminally.
+    max_restarts: int = 100
+    #: optional scheduler seed: pick interleavings pseudo-randomly
+    #: (reproducibly) instead of round-robin.
+    seed: int | None = None
+
+
+class TxnHandle:
+    """One in-flight (or finished) served transaction."""
+
+    __slots__ = (
+        "name",
+        "request_id",
+        "results",
+        "state",
+        "started",
+        "outcome",
+        "error",
+    )
+
+    def __init__(self, name: str, request_id: Any) -> None:
+        self.name = name
+        self.request_id = request_id
+        self.results: list = []
+        self.state = None
+        self.started = perf_counter()
+        self.outcome: str | None = None  # committed | failed | cancelled
+        self.error: str | None = None
+
+    @property
+    def restarts(self) -> int:
+        return self.state.restart_count if self.state is not None else 0
+
+
+#: ``(handle, outcome, detail)`` invoked exactly once per admitted txn.
+DoneCallback = Callable[[TxnHandle, str, "str | None"], None]
+
+
+class SessionMultiplexer:
+    """Admission control + accounting around the live scheduler."""
+
+    def __init__(self, db, config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.scheduler = MultiUserScheduler(
+            db,
+            seed=self.config.seed,
+            max_restarts=self.config.max_restarts,
+        )
+        # Connection counters are owned here (one metrics provider for the
+        # whole serving layer) and maintained by the transport.
+        self.connections_accepted = 0
+        self.connections_open = 0
+        self.connections_rejected = 0
+        self.connections_closed = 0
+        self.txns_submitted = 0
+        self.txns_committed = 0
+        self.txns_failed = 0
+        self.txns_rejected = 0
+        self.txns_cancelled = 0
+        obs = getattr(db, "obs", None)
+        if obs is not None:
+            obs.timers.setdefault("request", LatencyTimer())
+            obs.register("server", self._metrics)
+
+    # -- metrics ------------------------------------------------------------
+
+    def _metrics(self) -> dict:
+        return {
+            "connections_accepted": self.connections_accepted,
+            "connections_open": self.connections_open,
+            "connections_rejected": self.connections_rejected,
+            "connections_closed": self.connections_closed,
+            "txns_submitted": self.txns_submitted,
+            "txns_committed": self.txns_committed,
+            "txns_failed": self.txns_failed,
+            "txns_rejected": self.txns_rejected,
+            "txns_cancelled": self.txns_cancelled,
+            "txns_in_flight": self.scheduler.live,
+            "restarts": self.scheduler.total_restarts,
+        }
+
+    # -- submission ---------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return self.scheduler.live
+
+    def submit(
+        self,
+        name: str,
+        ops: Sequence[Sequence],
+        on_done: DoneCallback,
+        request_id: Any = None,
+    ) -> TxnHandle | None:
+        """Validate, admit, and start one transaction.
+
+        Returns ``None`` when admission control rejects it (the caller
+        answers ``status="rejected"``); raises
+        :class:`~repro.server.protocol.ProtocolError` for malformed ops.
+        The ``on_done`` callback fires exactly once from the scheduler
+        when the transaction commits, fails, or is cancelled.
+        """
+        validate_ops(ops)
+        if self.scheduler.live >= self.config.max_inflight:
+            self.txns_rejected += 1
+            return None
+        handle = TxnHandle(name, request_id)
+
+        def done(state, outcome: str, detail: str | None) -> None:
+            handle.outcome = outcome
+            handle.error = detail
+            if outcome == "committed":
+                self.txns_committed += 1
+            elif outcome == "failed":
+                self.txns_failed += 1
+            else:
+                self.txns_cancelled += 1
+            obs = getattr(self.db, "obs", None)
+            if obs is not None and outcome != "cancelled":
+                obs.timers["request"].record(perf_counter() - handle.started)
+            on_done(handle, outcome, detail)
+
+        handle.state = self.scheduler.admit(
+            name,
+            script_from_ops(ops, handle.results),
+            track_marks=True,
+            on_done=done,
+        )
+        self.txns_submitted += 1
+        return handle
+
+    def cancel(self, handle: TxnHandle, reason: str = "disconnected") -> bool:
+        """Tear down an in-flight transaction (client went away)."""
+        if handle.state is None or handle.state.done:
+            return False
+        return self.scheduler.cancel(handle.state, reason)
+
+    def step_batch(self, budget: int) -> int:
+        """Run up to ``budget`` scheduler steps; returns how many ran."""
+        ran = 0
+        while ran < budget and self.scheduler.step() is not None:
+            ran += 1
+        return ran
+
+    def cancel_all(self, reason: str = "shutdown") -> int:
+        """Cancel every live transaction (clean server shutdown)."""
+        cancelled = 0
+        # Snapshot: cancelling mutates the scheduler's state list.
+        for state in list(self.scheduler._states):
+            if not state.done and self.scheduler.cancel(state, reason):
+                cancelled += 1
+        return cancelled

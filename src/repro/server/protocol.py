@@ -1,0 +1,139 @@
+"""Wire protocol: length-prefixed JSON frames and the message registries.
+
+A frame is a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON encoding one object.  The same framing runs in both
+directions; requests and responses are discriminated by their ``"t"``
+field.  The registries below are the single source of truth for the
+protocol surface -- ``docs/SERVER.md`` is cross-checked against them by
+``tests/server/test_docs.py``, and the server validates incoming frames
+against them before admission.
+
+Frames are deliberately small and schema-free (no per-connection state
+beyond the request id), so a client in any language needs only a socket,
+``struct.pack(">I", n)``, and a JSON encoder.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.errors import CactisError
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames larger than this (default; ``ServerConfig`` can lower it).
+MAX_FRAME_BYTES = 1 << 20
+
+#: request type -> fields the frame must carry (beyond ``"t"``).
+REQUEST_TYPES: dict[str, tuple[str, ...]] = {
+    "txn": ("id", "ops"),
+    "ping": ("id",),
+    "metrics": ("id",),
+}
+
+#: response type -> fields the frame carries (beyond ``"t"``).
+RESPONSE_TYPES: dict[str, tuple[str, ...]] = {
+    "result": ("id", "status", "results", "error", "restarts"),
+    "pong": ("id",),
+    "metrics": ("id", "metrics"),
+    "error": ("id", "error"),
+}
+
+#: terminal statuses a ``result`` frame can carry.
+TXN_STATUSES = ("committed", "failed", "rejected")
+
+#: operation name -> positional-argument arity (after the name itself).
+OPS: dict[str, int] = {
+    "create": 2,  # class_name, {intrinsics}
+    "delete": 1,  # iid
+    "connect": 4,  # iid_a, port_a, iid_b, port_b
+    "disconnect": 4,  # iid_a, port_a, iid_b, port_b
+    "set_attr": 3,  # iid, attr, value
+    "get_attr": 2,  # iid, attr
+}
+
+
+class ProtocolError(CactisError):
+    """A frame violated the wire protocol (size, encoding, or shape)."""
+
+
+def _default(value: Any) -> str:
+    # Transaction results are engine values; anything exotic (a paper
+    # experiment storing rich atoms) degrades to its repr rather than
+    # killing the connection.
+    return repr(value)
+
+
+def encode_frame(payload: dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message to its on-wire form (header + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":"), default=_default).encode()
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must encode a JSON object")
+    return message
+
+
+def _check_length(length: int, max_frame_bytes: int) -> None:
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+
+
+async def read_frame(reader, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` for oversized or undecodable frames and lets
+    connection errors (including EOF mid-frame) propagate.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("connection closed inside a frame header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_frame_bytes)
+    body = await reader.readexactly(length)
+    return _decode_body(body)
+
+
+def recv_frame(sock, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Blocking counterpart of :func:`read_frame` for plain sockets."""
+
+    def read_exactly(n: int, what: str) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError(f"connection closed inside a frame {what}")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    first = sock.recv(_HEADER.size)
+    if not first:
+        return None  # clean EOF at a frame boundary
+    header = first
+    if len(header) < _HEADER.size:
+        header += read_exactly(_HEADER.size - len(header), "header")
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_frame_bytes)
+    return _decode_body(read_exactly(length, "body"))

@@ -1,0 +1,386 @@
+"""The asyncio front-end: sockets in, scheduler steps out.
+
+One event loop owns everything: an ``asyncio.start_server`` acceptor, a
+reader task and a writer task per connection, and a single *driver* task
+that is the live serving loop -- it runs up to ``steps_per_tick``
+scheduler steps, then yields to the event loop so frames keep flowing in
+and responses keep flowing out.  The engine itself stays single-threaded:
+every scheduler step (and therefore every database mutation) happens on
+the driver task, which is what makes the timestamp-ordering discipline of
+the batch scheduler carry over unchanged.
+
+Disconnect semantics: when a connection's reader sees EOF or a reset, the
+connection's in-flight transactions are cancelled through the multiplexer
+-- rolled back, timestamp marks retracted, ``hub.session`` attribution
+restored -- and nothing is written back.  Backpressure: a connection with
+``max_pending_per_conn`` unanswered transactions is simply not read from
+until responses drain, so one firehose client cannot monopolize admission.
+
+:class:`ServerThread` hosts the loop in a daemon thread for synchronous
+callers (tests, benchmarks, ``make server-check``); :func:`serve` is the
+``asyncio.run``-able entry point the CLI uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import TYPE_CHECKING
+
+from repro.server.mux import ServerConfig, SessionMultiplexer, TxnHandle
+from repro.server.protocol import ProtocolError, encode_frame, read_frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+class _Connection:
+    """Per-connection bookkeeping shared by reader, writer, and driver."""
+
+    __slots__ = ("cid", "writer", "outbox", "handles", "open", "drained")
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.handles: set[TxnHandle] = set()
+        self.open = True
+        #: set whenever a pending txn completes, waking a backpressured read.
+        self.drained = asyncio.Event()
+
+
+class ReproServer:
+    """Serve one database to many concurrent wire-protocol clients."""
+
+    def __init__(self, db: "Database", config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.mux = SessionMultiplexer(db, self.config)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._driver: asyncio.Task | None = None
+        self._conns: dict[int, _Connection] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._next_cid = 1
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._paused = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and start the driver; returns (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._driver = asyncio.ensure_future(self._drive())
+        return self.address
+
+    async def stop(self) -> None:
+        """Clean shutdown: stop accepting, cancel in-flight work, drain."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Roll back whatever is still in the engine before the loop dies.
+        self.mux.cancel_all("shutdown")
+        self._wake.set()
+        if self._driver is not None:
+            await self._driver
+        for conn in list(self._conns.values()):
+            conn.open = False
+            conn.outbox.put_nowait(None)
+            conn.writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conns.clear()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    def pause(self) -> None:
+        """Suspend scheduler stepping (frames still accepted) -- test hook."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self._wake.set()
+
+    # -- the live serving loop ---------------------------------------------
+
+    async def _drive(self) -> None:
+        steps_per_tick = self.config.steps_per_tick
+        while not self._stopping:
+            if self._paused or self.mux.in_flight == 0:
+                self._wake.clear()
+                # Re-check under the cleared flag to avoid a lost wakeup.
+                if self._stopping or (
+                    not self._paused and self.mux.in_flight > 0
+                ):
+                    continue
+                await self._wake.wait()
+                continue
+            self.mux.step_batch(steps_per_tick)
+            # Yield so the loop can accept connections, read frames, and
+            # flush responses between step batches.
+            await asyncio.sleep(0)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_tasks.add(asyncio.current_task())
+        try:
+            if (
+                self._stopping
+                or self.mux.connections_open >= self.config.max_connections
+            ):
+                self.mux.connections_rejected += 1
+                writer.write(
+                    encode_frame(
+                        {"t": "error", "id": None, "error": "server at capacity"}
+                    )
+                )
+                try:
+                    await writer.drain()
+                finally:
+                    writer.close()
+                return
+            cid = self._next_cid
+            self._next_cid += 1
+            conn = _Connection(cid, writer)
+            self._conns[cid] = conn
+            self.mux.connections_accepted += 1
+            self.mux.connections_open += 1
+            sender = asyncio.ensure_future(self._send_loop(conn))
+            try:
+                await self._read_loop(conn, reader)
+            finally:
+                await self._teardown(conn, sender)
+        except asyncio.CancelledError:  # server shutdown
+            pass
+        finally:
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _read_loop(self, conn: _Connection, reader) -> None:
+        cfg = self.config
+        while conn.open:
+            try:
+                message = await read_frame(reader, cfg.max_frame_bytes)
+            except ProtocolError as exc:
+                # Framing is lost; answer once and hang up.
+                self._send(conn, {"t": "error", "id": None, "error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return  # abrupt disconnect
+            if message is None:
+                return  # clean EOF
+            await self._dispatch(conn, message)
+
+    async def _dispatch(self, conn: _Connection, message: dict) -> None:
+        kind = message.get("t")
+        rid = message.get("id")
+        if kind == "ping":
+            self._send(conn, {"t": "pong", "id": rid})
+            return
+        if kind == "metrics":
+            self._send(
+                conn,
+                {"t": "metrics", "id": rid, "metrics": self.db.metrics().as_dict()},
+            )
+            return
+        if kind != "txn":
+            self._send(
+                conn,
+                {"t": "error", "id": rid, "error": f"unknown request type {kind!r}"},
+            )
+            return
+        # Backpressure: hold this connection's read loop while it has a
+        # full window of unanswered transactions.
+        while conn.open and len(conn.handles) >= self.config.max_pending_per_conn:
+            conn.drained.clear()
+            await conn.drained.wait()
+        if not conn.open:
+            return
+        try:
+            handle = self.mux.submit(
+                name=f"c{conn.cid}.t{rid}",
+                ops=message.get("ops"),
+                on_done=lambda handle, outcome, detail, conn=conn: (
+                    self._txn_done(conn, handle, outcome, detail)
+                ),
+                request_id=rid,
+            )
+        except ProtocolError as exc:
+            self._send(conn, {"t": "error", "id": rid, "error": str(exc)})
+            return
+        if handle is None:
+            self._send(
+                conn,
+                {
+                    "t": "result",
+                    "id": rid,
+                    "status": "rejected",
+                    "results": [],
+                    "error": "admission control: too many transactions in flight",
+                    "restarts": 0,
+                },
+            )
+            return
+        conn.handles.add(handle)
+        self._wake.set()
+
+    def _txn_done(
+        self, conn: _Connection, handle: TxnHandle, outcome: str, detail: str | None
+    ) -> None:
+        """Completion callback; runs synchronously inside the driver task."""
+        conn.handles.discard(handle)
+        conn.drained.set()
+        if outcome == "cancelled" or not conn.open:
+            return
+        self._send(
+            conn,
+            {
+                "t": "result",
+                "id": handle.request_id,
+                "status": outcome,
+                "results": handle.results if outcome == "committed" else [],
+                "error": detail,
+                "restarts": handle.restarts,
+            },
+        )
+
+    def _send(self, conn: _Connection, payload: dict) -> None:
+        if conn.open:
+            conn.outbox.put_nowait(encode_frame(payload, self.config.max_frame_bytes))
+
+    async def _send_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                frame = await conn.outbox.get()
+                if frame is None:
+                    return
+                conn.writer.write(frame)
+                await conn.writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    async def _teardown(self, conn: _Connection, sender: asyncio.Task) -> None:
+        """Disconnect path: cancel in-flight work, release, close."""
+        conn.open = False
+        # A dropped connection mid-transaction rolls back and releases its
+        # timestamp marks; nothing is written back for cancelled work.
+        for handle in list(conn.handles):
+            self.mux.cancel(handle, "disconnected")
+        conn.handles.clear()
+        conn.drained.set()
+        conn.outbox.put_nowait(None)
+        await asyncio.wait_for(sender, timeout=5)
+        self._conns.pop(conn.cid, None)
+        self.mux.connections_open -= 1
+        self.mux.connections_closed += 1
+        conn.writer.close()
+        try:
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve(db: "Database", config: ServerConfig | None = None) -> ReproServer:
+    """Start a server and run until cancelled (the ``__main__`` entry)."""
+    server = ReproServer(db, config)
+    host, port = await server.start()
+    print(f"repro.server listening on {host}:{port}", flush=True)
+    try:
+        await server.wait_stopped()
+    except asyncio.CancelledError:
+        await server.stop()
+        raise
+    return server
+
+
+class ServerThread:
+    """Host a :class:`ReproServer` event loop in a daemon thread.
+
+    Synchronous callers (tests, benchmarks, the smoke check) start it,
+    read ``address``, point clients at it, and ``stop()`` for a clean,
+    asserted shutdown.  The database must only be touched through the
+    server while the thread runs -- the engine is single-threaded.
+    """
+
+    def __init__(self, db: "Database", config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.server: ReproServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.server = ReproServer(self.db, self.config)
+        try:
+            self.address = loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # bind failure etc.
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_until_complete(self.server.wait_stopped())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown and assert it completed cleanly."""
+        if self._loop is None or self.server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not shut down cleanly")
+        if self.server.mux.in_flight:
+            raise RuntimeError(
+                f"{self.server.mux.in_flight} transactions leaked past shutdown"
+            )
+
+    def pause(self) -> None:
+        self._loop.call_soon_threadsafe(self.server.pause)
+
+    def resume(self) -> None:
+        self._loop.call_soon_threadsafe(self.server.resume)
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,135 @@
+"""Turn a wire-submitted operation list into a scheduler script.
+
+A transaction arrives as ``"ops": [[name, arg, ...], ...]`` (see
+:data:`repro.server.protocol.OPS` for the registry).  The script produced
+here executes one operation per scheduler step, yielding between
+operations -- exactly the shape the batch test harnesses hand to
+:class:`~repro.txn.manager.MultiUserScheduler` -- so a served transaction
+interleaves, restarts, and commits under the same discipline as a native
+script.  The parity property test drives both paths through this one
+translation.
+
+Arguments may reference the result of an earlier operation in the same
+transaction with ``{"$": k}`` (the value produced by op ``k``): ``create``
+produces the new instance id, ``get_attr`` produces the value read, all
+other ops produce ``None``.  On a CC restart the generator is rebuilt and
+re-runs from the top; the results list is cleared so references always
+resolve within the current attempt.
+
+Any error that is not part of the scheduler's restart/abort vocabulary --
+an unknown class, a missing instance, a type error in a value -- is
+wrapped in :class:`~repro.errors.TransactionAborted`: client input must
+fail the one transaction, never crash the serving loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import (
+    ConcurrencyAbort,
+    ConstraintViolation,
+    TransactionAborted,
+)
+from repro.server.protocol import OPS, ProtocolError
+from repro.txn.manager import Script, Session
+
+
+def validate_ops(ops: Any) -> list[list]:
+    """Check a submitted op list against the registry before admission.
+
+    Raises :class:`ProtocolError` for anything malformed so the server can
+    answer with a protocol ``error`` frame instead of admitting a script
+    that would explode mid-schedule.
+    """
+    if not isinstance(ops, list) or not ops:
+        raise ProtocolError("ops must be a non-empty list")
+    for index, op in enumerate(ops):
+        if not isinstance(op, list) or not op:
+            raise ProtocolError(f"op {index} must be a non-empty list")
+        name, *args = op
+        arity = OPS.get(name)
+        if arity is None:
+            raise ProtocolError(f"op {index}: unknown operation {name!r}")
+        if len(args) != arity:
+            raise ProtocolError(
+                f"op {index}: {name} takes {arity} arguments, got {len(args)}"
+            )
+        for arg in args:
+            if isinstance(arg, dict) and "$" in arg:
+                ref = arg["$"]
+                if not isinstance(ref, int) or not 0 <= ref < index:
+                    raise ProtocolError(
+                        f"op {index}: result reference {arg!r} must point at "
+                        f"an earlier op"
+                    )
+        if name == "create" and not isinstance(args[1], dict):
+            raise ProtocolError(
+                f"op {index}: create intrinsics must be an object"
+            )
+    return ops
+
+
+def _resolve(arg: Any, results: list) -> Any:
+    if isinstance(arg, dict) and "$" in arg:
+        return results[arg["$"]]
+    return arg
+
+
+def _apply(session: Session, name: str, args: list) -> Any:
+    if name == "create":
+        return session.create(args[0], **args[1])
+    if name == "delete":
+        return session.delete(args[0])
+    if name == "connect":
+        return session.connect(args[0], args[1], args[2], args[3])
+    if name == "disconnect":
+        return session.disconnect(args[0], args[1], args[2], args[3])
+    if name == "set_attr":
+        return session.set_attr(args[0], args[1], args[2])
+    if name == "get_attr":
+        return session.get_attr(args[0], args[1])
+    raise ProtocolError(f"unknown operation {name!r}")  # pragma: no cover
+
+
+def script_from_ops(ops: Sequence[Sequence], results: list) -> Script:
+    """Build the scheduler script executing ``ops`` one step at a time.
+
+    ``results`` is the caller's list: after a successful run it holds one
+    entry per op (the transaction's response payload).  It is cleared at
+    the start of every attempt so restarts never leak stale entries into
+    ``{"$": k}`` references.
+    """
+
+    def script(session: Session):
+        del results[:]
+        for index, op in enumerate(ops):
+            if index:
+                yield
+            name = op[0]
+            args = [_resolve(arg, results) for arg in op[1:]]
+            try:
+                results.append(_apply(session, name, args))
+            except (ConcurrencyAbort, ConstraintViolation, TransactionAborted):
+                raise
+            except Exception as exc:
+                raise TransactionAborted(
+                    f"op {index} ({name}): {exc}"
+                ) from exc
+
+    return script
+
+
+#: signature shared with tests: build (name, script, results) triples for a
+#: whole workload of op lists, for feeding either run() or a live server.
+def scripts_for_workload(
+    workload: Sequence[tuple[str, Sequence[Sequence]]],
+) -> list[tuple[str, Script, list]]:
+    triples = []
+    for name, ops in workload:
+        results: list = []
+        triples.append((name, script_from_ops(ops, results), results))
+    return triples
+
+
+ScriptFactory = Callable[[Sequence[Sequence], list], Script]

@@ -14,6 +14,14 @@ technique".  This module reproduces multi-user behaviour deterministically:
   transaction is rolled back and the whole script restarts with a fresh,
   younger timestamp -- the classic basic-TO restart discipline.
 
+The scheduler's core is *live*: scripts are admitted with :meth:`admit`
+and executed one yield-to-yield slice at a time by :meth:`step`, so new
+scripts may arrive (and finished ones retire) while others are mid-flight.
+:meth:`run` is the batch convenience the tests and benchmarks use -- admit
+everything, then step until drained -- and ``repro.server`` drives the same
+loop from asyncio, admitting transactions as client frames arrive and
+cancelling them (:meth:`cancel`) when a connection drops mid-transaction.
+
 Each session accumulates its own undo delta; the scheduler *adopts* the
 delta into the database's transaction manager around every step, so
 single-stream code paths (logging, rollback, commit audit) are reused
@@ -44,9 +52,23 @@ Script = Callable[["Session"], Generator[None, None, None]]
 
 
 class Session:
-    """One user's view of the database under timestamp CC."""
+    """One user's view of the database under timestamp CC.
 
-    def __init__(self, db: "Database", tsm: TimestampManager, name: str = "") -> None:
+    With ``track_marks=True`` the session journals every timestamp mark it
+    places (and the mark it displaced), so :meth:`release_marks` can undo
+    them if the transaction is torn down without committing -- the server
+    uses this for client disconnects, where leaving ghost marks behind
+    would keep aborting older transactions against work that never
+    happened.
+    """
+
+    def __init__(
+        self,
+        db: "Database",
+        tsm: TimestampManager,
+        name: str = "",
+        track_marks: bool = False,
+    ) -> None:
         self.db = db
         self.tsm = tsm
         self.name = name
@@ -54,23 +76,71 @@ class Session:
         self._delta: Delta | None = None
         #: values returned by get_attr, for post-run assertions in tests.
         self.observations: list[Any] = []
+        #: journal of (kind, iid, displaced_mark) entries, or None when
+        #: mark tracking is off (the default for batch scheduling).
+        self._mark_log: list[tuple[str, int, int]] | None = (
+            [] if track_marks else None
+        )
 
     # -- lifecycle (driven by the scheduler) -------------------------------
 
     def start(self) -> None:
         self.ts = self.tsm.new_timestamp()
         self._delta = Delta(txn_id=self.ts, label=self.name)
+        if self._mark_log is not None:
+            self._mark_log.clear()
 
     def _adopted(self):
         """Context manager routing the db's logging to this session's delta."""
         return _Adoption(self)
+
+    def _check_read(self, iid: int) -> int:
+        previous = self.tsm.check_read(self.ts, iid)
+        if self._mark_log is not None:
+            self._mark_log.append(("r", iid, previous))
+        return previous
+
+    def _check_write(self, iid: int) -> int:
+        previous = self.tsm.check_write(self.ts, iid)
+        if self._mark_log is not None:
+            self._mark_log.append(("w", iid, previous))
+        return previous
+
+    def release_marks(self) -> None:
+        """Retract every journalled timestamp mark still carrying our ts.
+
+        Only meaningful on the teardown path of a ``track_marks`` session:
+        the work was rolled back, so the marks describe reads and writes
+        that no longer exist.  Marks a younger transaction has since
+        overwritten are left alone (see ``retract_read``/``retract_write``).
+        """
+        if not self._mark_log:
+            return
+        for kind, iid, previous in reversed(self._mark_log):
+            if kind == "w":
+                self.tsm.retract_write(self.ts, iid, previous)
+            else:
+                self.tsm.retract_read(self.ts, iid, previous)
+        self._mark_log.clear()
 
     def commit(self) -> Delta:
         if self._delta is None:
             raise TransactionError(f"session {self.name!r} has no open transaction")
         delta, self._delta = self._delta, None
         self.db.txn.adopt(delta)
-        committed = self.db.txn.commit()
+        try:
+            committed = self.db.txn.commit()
+        except BaseException:
+            # A commit-time rejection (e.g. a ConcurrencyAbort out of a
+            # commit-time check) leaves the delta adopted but uncommitted.
+            # Reclaim it so a subsequent rollback() can undo the work;
+            # without this the manager stays "in transaction" and the next
+            # adopted step blows up with a TransactionError.  When the
+            # manager itself already aborted (TransactionAborted from the
+            # constraint audit) there is nothing left to reclaim.
+            if self.db.txn.in_transaction:
+                self._delta = self.db.txn.release()
+            raise
         self.tsm.note_commit()
         return committed
 
@@ -94,7 +164,7 @@ class Session:
         # consumed, and leaving our timestamp on it would spuriously abort
         # whichever older transaction later allocates that id.
         target = self.db.next_instance_id
-        previous = self.tsm.check_write(self.ts, target)
+        previous = self._check_write(target)
         try:
             with self._adopted():
                 return self.db.create(class_name, **intrinsics)
@@ -105,29 +175,29 @@ class Session:
             raise
 
     def delete(self, iid: int) -> None:
-        self.tsm.check_write(self.ts, iid)
+        self._check_write(iid)
         with self._adopted():
             self.db.delete(iid)
 
     def connect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
-        self.tsm.check_write(self.ts, iid_a)
-        self.tsm.check_write(self.ts, iid_b)
+        self._check_write(iid_a)
+        self._check_write(iid_b)
         with self._adopted():
             self.db.connect(iid_a, port_a, iid_b, port_b)
 
     def disconnect(self, iid_a: int, port_a: str, iid_b: int, port_b: str) -> None:
-        self.tsm.check_write(self.ts, iid_a)
-        self.tsm.check_write(self.ts, iid_b)
+        self._check_write(iid_a)
+        self._check_write(iid_b)
         with self._adopted():
             self.db.disconnect(iid_a, port_a, iid_b, port_b)
 
     def set_attr(self, iid: int, attr: str, value: Any) -> None:
-        self.tsm.check_write(self.ts, iid)
+        self._check_write(iid)
         with self._adopted():
             self.db.set_attr(iid, attr, value)
 
     def get_attr(self, iid: int, attr: str) -> Any:
-        self.tsm.check_read(self.ts, iid)
+        self._check_read(iid)
         with self._adopted():
             value = self.db.get_attr(iid, attr)
         self.observations.append(value)
@@ -168,23 +238,53 @@ class ScheduleResult:
     committed: list[str]
     restarts: int
     steps: int
-    #: scripts that failed for non-CC reasons (constraint violations and
-    #: other aborts that restarting cannot cure), name -> reason.
+    #: scripts that failed for reasons restarting cannot cure (constraint
+    #: violations, other final aborts, a blown restart budget), name -> reason.
     failed: dict[str, str] = dataclass_field(default_factory=dict)
+    #: scripts torn down externally (client disconnects); never populated
+    #: by :meth:`MultiUserScheduler.run`, only by live :meth:`cancel` calls.
+    cancelled: list[str] = dataclass_field(default_factory=list)
+
+
+#: outcome strings passed to an ``on_done`` callback.
+OUTCOME_COMMITTED = "committed"
+OUTCOME_FAILED = "failed"
+OUTCOME_CANCELLED = "cancelled"
 
 
 class MultiUserScheduler:
-    """Deterministically interleaves session scripts under timestamp CC."""
+    """Deterministically interleaves session scripts under timestamp CC.
+
+    The scheduler is a *live* multiplexer: :meth:`admit` registers a script
+    at any time, :meth:`step` advances exactly one runnable script by one
+    yield-to-yield slice (handling the whole restart/failure discipline),
+    and :meth:`cancel` tears a script down mid-flight.  :meth:`run` wraps
+    this into the classic batch driver.  ``max_restarts`` is the per-script
+    restart budget; exceeding it retires the script into ``failed`` rather
+    than aborting the whole schedule.
+    """
 
     def __init__(
         self,
         db: "Database",
         tsm: TimestampManager | None = None,
         seed: int | None = None,
+        max_restarts: int = 100,
     ) -> None:
         self.db = db
         self.tsm = tsm if tsm is not None else TimestampManager()
+        self.max_restarts = max_restarts
         self._rng = random.Random(seed) if seed is not None else None
+        self._states: list[_ScriptState] = []
+        self._cursor = 0
+        self._live = 0
+        # Cumulative accounting across the scheduler's lifetime; run()
+        # reports per-batch slices of these.
+        self._committed: list[str] = []
+        self._failed: dict[str, str] = {}
+        self._cancelled: list[str] = []
+        self._restarts = 0
+        self._steps = 0
         # Take over the database's concurrency-control metrics section and
         # route TO-rejection events through its hub.
         obs = getattr(db, "obs", None)
@@ -205,90 +305,212 @@ class MultiUserScheduler:
             "transactions_restarted": stats.transactions_restarted,
         }
 
+    # -- live multiplexing --------------------------------------------------
+
+    @property
+    def live(self) -> int:
+        """Number of admitted scripts not yet committed/failed/cancelled."""
+        return self._live
+
+    @property
+    def total_restarts(self) -> int:
+        """Cumulative CC restarts across the scheduler's lifetime."""
+        return self._restarts
+
+    def admit(
+        self,
+        name: str,
+        script: Script,
+        *,
+        track_marks: bool = False,
+        on_done: "DoneCallback | None" = None,
+    ) -> "_ScriptState":
+        """Register a script for interleaved execution, starting now.
+
+        The session is started immediately (it draws its timestamp here, so
+        admission order is timestamp order).  ``on_done`` -- if given -- is
+        invoked exactly once with ``(state, outcome, detail)`` when the
+        script commits, fails, or is cancelled; ``track_marks`` enables the
+        session mark journal needed by :meth:`cancel` teardown.
+        """
+        state = _ScriptState(
+            name, script, Session(self.db, self.tsm, name, track_marks=track_marks)
+        )
+        state.on_done = on_done
+        state.begin()
+        self._states.append(state)
+        self._live += 1
+        return state
+
+    def step(self) -> "_ScriptState | None":
+        """Advance one runnable script by one yield-to-yield slice.
+
+        Returns the stepped state, or ``None`` when nothing is live.  All
+        of the restart/failure discipline lives here: a
+        :class:`ConcurrencyAbort` (mid-script or at commit) rolls the
+        script back and restarts it with a fresh timestamp until its
+        ``max_restarts`` budget is spent, at which point it retires into
+        ``failed``; constraint violations and other final aborts retire it
+        immediately.  Every other live script keeps running either way.
+        """
+        if self._live == 0:
+            return None
+        if self._rng is not None:
+            runnable = [s for s in self._states if not s.done]
+            state = runnable[self._rng.randrange(len(runnable))]
+        else:
+            # Round-robin over a *fixed* rotation of all admitted scripts,
+            # skipping finished ones.  Indexing into a shrinking runnable
+            # list instead would skew the rotation the moment a script
+            # finished, letting one neighbour step twice while another
+            # starved.
+            while self._states[self._cursor % len(self._states)].done:
+                self._cursor += 1
+            state = self._states[self._cursor % len(self._states)]
+            self._cursor += 1
+        self._steps += 1
+        hub = self._hub
+        if hub is not None:
+            hub.session = state.name
+        try:
+            next(state.gen)
+        except StopIteration:
+            try:
+                state.session.commit()
+                self._retire_committed(state)
+            except ConcurrencyAbort:
+                self._restart(state)
+            except TransactionAborted as exc:
+                self._fail(state, exc)
+        except ConcurrencyAbort:
+            self._restart(state)
+        except (ConstraintViolation, TransactionAborted) as exc:
+            self._fail(state, exc)
+        finally:
+            if hub is not None:
+                hub.session = None
+        return state
+
+    def cancel(self, state: "_ScriptState", reason: str = "cancelled") -> bool:
+        """Tear down a live script between yield points (disconnect path).
+
+        Rolls the session's delta back, retracts its journalled timestamp
+        marks (when the session tracks them), and retires the script
+        without recording it as committed or failed.  Returns ``False`` if
+        the script had already finished.
+        """
+        if state.done:
+            return False
+        hub = self._hub
+        if hub is not None:
+            # Attribute the teardown's abort events to the dying session,
+            # and never leak that attribution past the cancel.
+            hub.session = state.name
+        try:
+            state.session.rollback()
+            state.session.release_marks()
+        finally:
+            if hub is not None:
+                hub.session = None
+        state.done = True
+        self._live -= 1
+        self._cancelled.append(state.name)
+        self._compact()
+        self._notify(state, OUTCOME_CANCELLED, reason)
+        return True
+
+    def drain(self) -> None:
+        """Step until no script is live."""
+        while self.step() is not None:
+            pass
+
+    # -- batch driver -------------------------------------------------------
+
     def run(
         self,
         scripts: Iterable[tuple[str, Script]],
-        max_restarts: int = 100,
+        max_restarts: int | None = None,
     ) -> ScheduleResult:
-        """Run all scripts to completion, restarting CC-aborted ones.
+        """Run a batch of scripts to completion, restarting CC-aborted ones.
 
         ``scripts`` is an iterable of ``(name, script)`` pairs.  With no
         seed, the scheduler round-robins at yield points; with a seed it
         picks the next runnable script pseudo-randomly (reproducibly).
+        ``max_restarts`` overrides the scheduler-wide budget for this run.
 
         A :class:`ConcurrencyAbort` rolls the script back and restarts it
-        with a fresh timestamp (basic-TO discipline); exceeding
-        ``max_restarts`` raises :class:`TransactionAborted`.  Any other
-        abort escaping a script -- a constraint violation mid-step or at
-        commit -- is *final*: restarting would deterministically trip it
-        again, so the offending script is rolled back and recorded in
-        :attr:`ScheduleResult.failed` while every other session runs on.
+        with a fresh timestamp (basic-TO discipline); a script that spends
+        its restart budget, or raises an abort no restart can cure (a
+        constraint violation mid-step or at commit), is rolled back and
+        recorded in :attr:`ScheduleResult.failed` while every other session
+        runs on.
         """
-        states: list[_ScriptState] = [
-            _ScriptState(name, script, Session(self.db, self.tsm, name))
-            for name, script in scripts
-        ]
-        for state in states:
-            state.begin()
-        committed: list[str] = []
-        failed: dict[str, str] = {}
-        restarts = 0
-        steps = 0
-        cursor = 0
-        hub = self._hub
-        while any(not s.done for s in states):
-            if self._rng is not None:
-                runnable = [s for s in states if not s.done]
-                state = runnable[self._rng.randrange(len(runnable))]
-            else:
-                # Round-robin over a *fixed* rotation of all scripts,
-                # skipping finished ones.  Indexing into the shrinking
-                # ``runnable`` list instead would skew the rotation the
-                # moment a script finished, letting one neighbour step
-                # twice in a row while another starved.
-                while states[cursor % len(states)].done:
-                    cursor += 1
-                state = states[cursor % len(states)]
-                cursor += 1
-            steps += 1
-            if hub is not None:
-                hub.session = state.name
-            try:
-                next(state.gen)
-            except StopIteration:
-                try:
-                    state.session.commit()
-                    state.done = True
-                    committed.append(state.name)
-                except ConcurrencyAbort:
-                    restarts += self._restart(state, max_restarts)
-                except TransactionAborted as exc:
-                    self._fail(state, failed, exc)
-            except ConcurrencyAbort:
-                restarts += self._restart(state, max_restarts)
-            except (ConstraintViolation, TransactionAborted) as exc:
-                self._fail(state, failed, exc)
-            finally:
-                if hub is not None:
-                    hub.session = None
+        if self._live:
+            raise TransactionError(
+                "cannot run a batch while live scripts are in flight"
+            )
+        previous_budget = self.max_restarts
+        if max_restarts is not None:
+            self.max_restarts = max_restarts
+        base_committed = len(self._committed)
+        base_cancelled = len(self._cancelled)
+        base_failed = set(self._failed)
+        base_restarts = self._restarts
+        base_steps = self._steps
+        try:
+            for name, script in scripts:
+                self.admit(name, script)
+            self.drain()
+        finally:
+            self.max_restarts = previous_budget
         return ScheduleResult(
-            committed=committed, restarts=restarts, steps=steps, failed=failed
+            committed=self._committed[base_committed:],
+            restarts=self._restarts - base_restarts,
+            steps=self._steps - base_steps,
+            failed={
+                name: reason
+                for name, reason in self._failed.items()
+                if name not in base_failed
+            },
+            cancelled=self._cancelled[base_cancelled:],
         )
 
-    def _restart(self, state: "_ScriptState", max_restarts: int) -> int:
-        state.session.rollback()
-        self.tsm.note_restart()
-        state.restart_count += 1
-        if state.restart_count > max_restarts:
-            raise TransactionAborted(
-                f"script {state.name!r} exceeded {max_restarts} restarts"
-            )
-        state.begin()
-        return 1
+    # -- retirement paths ---------------------------------------------------
 
-    def _fail(
-        self, state: "_ScriptState", failed: dict[str, str], exc: Exception
-    ) -> None:
+    def _notify(self, state: "_ScriptState", outcome: str, detail: str | None):
+        callback = state.on_done
+        if callback is not None:
+            state.on_done = None
+            callback(state, outcome, detail)
+
+    def _retire_committed(self, state: "_ScriptState") -> None:
+        state.done = True
+        self._live -= 1
+        self._committed.append(state.name)
+        self._compact()
+        self._notify(state, OUTCOME_COMMITTED, None)
+
+    def _restart(self, state: "_ScriptState") -> None:
+        state.session.rollback()
+        state.restart_count += 1
+        if state.restart_count > self.max_restarts:
+            # The budget is spent: retire the script into ``failed``
+            # instead of letting the abort escape the whole schedule and
+            # abandon every other live session mid-script (the same
+            # discipline as any other final abort).
+            self._fail(
+                state,
+                TransactionAborted(
+                    f"script {state.name!r} exceeded "
+                    f"{self.max_restarts} restarts"
+                ),
+            )
+            return
+        self.tsm.note_restart()
+        self._restarts += 1
+        state.begin()
+
+    def _fail(self, state: "_ScriptState", exc: Exception) -> None:
         """Retire a script whose abort no restart can cure.
 
         The session's remaining delta (if any) is rolled back; the other
@@ -297,11 +519,43 @@ class MultiUserScheduler:
         """
         state.session.rollback()
         state.done = True
-        failed[state.name] = str(exc)
+        self._live -= 1
+        self._failed[state.name] = str(exc)
+        self._compact()
+        self._notify(state, OUTCOME_FAILED, str(exc))
+
+    def _compact(self) -> None:
+        """Drop retired states so a long-lived server stays bounded.
+
+        Preserves round-robin fairness: the cursor is remapped to the same
+        position within the surviving rotation.  Only kicks in once the
+        retired states outnumber the live ones and the list is big enough
+        to matter, so batch runs (and their fairness tests) never see it.
+        """
+        total = len(self._states)
+        if total < 64 or 2 * self._live > total:
+            return
+        cursor = self._cursor % total
+        keep: list[_ScriptState] = []
+        new_cursor = 0
+        for index, state in enumerate(self._states):
+            if not state.done:
+                if index < cursor:
+                    new_cursor += 1
+                keep.append(state)
+        self._states = keep
+        self._cursor = new_cursor
+
+
+#: ``(state, outcome, detail)`` -- outcome is one of the OUTCOME_* strings;
+#: detail carries the failure reason (or cancel reason), None on commit.
+DoneCallback = Callable[["_ScriptState", str, "str | None"], None]
 
 
 class _ScriptState:
     """Bookkeeping for one script being interleaved."""
+
+    __slots__ = ("name", "script", "session", "gen", "done", "restart_count", "on_done")
 
     def __init__(self, name: str, script: Script, session: Session) -> None:
         self.name = name
@@ -310,6 +564,7 @@ class _ScriptState:
         self.gen: Generator[None, None, None] | None = None
         self.done = False
         self.restart_count = 0
+        self.on_done: DoneCallback | None = None
 
     def begin(self) -> None:
         self.session.start()

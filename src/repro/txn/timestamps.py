@@ -95,8 +95,13 @@ class TimestampManager:
             self._marks[iid] = marks
         return marks
 
-    def check_read(self, ts: int, iid: int) -> None:
-        """Validate and record a read of ``iid`` by a transaction at ``ts``."""
+    def check_read(self, ts: int, iid: int) -> int:
+        """Validate and record a read of ``iid`` by a transaction at ``ts``.
+
+        Returns the read mark the record carried *before* this check, so a
+        caller tracking its marks (a server-driven session that may be torn
+        down mid-transaction) can hand it back to :meth:`retract_read`.
+        """
         marks = self._marks_for(iid)
         self.stats.reads_checked += 1
         if ts < marks.write_ts:
@@ -106,8 +111,10 @@ class TimestampManager:
                 f"read of instance {iid} by ts {ts} rejected: "
                 f"written at ts {marks.write_ts}"
             )
+        previous = marks.read_ts
         if ts > marks.read_ts:
             marks.read_ts = ts
+        return previous
 
     def check_write(self, ts: int, iid: int) -> int:
         """Validate and record a write of ``iid`` by a transaction at ``ts``.
@@ -146,6 +153,18 @@ class TimestampManager:
         marks = self._marks.get(iid)
         if marks is not None and marks.write_ts == ts:
             marks.write_ts = previous_write_ts
+
+    def retract_read(self, ts: int, iid: int, previous_read_ts: int) -> None:
+        """Undo a :meth:`check_read` whose transaction was torn down.
+
+        Symmetric to :meth:`retract_write`: restores the prior read mark
+        while the record still carries ``ts``.  Used when a server-driven
+        session is cancelled (client disconnect) so its ghost read marks do
+        not keep aborting older writers forever.
+        """
+        marks = self._marks.get(iid)
+        if marks is not None and marks.read_ts == ts:
+            marks.read_ts = previous_read_ts
 
     def note_commit(self) -> None:
         self.stats.transactions_committed += 1

@@ -1,0 +1,157 @@
+"""The session multiplexer: admission control, accounting, and the
+disconnect-teardown regression (a dropped client must leave no trace).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.mux import ServerConfig, SessionMultiplexer
+from repro.server.protocol import ProtocolError
+
+
+def submit(mux, name, ops, outcomes=None):
+    outcomes = outcomes if outcomes is not None else []
+
+    def done(handle, outcome, detail):
+        outcomes.append((handle.name, outcome, detail))
+
+    return mux.submit(name, ops, on_done=done)
+
+
+class TestSubmission:
+    def test_commit_roundtrip_with_result_refs(self, db):
+        mux = SessionMultiplexer(db)
+        handle = submit(
+            mux,
+            "t1",
+            [
+                ["create", "node", {"weight": 3}],
+                ["create", "node", {"weight": 4}],
+                ["connect", {"$": 0}, "outputs", {"$": 1}, "inputs"],
+                ["get_attr", {"$": 1}, "total"],
+            ],
+        )
+        mux.step_batch(100)
+        assert handle.outcome == "committed"
+        # create -> iid, connect -> None, get_attr -> the derived total.
+        assert handle.results[3] == 3 + 4
+        assert mux.txns_committed == 1 and mux.in_flight == 0
+
+    def test_malformed_ops_raise_before_admission(self, db):
+        mux = SessionMultiplexer(db)
+        with pytest.raises(ProtocolError):
+            submit(mux, "bad", [["frobnicate"]])
+        assert mux.txns_submitted == 0 and mux.in_flight == 0
+
+    def test_bad_input_fails_one_txn_not_the_mux(self, db):
+        mux = SessionMultiplexer(db)
+        outcomes = []
+        submit(mux, "bad", [["create", "no_such_class", {}]], outcomes)
+        submit(mux, "good", [["create", "node", {"weight": 1}]], outcomes)
+        mux.step_batch(100)
+        assert dict((n, o) for n, o, _ in outcomes) == {
+            "bad": "failed",
+            "good": "committed",
+        }
+        assert mux.txns_failed == 1 and mux.txns_committed == 1
+
+    def test_admission_control_rejects_beyond_max_inflight(self, db):
+        mux = SessionMultiplexer(db, ServerConfig(max_inflight=2))
+        ops = [["create", "node", {"weight": 1}]]
+        assert submit(mux, "a", ops) is not None
+        assert submit(mux, "b", ops) is not None
+        assert submit(mux, "c", ops) is None  # over the limit
+        assert mux.txns_rejected == 1
+        mux.step_batch(100)
+        assert submit(mux, "d", ops) is not None  # capacity freed
+        mux.step_batch(100)
+        assert mux.txns_committed == 3
+
+    def test_server_metrics_section_registered(self, db):
+        mux = SessionMultiplexer(db)
+        submit(mux, "t", [["create", "node", {"weight": 1}]])
+        mux.step_batch(100)
+        snapshot = db.metrics().as_dict()
+        assert snapshot["server"]["txns_committed"] == 1
+        assert snapshot["server"]["txns_in_flight"] == 0
+        assert snapshot["latency"]["request"]["count"] == 1
+
+
+class TestDisconnectTeardown:
+    """Satellite regression: cancelling a mid-flight transaction must
+    release hub.session attribution and timestamp marks, and roll back."""
+
+    def _mid_flight(self, db):
+        """A committed instance, plus a txn cancelled halfway through."""
+        mux = SessionMultiplexer(db)
+        outcomes = []
+        seed = submit(mux, "seed", [["create", "node", {"weight": 1}]], outcomes)
+        mux.step_batch(100)
+        iid = seed.results[0]
+        victim = submit(
+            mux,
+            "victim",
+            [
+                ["set_attr", iid, "weight", 99],
+                ["create", "node", {"weight": 2}],
+                ["get_attr", iid, "weight"],
+            ],
+            outcomes,
+        )
+        mux.step_batch(1)  # run only the first op; txn is mid-flight
+        return mux, outcomes, iid, victim
+
+    def test_cancel_rolls_back_and_reports(self, db):
+        mux, outcomes, iid, victim = self._mid_flight(db)
+        assert mux.cancel(victim, "disconnected") is True
+        assert ("victim", "cancelled", "disconnected") in outcomes
+        assert victim.outcome == "cancelled"
+        assert mux.txns_cancelled == 1 and mux.in_flight == 0
+        # The half-done write was undone: weight is back to 1.
+        check = submit(mux, "check", [["get_attr", iid, "weight"]])
+        mux.step_batch(100)
+        assert check.results == [1]
+
+    def test_cancel_releases_hub_session_attribution(self, db):
+        mux, _, _, victim = self._mid_flight(db)
+        hub = db.obs.hub
+        assert hub.session is None  # scheduler never leaks between steps
+        mux.cancel(victim)
+        assert hub.session is None  # ...nor across a teardown
+
+    def test_cancel_retracts_timestamp_marks(self, db):
+        mux, _, iid, victim = self._mid_flight(db)
+        tsm = mux.scheduler.tsm
+        ts = victim.state.session.ts
+        assert tsm._marks[iid].write_ts == ts  # mark held mid-flight
+        mux.cancel(victim)
+        assert tsm._marks[iid].write_ts != ts  # retracted on teardown
+        assert tsm._marks[iid].write_ts > 0  # ...back to the seed's mark
+
+    def test_cancel_does_not_block_older_writers(self, db):
+        """The observable symptom of leaked marks: a ghost read/write mark
+        from a dead young transaction keeps aborting older live ones."""
+        mux, _, iid, victim = self._mid_flight(db)
+        # An older transaction admitted before the cancel (so its ts is
+        # only one ahead of the victim's) must be able to write the
+        # instance the victim touched without a single CC restart.
+        writer = submit(mux, "older", [["set_attr", iid, "weight", 5]])
+        mux.cancel(victim)
+        mux.step_batch(100)
+        assert writer.outcome == "committed"
+        assert mux.scheduler.total_restarts == 0
+
+    def test_cancel_all_on_shutdown(self, db):
+        mux, outcomes, _, _ = self._mid_flight(db)
+        assert mux.cancel_all("shutdown") == 1
+        assert mux.in_flight == 0
+        assert ("victim", "cancelled", "shutdown") in outcomes
+
+    def test_cancel_after_completion_is_a_noop(self, db):
+        mux = SessionMultiplexer(db)
+        handle = submit(mux, "t", [["create", "node", {"weight": 1}]])
+        mux.step_batch(100)
+        assert handle.outcome == "committed"
+        assert mux.cancel(handle) is False
+        assert mux.txns_cancelled == 0

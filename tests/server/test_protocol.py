@@ -1,0 +1,150 @@
+"""Wire framing and op-list validation."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+)
+from repro.server.txnscript import validate_ops
+
+
+def roundtrip_async(data: bytes):
+    """Feed raw bytes to read_frame via an asyncio StreamReader."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        payload = {"t": "txn", "id": 7, "ops": [["create", "node", {"weight": 3}]]}
+        assert roundtrip_async(encode_frame(payload)) == [payload]
+
+    def test_multiple_frames_in_one_buffer(self):
+        frames = [{"t": "ping", "id": i} for i in range(5)]
+        data = b"".join(encode_frame(f) for f in frames)
+        assert roundtrip_async(data) == frames
+
+    def test_clean_eof_returns_none(self):
+        assert roundtrip_async(b"") == []
+
+    def test_eof_inside_body_raises(self):
+        data = encode_frame({"t": "ping", "id": 1})[:-2]
+        with pytest.raises(asyncio.IncompleteReadError):
+            roundtrip_async(data)
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+
+    def test_oversized_frame_rejected_on_read(self):
+        data = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            roundtrip_async(data + b"x")
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            roundtrip_async(struct.pack(">I", len(body)) + body)
+
+    def test_undecodable_body_rejected(self):
+        body = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            roundtrip_async(struct.pack(">I", len(body)) + body)
+
+    def test_unjsonable_values_degrade_to_repr(self):
+        frame = roundtrip_async(encode_frame({"t": "result", "value": {1, 2}}))[0]
+        assert "1" in frame["value"]  # repr of the set, not a crash
+
+
+class TestRecvFrame:
+    """The blocking counterpart, over a real socket pair."""
+
+    def _over_socket(self, data: bytes):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(data)
+            a.close()
+            frames = []
+            while True:
+                frame = recv_frame(b)
+                if frame is None:
+                    return frames
+                frames.append(frame)
+        finally:
+            b.close()
+
+    def test_roundtrip_and_clean_eof(self):
+        payload = {"t": "pong", "id": 3}
+        assert self._over_socket(encode_frame(payload) * 2) == [payload, payload]
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises(ProtocolError, match="inside a frame"):
+            self._over_socket(encode_frame({"t": "ping", "id": 1})[:-1])
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="inside a frame"):
+            self._over_socket(b"\x00\x00")
+
+
+class TestValidateOps:
+    def test_valid_ops_pass(self):
+        ops = [
+            ["create", "node", {"weight": 1}],
+            ["create", "node", {"weight": 2}],
+            ["connect", {"$": 0}, "outputs", {"$": 1}, "inputs"],
+            ["set_attr", {"$": 0}, "weight", 9],
+            ["get_attr", {"$": 1}, "total"],
+            ["disconnect", {"$": 0}, "outputs", {"$": 1}, "inputs"],
+            ["delete", {"$": 1}],
+        ]
+        assert validate_ops(ops) is ops
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            (None, "non-empty list"),
+            ([], "non-empty list"),
+            ([[]], "non-empty list"),
+            ([["frobnicate", 1]], "unknown operation"),
+            ([["create", "node"]], "takes 2 arguments"),
+            ([["get_attr", 1, "total", "extra"]], "takes 2 arguments"),
+            ([["delete", {"$": 0}]], "earlier op"),
+            ([["create", "node", {}], ["delete", {"$": 1}]], "earlier op"),
+            ([["create", "node", {}], ["delete", {"$": -1}]], "earlier op"),
+            ([["create", "node", "weight"]], "intrinsics"),
+        ],
+    )
+    def test_malformed_ops_rejected(self, bad, match):
+        with pytest.raises(ProtocolError, match=match):
+            validate_ops(bad)
+
+    def test_registry_covers_session_surface(self):
+        # Every wire op maps to a Session method with matching arity.
+        from repro.txn.manager import Session
+
+        for name, arity in OPS.items():
+            assert hasattr(Session, name)

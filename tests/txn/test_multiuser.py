@@ -144,11 +144,15 @@ class TestConflicting:
                 s.set_attr(x, "weight", s.ts)
                 yield
 
-        with pytest.raises(TransactionAborted, match="restarts"):
-            MultiUserScheduler(db).run(
-                [("victim", always_conflicts), ("hammer", hammer)],
-                max_restarts=0,
-            )
+        # A blown restart budget retires the script into ``failed`` --
+        # it must not abort the rest of the schedule.
+        result = MultiUserScheduler(db).run(
+            [("victim", always_conflicts), ("hammer", hammer)],
+            max_restarts=0,
+        )
+        assert result.committed == ["hammer"]
+        assert set(result.failed) == {"victim"}
+        assert "restarts" in result.failed["victim"]
 
 
 class TestSeededInterleaving:
