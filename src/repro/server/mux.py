@@ -48,6 +48,9 @@ class ServerConfig:
     #: scheduler steps run per event-loop tick; the knob trading fairness
     #: against syscall overhead.
     steps_per_tick: int = 64
+    #: seconds a disconnecting connection's sender may keep flushing before
+    #: teardown abandons it (a stalled peer must not pin capacity).
+    drain_timeout: float = 5.0
     #: per-transaction CC restart budget before it fails terminally.
     max_restarts: int = 100
     #: optional scheduler seed: pick interleavings pseudo-randomly

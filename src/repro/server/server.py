@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import traceback
 from typing import TYPE_CHECKING
 
 from repro.server.mux import ServerConfig, SessionMultiplexer, TxnHandle
@@ -128,7 +129,14 @@ class ReproServer:
                     continue
                 await self._wake.wait()
                 continue
-            self.mux.step_batch(steps_per_tick)
+            try:
+                self.mux.step_batch(steps_per_tick)
+            except Exception:
+                # The driver task is the whole serving loop: a bug escaping
+                # a completion callback must fail at most the transaction
+                # that triggered it (already retired before its callback
+                # ran), never halt stepping for every client.
+                traceback.print_exc()
             # Yield so the loop can accept connections, read frames, and
             # flush responses between step batches.
             await asyncio.sleep(0)
@@ -260,8 +268,27 @@ class ReproServer:
         )
 
     def _send(self, conn: _Connection, payload: dict) -> None:
-        if conn.open:
-            conn.outbox.put_nowait(encode_frame(payload, self.config.max_frame_bytes))
+        if not conn.open:
+            return
+        try:
+            frame = encode_frame(payload, self.config.max_frame_bytes)
+        except ProtocolError as exc:
+            # Responses are not bounded by the request cap: a small txn of
+            # get_attr ops over a large stored value can build a result
+            # frame over the limit.  This runs synchronously inside the
+            # driver's step loop, so degrade to an in-band error frame
+            # instead of letting the exception kill serving for everyone.
+            # The fallback gets headroom over the configured cap because
+            # the echoed request id may itself be nearly request-sized.
+            frame = encode_frame(
+                {
+                    "t": "error",
+                    "id": payload.get("id"),
+                    "error": f"response dropped: {exc}",
+                },
+                self.config.max_frame_bytes + 4096,
+            )
+        conn.outbox.put_nowait(frame)
 
     async def _send_loop(self, conn: _Connection) -> None:
         try:
@@ -277,22 +304,34 @@ class ReproServer:
     async def _teardown(self, conn: _Connection, sender: asyncio.Task) -> None:
         """Disconnect path: cancel in-flight work, release, close."""
         conn.open = False
-        # A dropped connection mid-transaction rolls back and releases its
-        # timestamp marks; nothing is written back for cancelled work.
-        for handle in list(conn.handles):
-            self.mux.cancel(handle, "disconnected")
-        conn.handles.clear()
-        conn.drained.set()
-        conn.outbox.put_nowait(None)
-        await asyncio.wait_for(sender, timeout=5)
-        self._conns.pop(conn.cid, None)
-        self.mux.connections_open -= 1
-        self.mux.connections_closed += 1
-        conn.writer.close()
         try:
-            await conn.writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+            # A dropped connection mid-transaction rolls back and releases
+            # its timestamp marks; nothing is written back for cancelled
+            # work.
+            for handle in list(conn.handles):
+                self.mux.cancel(handle, "disconnected")
+            conn.handles.clear()
+            conn.drained.set()
+            conn.outbox.put_nowait(None)
+            try:
+                await asyncio.wait_for(sender, timeout=self.config.drain_timeout)
+            except asyncio.TimeoutError:
+                # The sender is wedged in drain() against a stalled peer:
+                # stop flushing; the finally below still reclaims the
+                # connection's capacity budget.
+                sender.cancel()
+                await asyncio.gather(sender, return_exceptions=True)
+        finally:
+            # Unconditional: a teardown that dies part-way must never leak
+            # the connection-capacity budget or leave the socket open.
+            self._conns.pop(conn.cid, None)
+            self.mux.connections_open -= 1
+            self.mux.connections_closed += 1
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 async def serve(db: "Database", config: ServerConfig | None = None) -> ReproServer:

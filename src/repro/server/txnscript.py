@@ -10,11 +10,14 @@ script.  The parity property test drives both paths through this one
 translation.
 
 Arguments may reference the result of an earlier operation in the same
-transaction with ``{"$": k}`` (the value produced by op ``k``): ``create``
-produces the new instance id, ``get_attr`` produces the value read, all
-other ops produce ``None``.  On a CC restart the generator is rebuilt and
-re-runs from the top; the results list is cleared so references always
-resolve within the current attempt.
+transaction with a dict that is *exactly* ``{"$": k}`` (the value produced
+by op ``k``): ``create`` produces the new instance id, ``get_attr``
+produces the value read, all other ops produce ``None``.  A dict with any
+other shape is a literal value.  ``create``'s intrinsics object is never
+itself a reference -- an intrinsics attribute may legitimately be named
+``"$"`` -- but each of its *values* may be one.  On a CC restart the
+generator is rebuilt and re-runs from the top; the results list is cleared
+so references always resolve within the current attempt.
 
 Any error that is not part of the scheduler's restart/abort vocabulary --
 an unknown class, a missing instance, a type error in a value -- is
@@ -55,23 +58,36 @@ def validate_ops(ops: Any) -> list[list]:
             raise ProtocolError(
                 f"op {index}: {name} takes {arity} arguments, got {len(args)}"
             )
-        for arg in args:
-            if isinstance(arg, dict) and "$" in arg:
+        if name == "create":
+            if not isinstance(args[1], dict):
+                raise ProtocolError(
+                    f"op {index}: create intrinsics must be an object"
+                )
+            # The intrinsics object is never itself a reference (its keys
+            # are attribute names, "$" included), but its values may be.
+            referenceable = [args[0], *args[1].values()]
+        else:
+            referenceable = args
+        for arg in referenceable:
+            if _is_ref(arg):
                 ref = arg["$"]
                 if not isinstance(ref, int) or not 0 <= ref < index:
                     raise ProtocolError(
                         f"op {index}: result reference {arg!r} must point at "
                         f"an earlier op"
                     )
-        if name == "create" and not isinstance(args[1], dict):
-            raise ProtocolError(
-                f"op {index}: create intrinsics must be an object"
-            )
     return ops
 
 
+def _is_ref(arg: Any) -> bool:
+    """Only a dict that is exactly ``{"$": k}`` is a result reference;
+    anything else -- including dicts that merely contain a ``"$"`` key --
+    is a literal value."""
+    return isinstance(arg, dict) and len(arg) == 1 and "$" in arg
+
+
 def _resolve(arg: Any, results: list) -> Any:
-    if isinstance(arg, dict) and "$" in arg:
+    if _is_ref(arg):
         return results[arg["$"]]
     return arg
 
@@ -107,7 +123,15 @@ def script_from_ops(ops: Sequence[Sequence], results: list) -> Script:
             if index:
                 yield
             name = op[0]
-            args = [_resolve(arg, results) for arg in op[1:]]
+            if name == "create":
+                # Intrinsics resolve per-value (the object itself is a
+                # literal even when an attribute is named "$").
+                args = [
+                    _resolve(op[1], results),
+                    {key: _resolve(value, results) for key, value in op[2].items()},
+                ]
+            else:
+                args = [_resolve(arg, results) for arg in op[1:]]
             try:
                 results.append(_apply(session, name, args))
             except (ConcurrencyAbort, ConstraintViolation, TransactionAborted):

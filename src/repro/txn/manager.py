@@ -59,7 +59,10 @@ class Session:
     them if the transaction is torn down without committing -- the server
     uses this for client disconnects, where leaving ghost marks behind
     would keep aborting older transactions against work that never
-    happened.
+    happened.  The journal spans restart attempts (each entry records the
+    timestamp it was placed with), so a cancel after one or more CC
+    restarts retracts *every* attempt's marks, and a terminal outcome
+    (commit, final failure) seals them via :meth:`confirm_marks` instead.
     """
 
     def __init__(
@@ -76,51 +79,74 @@ class Session:
         self._delta: Delta | None = None
         #: values returned by get_attr, for post-run assertions in tests.
         self.observations: list[Any] = []
-        #: journal of (kind, iid, displaced_mark) entries, or None when
-        #: mark tracking is off (the default for batch scheduling).
-        self._mark_log: list[tuple[str, int, int]] | None = (
+        #: journal of (kind, iid, ts, displaced_mark) entries spanning every
+        #: restart attempt, or None when mark tracking is off (the default
+        #: for batch scheduling).
+        self._mark_log: list[tuple[str, int, int, int]] | None = (
             [] if track_marks else None
         )
 
     # -- lifecycle (driven by the scheduler) -------------------------------
 
     def start(self) -> None:
+        # Deliberately does NOT clear the mark journal: a restarted
+        # attempt's marks carry the old timestamp and stay journalled so a
+        # later cancel can retract them too (release_marks) -- clearing
+        # here would orphan them as permanent ghosts.
         self.ts = self.tsm.new_timestamp()
         self._delta = Delta(txn_id=self.ts, label=self.name)
-        if self._mark_log is not None:
-            self._mark_log.clear()
 
     def _adopted(self):
         """Context manager routing the db's logging to this session's delta."""
         return _Adoption(self)
 
     def _check_read(self, iid: int) -> int:
-        previous = self.tsm.check_read(self.ts, iid)
-        if self._mark_log is not None:
-            self._mark_log.append(("r", iid, previous))
+        tracked = self._mark_log is not None
+        previous = self.tsm.check_read(self.ts, iid, track=tracked)
+        if tracked:
+            self._mark_log.append(("r", iid, self.ts, previous))
         return previous
 
     def _check_write(self, iid: int) -> int:
         previous = self.tsm.check_write(self.ts, iid)
         if self._mark_log is not None:
-            self._mark_log.append(("w", iid, previous))
+            self._mark_log.append(("w", iid, self.ts, previous))
         return previous
 
     def release_marks(self) -> None:
-        """Retract every journalled timestamp mark still carrying our ts.
+        """Retract every journalled timestamp mark, across all attempts.
 
         Only meaningful on the teardown path of a ``track_marks`` session:
         the work was rolled back, so the marks describe reads and writes
-        that no longer exist.  Marks a younger transaction has since
-        overwritten are left alone (see ``retract_read``/``retract_write``).
+        that no longer exist.  Each entry is retracted under the timestamp
+        it was placed with, so marks from restarted attempts go too.  Marks
+        a younger transaction has since overwritten are left alone (see
+        ``retract_read``/``retract_write``).
         """
         if not self._mark_log:
             return
-        for kind, iid, previous in reversed(self._mark_log):
+        for kind, iid, ts, previous in reversed(self._mark_log):
             if kind == "w":
-                self.tsm.retract_write(self.ts, iid, previous)
+                self.tsm.retract_write(ts, iid, previous)
             else:
-                self.tsm.retract_read(self.ts, iid, previous)
+                self.tsm.retract_read(ts, iid, previous)
+        self._mark_log.clear()
+
+    def confirm_marks(self) -> None:
+        """Seal the journalled marks after a terminal outcome.
+
+        On commit (and terminal failure) the marks must *stand* -- exactly
+        as an untracked batch session's would -- so instead of retracting,
+        each journalled read moves from the record's in-doubt reader
+        bookkeeping to its stable floor (write marks already stand on
+        their own).  Clearing the journal here is what guarantees a later
+        teardown can never retract a terminated transaction's marks.
+        """
+        if not self._mark_log:
+            return
+        for kind, iid, ts, _previous in self._mark_log:
+            if kind == "r":
+                self.tsm.confirm_read(ts, iid)
         self._mark_log.clear()
 
     def commit(self) -> Delta:
@@ -142,6 +168,7 @@ class Session:
                 self._delta = self.db.txn.release()
             raise
         self.tsm.note_commit()
+        self.confirm_marks()
         return committed
 
     def rollback(self) -> None:
@@ -518,6 +545,11 @@ class MultiUserScheduler:
         abandon everyone else's adopted deltas mid-script.
         """
         state.session.rollback()
+        # The failure is terminal and answered: its marks stand as
+        # conservative ghosts (matching untracked batch behaviour), but the
+        # reader bookkeeping is sealed so a record's in-doubt multiset
+        # stays bounded over a long-lived server.
+        state.session.confirm_marks()
         state.done = True
         self._live -= 1
         self._failed[state.name] = str(exc)

@@ -35,6 +35,13 @@ from repro.obs.events import TORejection
 class _Marks:
     read_ts: int = 0
     write_ts: int = 0
+    #: highest read mark that can never be retracted: reads by untracked
+    #: (batch) transactions, and tracked reads whose transaction reached a
+    #: terminal outcome (commit/fail) -- see :meth:`TimestampManager.confirm_read`.
+    stable_read_ts: int = 0
+    #: in-doubt tracked readers, ts -> journalled read count; ``None``
+    #: until the first tracked read so the batch hot path stays dict-free.
+    readers: dict[int, int] | None = None
 
 
 @dataclass
@@ -95,12 +102,16 @@ class TimestampManager:
             self._marks[iid] = marks
         return marks
 
-    def check_read(self, ts: int, iid: int) -> int:
+    def check_read(self, ts: int, iid: int, track: bool = False) -> int:
         """Validate and record a read of ``iid`` by a transaction at ``ts``.
 
-        Returns the read mark the record carried *before* this check, so a
-        caller tracking its marks (a server-driven session that may be torn
-        down mid-transaction) can hand it back to :meth:`retract_read`.
+        Returns the read mark the record carried *before* this check.  With
+        ``track=True`` (a server-driven session that may be torn down
+        mid-transaction) the reader is also entered into the record's
+        in-doubt reader multiset, which is what lets :meth:`retract_read`
+        restore the correct mark even when intermediate readers arrived
+        after this one; the caller must balance every tracked check with
+        exactly one :meth:`retract_read` or :meth:`confirm_read`.
         """
         marks = self._marks_for(iid)
         self.stats.reads_checked += 1
@@ -112,6 +123,13 @@ class TimestampManager:
                 f"written at ts {marks.write_ts}"
             )
         previous = marks.read_ts
+        if track:
+            readers = marks.readers
+            if readers is None:
+                readers = marks.readers = {}
+            readers[ts] = readers.get(ts, 0) + 1
+        elif ts > marks.stable_read_ts:
+            marks.stable_read_ts = ts
         if ts > marks.read_ts:
             marks.read_ts = ts
         return previous
@@ -154,17 +172,66 @@ class TimestampManager:
         if marks is not None and marks.write_ts == ts:
             marks.write_ts = previous_write_ts
 
-    def retract_read(self, ts: int, iid: int, previous_read_ts: int) -> None:
-        """Undo a :meth:`check_read` whose transaction was torn down.
+    @staticmethod
+    def _drop_reader(marks: _Marks, ts: int) -> bool:
+        """Remove one in-doubt read at ``ts``; True if an entry existed."""
+        readers = marks.readers
+        if readers is None:
+            return False
+        count = readers.get(ts)
+        if count is None:
+            return False
+        if count > 1:
+            readers[ts] = count - 1
+        else:
+            del readers[ts]
+        return True
 
-        Symmetric to :meth:`retract_write`: restores the prior read mark
-        while the record still carries ``ts``.  Used when a server-driven
-        session is cancelled (client disconnect) so its ghost read marks do
-        not keep aborting older writers forever.
+    def retract_read(self, ts: int, iid: int, previous_read_ts: int) -> None:
+        """Undo a tracked :meth:`check_read` whose transaction was torn down.
+
+        Used when a server-driven session is cancelled (client disconnect)
+        so its ghost read marks do not keep aborting older writers forever.
+        The restored mark comes from the record's reader bookkeeping -- the
+        stable floor plus the remaining in-doubt readers -- not from the
+        journalled ``previous_read_ts``: the journalled value cannot see
+        readers with intermediate timestamps that arrived *after* this
+        check, and restoring it would let a write slide under a live
+        intermediate read (a non-serializable schedule).  The journalled
+        value only serves the legacy fallback for records that never saw a
+        tracked read.
         """
         marks = self._marks.get(iid)
-        if marks is not None and marks.read_ts == ts:
-            marks.read_ts = previous_read_ts
+        if marks is None:
+            return
+        if marks.readers is None:
+            # No tracked-read bookkeeping on this record: conservative
+            # legacy behaviour, restore only while the mark is still ours.
+            if marks.read_ts == ts:
+                marks.read_ts = previous_read_ts
+            return
+        self._drop_reader(marks, ts)
+        remaining = marks.readers
+        marks.read_ts = max(
+            marks.stable_read_ts, max(remaining) if remaining else 0
+        )
+
+    def confirm_read(self, ts: int, iid: int) -> None:
+        """Seal a tracked :meth:`check_read` whose transaction terminated.
+
+        The read can never be retracted after this (the transaction
+        committed, or failed terminally -- where the conservative ghost
+        mark is kept, matching untracked batch behaviour): it moves from
+        the in-doubt reader multiset to the stable floor, so the record's
+        bookkeeping stays bounded and later retractions by other
+        transactions never lower the mark below it.
+        """
+        marks = self._marks.get(iid)
+        if marks is None:
+            return
+        self._drop_reader(marks, ts)
+        if ts > marks.stable_read_ts:
+            marks.stable_read_ts = ts
 
     def note_commit(self) -> None:
         self.stats.transactions_committed += 1

@@ -38,6 +38,25 @@ class TestSubmission:
         assert handle.results[3] == 3 + 4
         assert mux.txns_committed == 1 and mux.in_flight == 0
 
+    def test_create_intrinsics_may_use_refs_in_values_and_dollar_keys(self, db):
+        """REVIEW regression: only a dict that is exactly ``{"$": k}`` is a
+        result reference.  A create's intrinsics object is never itself a
+        reference, but its values resolve."""
+        mux = SessionMultiplexer(db)
+        handle = submit(
+            mux,
+            "t1",
+            [
+                ["create", "node", {"weight": 3}],
+                ["get_attr", {"$": 0}, "weight"],
+                ["create", "node", {"weight": {"$": 1}}],
+                ["get_attr", {"$": 2}, "weight"],
+            ],
+        )
+        mux.step_batch(100)
+        assert handle.outcome == "committed"
+        assert handle.results[3] == 3
+
     def test_malformed_ops_raise_before_admission(self, db):
         mux = SessionMultiplexer(db)
         with pytest.raises(ProtocolError):
@@ -141,6 +160,36 @@ class TestDisconnectTeardown:
         mux.step_batch(100)
         assert writer.outcome == "committed"
         assert mux.scheduler.total_restarts == 0
+
+    def test_cancel_after_restart_leaves_no_ghost_marks(self, db):
+        """REVIEW regression: a transaction that restarts at least once and
+        is then cancelled must retract the marks of *every* attempt, not
+        just the latest one."""
+        mux = SessionMultiplexer(db)
+        seed = submit(mux, "seed", [["create", "node", {"weight": 1}]])
+        mux.step_batch(100)
+        iid = seed.results[0]
+        victim = submit(
+            mux,
+            "victim",
+            [
+                ["get_attr", iid, "weight"],
+                ["set_attr", iid, "weight", 99],
+                ["create", "node", {"weight": 2}],
+            ],
+        )
+        blocker = submit(mux, "blocker", [["set_attr", iid, "weight", 7]])
+        # Round-robin: victim reads, blocker writes and commits, victim's
+        # write then violates TO and restarts with a fresh timestamp, and
+        # the restarted attempt reads again.
+        mux.step_batch(4)
+        assert blocker.outcome == "committed"
+        assert victim.state.restart_count == 1
+        assert mux.cancel(victim, "disconnected") is True
+        marks = mux.scheduler.tsm._marks[iid]
+        # Both attempts' read marks are gone; blocker's write stands.
+        assert marks.read_ts == 0
+        assert marks.write_ts == blocker.state.session.ts
 
     def test_cancel_all_on_shutdown(self, db):
         mux, outcomes, _, _ = self._mid_flight(db)

@@ -142,6 +142,21 @@ class TestValidateOps:
         with pytest.raises(ProtocolError, match=match):
             validate_ops(bad)
 
+    def test_only_exact_dollar_dict_is_a_reference(self):
+        """REVIEW regression: a dict merely *containing* a ``"$"`` key is a
+        literal value, and a create's intrinsics object is never itself a
+        reference -- only its values are checked."""
+        ops = [
+            ["create", "node", {"$": 0}],  # literal attribute named "$"
+            ["set_attr", {"$": 0}, "weight", {"$": 99, "note": "literal"}],
+            ["create", "node", {"weight": {"$": 1}}],  # value reference
+        ]
+        assert validate_ops(ops) is ops
+
+    def test_bad_reference_in_create_intrinsics_value_rejected(self):
+        with pytest.raises(ProtocolError, match="earlier op"):
+            validate_ops([["create", "node", {"weight": {"$": 5}}]])
+
     def test_registry_covers_session_surface(self):
         # Every wire op maps to a Session method with matching arity.
         from repro.txn.manager import Session

@@ -24,7 +24,7 @@ from repro.compile import COMPILE_DISABLED_ENV
 from repro.core.database import Database
 from repro.server.mux import ServerConfig
 from repro.server.protocol import ProtocolError, encode_frame, recv_frame
-from repro.server.server import ServerThread
+from repro.server.server import ReproServer, ServerThread, _Connection
 from repro.workloads import sum_node_schema
 
 
@@ -219,6 +219,64 @@ def test_unknown_request_type_answers_error_frame():
         frame = recv_frame(sock)
         assert frame["t"] == "error" and "non-empty" in frame["error"]
         sock.close()
+
+
+def test_oversized_response_degrades_to_error_and_serving_continues():
+    """REVIEW regression: requests are capped, responses are not -- a txn
+    of small get_attr ops over a large stored value builds a result frame
+    over the limit.  That must answer an in-band error frame, never kill
+    the driver task (which would silently halt serving for every client).
+    """
+    db = build_db()
+    big = int("9" * 3000)  # a ~3 KB integer: one copy fits a request...
+    with ServerThread(db, ServerConfig(max_frame_bytes=4096)) as thread:
+        with ReproClient(*thread.address, timeout=10) as client:
+            setup = TxnBuilder()
+            setup.create("node", weight=big)
+            stored = client.run(setup)
+            assert stored.committed
+            iid = stored.results[0]
+            # ...but two copies in one response exceed the frame limit.
+            with pytest.raises(ServerError, match="response dropped"):
+                client.run([["get_attr", iid, "weight"]] * 2)
+            # The driver survived: the same connection keeps being served.
+            client.ping()
+            follow_up = TxnBuilder()
+            follow_up.create("node", weight=1)
+            assert client.run(follow_up).committed
+            server = client.metrics()["server"]
+    # The oversized transaction itself committed; only its answer dropped.
+    assert server["txns_committed"] == 3
+    assert server["txns_in_flight"] == 0
+
+
+def test_teardown_reclaims_capacity_when_sender_is_stuck():
+    """REVIEW regression: a sender wedged in drain() against a stalled
+    peer used to make teardown skip its accounting, leaking the
+    connection-capacity budget until the server rejected everyone."""
+    db = build_db()
+
+    class _InertWriter:
+        def close(self):
+            pass
+
+        async def wait_closed(self):
+            pass
+
+    async def go():
+        server = ReproServer(db, ServerConfig(drain_timeout=0.05))
+        conn = _Connection(1, _InertWriter())
+        server._conns[1] = conn
+        server.mux.connections_open += 1
+        # A sender that never drains, standing in for a stalled peer.
+        sender = asyncio.ensure_future(asyncio.sleep(60))
+        await server._teardown(conn, sender)
+        assert sender.done()
+        assert server.mux.connections_open == 0
+        assert server.mux.connections_closed == 1
+        assert 1 not in server._conns
+
+    asyncio.run(go())
 
 
 def test_failed_transaction_reports_reason_and_restarts_field():
