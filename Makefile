@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema obs-check reorg-check compile-check server-check clean
+.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema lint-src analysis-check obs-check reorg-check compile-check server-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,11 +15,26 @@ bench-recovery: ## durability cost + recovery latency -> benchmarks/results/BENC
 	PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py --benchmark-only -q
 
 lint-schema: ## static analysis over every example and paper-figure schema
-	PYTHONPATH=src python -m repro.analysis --paper-figures \
+	PYTHONPATH=src python -m repro.analysis --strict --paper-figures \
 		examples/schemas/milestones.cactis examples/schemas/very_late.cactis
-	PYTHONPATH=src python -m repro.analysis \
+	PYTHONPATH=src python -m repro.analysis --strict \
 		--functions file_mod_time,system_command examples/schemas/make.cactis
-	PYTHONPATH=src python -m repro.analysis examples/schemas/project.cactis
+	PYTHONPATH=src python -m repro.analysis --strict examples/schemas/project.cactis
+
+lint-src: ## ruff over src/ when available (config in pyproject.toml)
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src benchmarks; \
+	else \
+		echo "ruff not installed; falling back to a compile check"; \
+		python -m compileall -q src benchmarks; \
+	fi
+
+analysis-check: ## dataflow/facts suite + --facts smoke over the paper figures
+	PYTHONPATH=src python -m pytest tests/analysis -q
+	PYTHONPATH=src python -m repro.analysis --strict --quiet --paper-figures \
+		--facts /tmp/analysis-facts.json
+	PYTHONPATH=src python -c "import json; d = json.load(open('/tmp/analysis-facts.json')); assert d, 'empty facts dump'; print('facts units:', ', '.join(sorted(d)))"
+	rm -f /tmp/analysis-facts.json
 
 obs-check: ## docs/OBSERVABILITY.md cross-check + CLI smoke on a recorded trace
 	PYTHONPATH=src python -m pytest tests/obs/test_docs.py -q
@@ -47,6 +62,8 @@ bench-server: ## served txn/s + p99 under 16 clients -> benchmarks/results/BENCH
 ci: ## what .github/workflows/ci.yml runs
 	python -m compileall -q src
 	$(MAKE) lint-schema
+	$(MAKE) lint-src
+	$(MAKE) analysis-check
 	$(MAKE) obs-check
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest tests/persistence -q

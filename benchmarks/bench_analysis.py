@@ -1,0 +1,129 @@
+"""BENCH -- static-analyzer throughput on a large generated schema.
+
+The dataflow pass runs at every ``Schema.freeze``, so its cost is part of
+the schema-change path the paper's incremental environments rely on.
+This benchmark generates a wide synthetic schema (a relationship-linked
+chain of classes, each with derived attributes, a transmit rule, and a
+constraint the interval analysis can prove), then measures:
+
+* full analysis (``analyze_source``: parse + model + every CAxxx pass);
+* the facts pipeline alone (``model_from_decl`` + ``facts_from_model``),
+  which is exactly what ``Schema.freeze`` pays.
+
+Counts -- classes, rules, diagnostics, fixpoint rounds, proven
+constraints -- land in ``results/BENCH_analysis.json`` so later PRs can
+track analyzer cost as the pass grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import report, report_json
+from repro.analysis import analyze_source
+from repro.analysis.facts import facts_from_model
+from repro.analysis.model import model_from_decl
+from repro.dsl.parser import parse
+
+CLASSES = 60
+
+
+def _generate_schema(classes: int = CLASSES) -> str:
+    parts = [
+        "relationship link is\n"
+        "    score : integer from plug;\n"
+        "end relationship;\n"
+    ]
+    for n in range(classes):
+        parts.append(
+            f"""
+object class stage{n} is
+  relationships
+    feed : link multi socket;
+    emit : link plug;
+  attributes
+    base   : integer;
+    bound  : integer;
+    rating : integer;
+  rules
+    bound = {n} + 1;
+    rating = begin
+        acc : integer;
+        acc := base;
+        for each w related to feed do
+            acc := acc + w.score;
+        end for;
+        if acc > bound then
+            return acc;
+        end if;
+        return bound;
+    end;
+    emit score = bound;
+  constraints
+    bound_ok : bound >= 1 and bound <= {n} + 1;
+end object;
+"""
+        )
+    return "".join(parts)
+
+
+def _best_of(fn, rounds: int = 3):
+    best = float("inf")
+    value = None
+    for __ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, value
+
+
+def test_analyzer_throughput(benchmark):
+    source = _generate_schema()
+
+    benchmark.pedantic(
+        lambda: analyze_source(source), rounds=3, iterations=1
+    )
+
+    full_seconds, diagnostics = _best_of(lambda: analyze_source(source))
+
+    def facts_only():
+        return facts_from_model(model_from_decl(parse(source)))
+
+    facts_seconds, facts = _best_of(facts_only)
+
+    rules = len(facts.cost.rule_ops)
+    proven = len(facts.always_true)
+    assert proven == CLASSES, "every generated constraint is provable"
+    assert not facts.always_false
+
+    by_severity: dict[str, int] = {}
+    for diag in diagnostics:
+        name = diag.severity.name.lower()
+        by_severity[name] = by_severity.get(name, 0) + 1
+    assert by_severity.get("error", 0) == 0
+
+    report(
+        "BENCH_analysis",
+        f"analyzer throughput ({CLASSES} classes, {rules} rules)",
+        ["stage", "best ms", "per class ms"],
+        [
+            ["full analysis", f"{full_seconds * 1e3:.1f}",
+             f"{full_seconds * 1e3 / CLASSES:.2f}"],
+            ["facts pipeline", f"{facts_seconds * 1e3:.1f}",
+             f"{facts_seconds * 1e3 / CLASSES:.2f}"],
+        ],
+    )
+    report_json(
+        "analysis",
+        "analyzer_throughput",
+        {
+            "classes": CLASSES,
+            "rules_analyzed": rules,
+            "constraints_proven_true": proven,
+            "fixpoint_rounds": facts.rounds,
+            "diagnostics": by_severity,
+            "full_analysis_seconds_best": full_seconds,
+            "facts_pipeline_seconds_best": facts_seconds,
+        },
+    )

@@ -6,8 +6,6 @@ Workload: version streams over a sizeable database with small per-version
 edits; checkout cost across version distance; branch switching.
 """
 
-import pytest
-
 from benchmarks.common import report
 from repro.core.database import Database
 from repro.versions import VersionStream

@@ -7,8 +7,6 @@ component-structured project graph under a skewed access pattern; compare
 disk reads before and after reorganisation, plus the locality score.
 """
 
-import pytest
-
 from benchmarks.common import report
 from repro.core.database import Database
 from repro.storage.clustering import locality_score

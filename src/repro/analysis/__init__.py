@@ -18,13 +18,20 @@ Entry points:
 
 Passes: name resolution / declaration structure (CA1xx, emitted while the
 model is built), rule-dependency cycles (CA2xx), types (CA3xx), dead code
-(CA4xx), and constraint/predicate satisfiability (CA5xx).  See
+(CA4xx), constraint/predicate satisfiability (CA5xx), abstract
+interpretation over intervals -- initialization, missing returns, value
+verdicts (CA6xx) -- and rule-graph confluence (CA7xx).  See
 ``docs/DIAGNOSTICS.md`` for the full code listing.
+
+:mod:`repro.analysis.facts` packages the interval fixpoint as
+:class:`~repro.analysis.facts.AnalysisFacts` for ``Schema.freeze`` --
+constraint folding in :mod:`repro.compile` and static cost priors for
+slot plans and clustering.
 """
 
 from __future__ import annotations
 
-from repro.analysis import cycles, deadcode, predicates, typecheck
+from repro.analysis import cycles, dataflow, deadcode, predicates, typecheck
 from repro.analysis.diagnostics import (
     CODES,
     Diagnostic,
@@ -60,6 +67,7 @@ def analyze_model(model: SchemaModel) -> list[Diagnostic]:
     diagnostics.extend(typecheck.check(model))
     diagnostics.extend(deadcode.check(model))
     diagnostics.extend(predicates.check(model))
+    diagnostics.extend(dataflow.check(model))
     unique: list[Diagnostic] = []
     seen: set[Diagnostic] = set()
     for diag in sorted(diagnostics, key=sort_key):

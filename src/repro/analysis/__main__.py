@@ -10,12 +10,15 @@ Exit status: 0 when no error-severity diagnostic fired (warnings and infos
 do not fail the build), 1 otherwise, 2 for usage errors.  ``--strict``
 promotes warnings to failures.  ``--paper-figures`` lints the built-in
 paper-figure schemas (milestones, make) instead of files, which CI uses to
-keep them clean.
+keep them clean.  ``--facts PATH`` additionally dumps each unit's
+:class:`~repro.analysis.facts.AnalysisFacts` as JSON (``-`` for stdout);
+the shape is documented in ``docs/DIAGNOSTICS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import analyze_source
@@ -40,6 +43,26 @@ def _paper_figure_sources() -> list[tuple[str, str, tuple[str, ...]]]:
             ("file_mod_time", "system_command"),
         ),
     ]
+
+
+def _unit_facts(
+    source: str, functions: tuple[str, ...], constants: tuple[str, ...]
+) -> dict:
+    """AnalysisFacts JSON for one compilation unit (empty dict on error)."""
+    from repro.analysis.facts import facts_from_model
+    from repro.analysis.model import model_from_decl
+    from repro.dsl.parser import parse
+
+    try:
+        decl = parse(source)
+        model = model_from_decl(
+            decl, functions=set(functions), constants=set(constants)
+        )
+        return facts_from_model(model).to_json()
+    except Exception:
+        # A unit that fails to parse/build already produced diagnostics;
+        # the facts dump degrades to empty rather than aborting the lint.
+        return {}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,6 +102,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print only the summary line",
     )
+    parser.add_argument(
+        "--facts",
+        default="",
+        metavar="PATH",
+        help="write AnalysisFacts JSON per unit ('-' for stdout)",
+    )
     args = parser.parse_args(argv)
     if not args.files and not args.paper_figures:
         parser.error("no schema files given (or use --paper-figures)")
@@ -103,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             units.append((source, name, functions + extra))
 
     totals = {severity: 0 for severity in Severity}
+    facts_out: dict[str, dict] = {}
     for source, label, unit_functions in units:
         diagnostics = analyze_source(
             source, filename=label, functions=unit_functions,
@@ -112,6 +142,16 @@ def main(argv: list[str] | None = None) -> int:
             totals[diag.severity] += 1
             if not args.quiet:
                 print(diag.render())
+        if args.facts:
+            facts_out[label] = _unit_facts(source, unit_functions, constants)
+
+    if args.facts:
+        payload = json.dumps(facts_out, indent=2, sort_keys=True)
+        if args.facts == "-":
+            print(payload)
+        else:
+            with open(args.facts, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
 
     failing = totals[Severity.ERROR]
     if args.strict:

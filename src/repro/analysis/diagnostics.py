@@ -14,7 +14,9 @@ Code blocks:
 * ``CA2xx`` -- rule-dependency cycles.
 * ``CA3xx`` -- types.
 * ``CA4xx`` -- dead code.
-* ``CA5xx`` -- constraint / predicate analysis.
+* ``CA5xx`` -- constraint / predicate analysis (propositional).
+* ``CA6xx`` -- dataflow: initialization and value analysis (intervals).
+* ``CA7xx`` -- determinism / confluence of the rule graph.
 
 ``docs/DIAGNOSTICS.md`` documents each code with an example; the registry
 below is the single source of truth for default severities and one-line
@@ -83,6 +85,16 @@ CODES: dict[str, tuple[Severity, str]] = {
     "CA503": (Severity.ERROR, "subtype predicate is unsatisfiable"),
     "CA504": (Severity.WARNING, "subtype predicate is trivially true"),
     "CA505": (Severity.WARNING, "subtype predicate duplicates a sibling"),
+    "CA601": (Severity.WARNING, "received value is never produced"),
+    "CA602": (Severity.WARNING, "For Each over a provably-empty port"),
+    "CA603": (Severity.ERROR, "rule body can finish without a return"),
+    "CA604": (Severity.WARNING, "local variable read before assignment"),
+    "CA611": (Severity.INFO, "constraint proven always-true by value analysis"),
+    "CA612": (Severity.ERROR, "constraint proven unsatisfiable by value analysis"),
+    "CA613": (Severity.ERROR, "subtype predicate unsatisfiable by value analysis"),
+    "CA614": (Severity.INFO, "subtype predicate always-true by value analysis"),
+    "CA701": (Severity.WARNING, "overlapping subtypes race for one slot"),
+    "CA702": (Severity.ERROR, "subtype predicate depends on a slot the subtype rules"),
 }
 
 

@@ -22,7 +22,6 @@ unsatisfiability.  Enumeration is capped at :data:`MAX_VARS` variables.
 from __future__ import annotations
 
 import itertools
-from typing import Any
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.model import RuleInfo, SchemaModel

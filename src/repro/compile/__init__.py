@@ -34,18 +34,28 @@ from repro.dsl.compiler import _RuleInterpreter
 
 __all__ = [
     "COMPILE_DISABLED_ENV",
+    "FOLD_DISABLED_ENV",
     "CompiledBody",
     "code_cache_size",
     "compile_enabled",
     "compile_frozen_schema",
+    "fold_enabled",
+    "fold_frozen_schema",
 ]
 
 #: set (to any non-empty value) to run the interpreter end to end.
 COMPILE_DISABLED_ENV = "REPRO_NO_COMPILE"
 
+#: set (to any non-empty value) to keep proven-constant predicates live.
+FOLD_DISABLED_ENV = "REPRO_NO_FOLD"
+
 
 def compile_enabled() -> bool:
     return not os.environ.get(COMPILE_DISABLED_ENV)
+
+
+def fold_enabled() -> bool:
+    return not os.environ.get(FOLD_DISABLED_ENV)
 
 
 def _classify(body: Any) -> tuple[_RuleInterpreter | None, bool] | None:
@@ -75,6 +85,64 @@ def _compile_attr(holder: Any, attr: str, inputs: Any, stats: dict) -> None:
         return  # declined; fallback already counted
     object.__setattr__(holder, attr, compiled)
     stats["rules_compiled"] += 1
+
+
+def _folded_true() -> bool:
+    """The body installed for a constraint/predicate proven always-true.
+
+    Zero inputs, so the slot gets no dependency edges: it is evaluated
+    once when the instance is created and never re-marked by any wave.
+    """
+    return True
+
+
+def fold_frozen_schema(schema: Any) -> dict[str, Any]:
+    """Fold constraints/predicates proven always-true into constant rules.
+
+    Runs between ``Schema.freeze`` validation and
+    :func:`compile_frozen_schema`, keyed off
+    ``schema.analysis_facts.always_true`` -- verdicts the abstract
+    interpreter (:mod:`repro.analysis.dataflow`) proved per concrete
+    class.  Only the *synthetic* per-class rules in ``Schema._resolved``
+    are mutated; they are freshly built by every ``_resolve_class`` call
+    (``Constraint.as_rule`` / ``SubtypePredicate.as_rule``), so the raw
+    ``Constraint.predicate`` used by the recovery re-check path -- and by
+    the next freeze's verdict computation -- is untouched, and unfreezing
+    plus extending the schema re-derives everything from scratch.
+
+    ``REPRO_NO_FOLD=1`` disables the pass.  It is deliberately
+    independent of ``REPRO_NO_COMPILE``: both engine modes see the same
+    folded rule set, so compiled-vs-interpreted counter parity holds.
+    """
+    facts = getattr(schema, "analysis_facts", None)
+    stats: dict[str, Any] = {
+        "fold_enabled": fold_enabled() and facts is not None,
+        "constraints_folded": 0,
+        "predicates_folded": 0,
+    }
+    if not stats["fold_enabled"]:
+        return stats
+    from repro.core.rules import is_constraint_attr, is_subtype_attr
+
+    for resolved in schema._resolved.values():
+        for slot, rule in resolved.rule_for.items():
+            constraint = is_constraint_attr(slot)
+            subtype = is_subtype_attr(slot)
+            if not (constraint or subtype):
+                continue
+            if (resolved.name, slot) not in facts.always_true:
+                continue
+            if not rule.inputs and rule.body is _folded_true:
+                continue  # already folded (shared rule_for entries)
+            object.__setattr__(rule, "inputs", {})
+            object.__setattr__(rule, "_received_inputs", [])
+            object.__setattr__(rule, "_local_inputs", [])
+            object.__setattr__(rule, "body", _folded_true)
+            if constraint:
+                stats["constraints_folded"] += 1
+            else:
+                stats["predicates_folded"] += 1
+    return stats
 
 
 def compile_frozen_schema(schema: Any) -> dict[str, Any]:

@@ -154,6 +154,24 @@ def build_slot_plan(db: Any, instance: Any) -> SlotPlan:
     plan.class_name = instance.class_name
     rulemap = db._rulemap(instance)
     attrmap = db._attrmap(instance)
+    # Static cost ordering: when the freeze-time analysis produced a cost
+    # model, order ruled slots by descending op count (stable on the
+    # legacy rulemap order).  Sids, edge tuples, and receiver tables all
+    # inherit the order, so within a wave the engine marks and collects
+    # expensive rules first.  The engine's counters are order-invariant
+    # (per-edge counting, evaluate-once), so A/B parity is unaffected.
+    facts = getattr(db.schema, "analysis_facts", None)
+    if facts is not None and rulemap:
+        cost = facts.cost
+        cls = instance.class_name
+        legacy = {name: pos for pos, name in enumerate(rulemap)}
+        rulemap = {
+            name: rulemap[name]
+            for name in sorted(
+                rulemap,
+                key=lambda n: (-cost.ops_of(cls, n), legacy[n]),
+            )
+        }
     names = plan.names
     index = plan.index
 

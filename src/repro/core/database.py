@@ -1115,6 +1115,29 @@ class Database:
             (port, conn.peer) for port, conn in instance.all_connections()
         ]
 
+    def static_cluster_weights(self) -> dict[tuple[int, str], float] | None:
+        """Cold-start frontier priors for :func:`greedy_cluster`.
+
+        Expands the static cost model's per-``(class, port)`` weights
+        (``schema.analysis_facts.cost.port_weight`` -- op counts of the
+        rules that cross each port) over the live connection table.  The
+        clustering algorithm consults these only for edges with no
+        observed crossing count, so a freshly-loaded database clusters by
+        schema-derived importance instead of declaration order; ``None``
+        when the freeze-time analysis is disabled or found no ports.
+        """
+        facts = getattr(self.schema, "analysis_facts", None)
+        if facts is None or not facts.cost.port_weight:
+            return None
+        port_weight = facts.cost.port_weight
+        out: dict[tuple[int, str], float] = {}
+        for iid, instance in self._catalog.items():
+            for port, __ in instance.all_connections():
+                weight = port_weight.get((instance.class_name, port))
+                if weight:
+                    out[(iid, port)] = weight
+        return out or None
+
     def reorganize(self) -> list[list[int]]:
         """Run the paper's greedy clustering and install the new layout.
 
@@ -1132,7 +1155,11 @@ class Database:
             )
         sizes = {iid: inst.record_size() for iid, inst in self._catalog.items()}
         layout = greedy_cluster(
-            sizes, self.neighbors, self.usage, self.storage.disk.block_capacity
+            sizes,
+            self.neighbors,
+            self.usage,
+            self.storage.disk.block_capacity,
+            static_weights=self.static_cluster_weights(),
         )
         self.storage.apply_layout(layout, lambda iid: sizes[iid])
         self._refresh_usage_after_reorg()

@@ -309,6 +309,9 @@ class Schema:
         #: stats from the freeze-time rule-body compilation pass
         #: (see :mod:`repro.compile`); surfaced as ``compile.*`` metrics.
         self.compile_stats: dict[str, Any] = {}
+        #: :class:`~repro.analysis.facts.AnalysisFacts` from the last
+        #: freeze, or None (analysis disabled or failed).
+        self.analysis_facts: Any = None
 
     # -- construction -----------------------------------------------------
 
@@ -414,13 +417,27 @@ class Schema:
             )
         self._frozen = True
         self.version += 1
-        # Compile once, serve many: swap DSL-interpreted rule bodies for
-        # specialized closures (no-op under REPRO_NO_COMPILE=1).  Imported
-        # lazily -- repro.compile pulls in the DSL compiler, which imports
-        # this module.
-        from repro.compile import compile_frozen_schema
+        # Static value analysis feeds the compile passes below: constraint
+        # folding, cost-ordered slot plans, and cold-start clustering
+        # weights.  Imported lazily -- repro.analysis walks schema objects,
+        # which import this module.  A failure here must never block a
+        # freeze (the facts are advisory), so it degrades to None.
+        from repro.analysis.facts import analysis_enabled, compute_facts
 
+        self.analysis_facts = None
+        if analysis_enabled():
+            try:
+                self.analysis_facts = compute_facts(self)
+            except Exception:  # pragma: no cover - analyzer bug escape hatch
+                self.analysis_facts = None
+        # Compile once, serve many: fold constant predicates, then swap
+        # DSL-interpreted rule bodies for specialized closures (no-ops
+        # under REPRO_NO_FOLD=1 / REPRO_NO_COMPILE=1 respectively).
+        from repro.compile import compile_frozen_schema, fold_frozen_schema
+
+        fold_stats = fold_frozen_schema(self)
         self.compile_stats = compile_frozen_schema(self)
+        self.compile_stats.update(fold_stats)
         return self
 
     def _mro(self, name: str) -> tuple[str, ...]:

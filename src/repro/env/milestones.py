@@ -60,7 +60,9 @@ VERY_LATE_EXTENSION = """
 object class very_late_milestone subtype of milestone
     where exp_compl > sched_compl + {limit} is
   attributes
-    very_late : boolean = true;
+    very_late : boolean; /* derived marker: always true for members */
+  rules
+    very_late = true;
 end object;
 """
 

@@ -27,7 +27,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
 from repro.obs.events import WalFsync

@@ -41,6 +41,7 @@ def greedy_cluster(
     neighbors: NeighborFn,
     usage: UsageStats,
     block_capacity: int,
+    static_weights: Mapping[tuple[int, str], float] | None = None,
 ) -> list[list[int]]:
     """Pack instances into blocks with the paper's greedy procedure.
 
@@ -58,6 +59,14 @@ def greedy_cluster(
         observed at both of its ends.
     block_capacity:
         Capacity in bytes of each block.
+    static_weights:
+        Optional cold-start priors per ``(iid, port)``, typically derived
+        from the static cost model (``AnalysisFacts.cost.port_weight``
+        via :meth:`Database.static_cluster_weights`).  A prior is
+        consulted only for edges whose *observed* crossing weight is zero,
+        so schema-derived importance orders the frontier before any
+        :class:`UsageStats` counters exist and learned counters take over
+        as soon as they appear.
 
     Returns
     -------
@@ -105,9 +114,11 @@ def greedy_cluster(
             for port, peer in neighbors(iid):
                 if peer not in unassigned:
                     continue
-                weight = usage.crossing_count(iid, port) + reverse.get(
+                weight: float = usage.crossing_count(iid, port) + reverse.get(
                     (peer, iid), 0
                 )
+                if not weight and static_weights:
+                    weight = static_weights.get((iid, port), 0.0)
                 counter += 1
                 heapq.heappush(frontier, (-weight, counter, peer))
 

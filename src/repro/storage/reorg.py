@@ -115,7 +115,11 @@ class ReorgDriver:
             )
         sizes = {iid: inst.record_size() for iid, inst in db._catalog.items()}
         plan = greedy_cluster(
-            sizes, db.neighbors, db.usage, db.storage.disk.block_capacity
+            sizes,
+            db.neighbors,
+            db.usage,
+            db.storage.disk.block_capacity,
+            static_weights=db.static_cluster_weights(),
         )
         plan = [group for group in plan if group]
         self._epochs_planned += 1

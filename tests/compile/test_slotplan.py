@@ -175,3 +175,46 @@ class TestInProcessParity:
                 (c.waves, c.slots_marked, c.mark_edge_visits, c.rule_evaluations, finals)
             )
         assert results[0] == results[1]
+
+
+class TestCostOrdering:
+    def test_ruled_slots_sorted_by_descending_ops(self, db):
+        """With freeze-time facts present, the plan assigns low sids to
+        the expensive rules -- the For-Each accumulator must come before
+        the one-op transmit rule -- stably on the legacy order."""
+        facts = db.schema.analysis_facts
+        assert facts is not None
+        a = db.create("node", weight=1)
+        plan = db.slot_plans.plan_of(a)
+        ruled = [
+            (sid, name)
+            for sid, name in enumerate(plan.names)
+            if plan.rules[sid] is not None
+        ]
+        ops = [facts.cost.ops_of("node", name) for __, name in ruled]
+        assert ops == sorted(ops, reverse=True)
+        assert plan.index["total"] < plan.index["outputs>total"]
+
+    def test_ordering_never_changes_engine_counters(self, monkeypatch):
+        """The cost permutation must be invisible to every counter: build
+        one database with facts and one with analysis disabled and replay
+        the same workload."""
+        from repro.analysis.facts import ANALYSIS_DISABLED_ENV
+
+        results = []
+        for disable in (False, True):
+            if disable:
+                monkeypatch.setenv(ANALYSIS_DISABLED_ENV, "1")
+            else:
+                monkeypatch.delenv(ANALYSIS_DISABLED_ENV, raising=False)
+            db = Database(sum_node_schema(), pool_capacity=256)
+            assert (db.schema.analysis_facts is None) is disable
+            nodes = build_random_dag(db, 25, edge_prob=0.3, seed=11)
+            script = random_update_script(nodes, 60, seed=12, query_fraction=0.2)
+            run_update_script(db, script, batch=False)
+            finals = tuple(db.get_attr(iid, "total") for iid in nodes)
+            c = db.engine.counters
+            results.append(
+                (c.waves, c.slots_marked, c.mark_edge_visits, c.rule_evaluations, finals)
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,125 @@
+"""Static cost priors in greedy clustering: cold start only."""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.dsl import compile_schema
+from repro.storage.clustering import greedy_cluster
+from repro.storage.usage import UsageStats
+
+SIZES = {1: 10, 2: 10, 3: 10}
+EDGES = {
+    1: [("a", 2), ("c", 3)],
+    2: [("b", 1)],
+    3: [("d", 1)],
+}
+
+
+def _neighbors(iid):
+    return EDGES[iid]
+
+
+def test_static_weights_order_a_cold_frontier():
+    # No observed usage at all: without priors the frontier is a tie and
+    # insertion order wins (1 clusters with 2); the static prior on the
+    # (1, "c") edge flips the choice to 3.
+    capacity = 20
+    plain = greedy_cluster(SIZES, _neighbors, UsageStats(), capacity)
+    assert plain[0] == [1, 2]
+    primed = greedy_cluster(
+        SIZES,
+        _neighbors,
+        UsageStats(),
+        capacity,
+        static_weights={(1, "c"): 5.0},
+    )
+    assert primed[0] == [1, 3]
+
+
+def test_observed_counters_override_the_prior():
+    # Once an edge has any observed weight its prior is ignored: with one
+    # crossing on each edge the (misleadingly large) prior on (1, "c")
+    # no longer counts, and the heavier learned edge wins.
+    usage = UsageStats()
+    for __ in range(3):
+        usage.note_crossing(1, "a")
+    usage.note_crossing(1, "c")
+    layout = greedy_cluster(
+        SIZES,
+        _neighbors,
+        usage,
+        20,
+        static_weights={(1, "c"): 100.0},
+    )
+    assert layout[0] == [1, 2]
+
+
+def test_prior_still_guides_edges_never_observed():
+    # Per-edge fallback: an edge that has never been crossed keeps its
+    # prior even while other edges carry learned counters, so schema
+    # importance seeds exactly the part of the frontier usage cannot
+    # rank yet.
+    usage = UsageStats()
+    usage.note_crossing(1, "a")
+    layout = greedy_cluster(
+        SIZES,
+        _neighbors,
+        usage,
+        20,
+        static_weights={(1, "c"): 100.0},
+    )
+    assert layout[0] == [1, 3]
+
+
+SCHEMA = """
+relationship staffing is
+    effort : integer from plug;
+end relationship;
+
+object class task is
+  relationships
+    staffed_by : staffing multi socket;
+  attributes
+    total : integer;
+  rules
+    total = begin
+        acc : integer;
+        acc := 0;
+        for each e related to staffed_by do
+            acc := acc + e.effort;
+        end for;
+        return acc;
+    end;
+end object;
+
+object class engineer is
+  relationships
+    works_on : staffing plug;
+  attributes
+    effort : integer;
+  rules
+    works_on effort = effort;
+end object;
+"""
+
+
+def test_database_expands_port_weights_over_live_connections():
+    db = Database(compile_schema(SCHEMA))
+    task = db.create("task")
+    eng = db.create("engineer", effort=3)
+    db.connect(task, "staffed_by", eng, "works_on")
+    weights = db.static_cluster_weights()
+    assert weights is not None
+    assert weights[(task, "staffed_by")] > 0
+    assert weights[(eng, "works_on")] > 0
+
+
+def test_reorganize_accepts_the_priors_end_to_end():
+    db = Database(compile_schema(SCHEMA))
+    task = db.create("task")
+    engineers = [db.create("engineer", effort=i) for i in range(3)]
+    for eng in engineers:
+        db.connect(task, "staffed_by", eng, "works_on")
+    layout = db.reorganize()
+    placed = sorted(iid for group in layout for iid in group)
+    assert placed == sorted([task, *engineers])
