@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema lint-src analysis-check obs-check reorg-check compile-check server-check clean
+.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema lint-src analysis-check obs-check reorg-check compile-check server-check federation-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -56,6 +56,11 @@ server-check: ## wire-protocol suite + live server smoke (start, drive 8 clients
 	PYTHONPATH=src python -m pytest tests/server -q
 	PYTHONPATH=src python -m repro.server --smoke
 
+federation-check: ## distributed suite + 4-site placement smoke + placement A/B bench
+	PYTHONPATH=src python -m pytest tests/distributed -q
+	PYTHONPATH=src python -m repro.distributed --smoke
+	PYTHONPATH=src python -m pytest benchmarks/bench_distributed.py --benchmark-only -q
+
 bench-server: ## served txn/s + p99 under 16 clients -> benchmarks/results/BENCH_server.json
 	PYTHONPATH=src python -m pytest benchmarks/bench_server.py --benchmark-only -q
 
@@ -70,6 +75,7 @@ ci: ## what .github/workflows/ci.yml runs
 	$(MAKE) reorg-check
 	$(MAKE) compile-check
 	$(MAKE) server-check
+	$(MAKE) federation-check
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

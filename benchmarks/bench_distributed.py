@@ -1,21 +1,32 @@
-"""Extension benchmark -- distributed synchronisation (Section 5).
+"""Extension benchmark -- N-site distributed synchronisation (Section 5).
 
 Not a paper table (the paper only announces the direction); measures the
-property the design targets: message traffic proportional to what changed,
-with per-site incremental evaluation taking over after delivery.
+two properties the design targets:
+
+* message traffic proportional to what changed, with per-site
+  incremental evaluation taking over after delivery; and
+* cluster-driven placement lowering cross-site messages -- the same
+  update wave is driven over the same graph scattered round-robin across
+  four sites, with and without a :class:`Placement.rebalance`, and the
+  A/B lands in ``benchmarks/results/BENCH_distributed.json``.
 """
+
+import time
 
 import pytest
 
-from benchmarks.common import report
+from benchmarks.common import report, report_json
 from repro.core.database import Database
-from repro.distributed import Federation
+from repro.distributed import Federation, Placement
 from repro.workloads import build_chain, sum_node_schema
 
 N_LINKS = 50
+N_SITES = 4
+N_CHAINS = 12
+CHAIN_LEN = 6
 
 
-def build_federation():
+def build_two_site_federation():
     fed = Federation()
     a = Database(sum_node_schema(), pool_capacity=4096)
     b = Database(sum_node_schema(), pool_capacity=4096)
@@ -38,7 +49,7 @@ def build_federation():
 @pytest.mark.parametrize("changed", [1, 10, 50])
 def test_sync_cost_scales_with_changes(benchmark, changed):
     def setup():
-        fed, a, b, producers, consumers = build_federation()
+        fed, a, b, producers, consumers = build_two_site_federation()
         for i in range(changed):
             a.set_attr(producers[i], "weight", 1000 + i)
         return (fed,), {}
@@ -49,8 +60,9 @@ def test_sync_cost_scales_with_changes(benchmark, changed):
     benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
 
     rows = []
+    traffic = {}
     for n in (0, 1, 10, 50):
-        fed, a, b, producers, consumers = build_federation()
+        fed, a, b, producers, consumers = build_two_site_federation()
         for i in range(n):
             a.set_attr(producers[i], "weight", 1000 + i)
         rep = fed.sync()
@@ -61,9 +73,129 @@ def test_sync_cost_scales_with_changes(benchmark, changed):
         rows.append(
             [n, rep.values_checked, rep.messages_sent, local.rule_evaluations]
         )
+        traffic[str(n)] = {
+            "values_checked": rep.values_checked,
+            "messages": rep.messages_sent,
+            "local_evals_after": local.rule_evaluations,
+        }
     report(
         "distributed",
         f"sync traffic vs producers changed ({N_LINKS} cross-links)",
         ["producers changed", "values checked", "messages", "local evals after"],
         rows,
+    )
+    report_json(
+        "distributed",
+        "change_proportional_traffic",
+        {"workload": {"cross_links": N_LINKS}, "by_producers_changed": traffic},
+    )
+
+
+# -- placement A/B ----------------------------------------------------------
+
+
+def build_scattered_chains():
+    """N_CHAINS dependency chains striped round-robin over N_SITES."""
+    fed = Federation()
+    names = [f"S{i}" for i in range(N_SITES)]
+    for name in names:
+        fed.add_site(name, Database(sum_node_schema(), pool_capacity=4096))
+    chains = []
+    for c in range(N_CHAINS):
+        chain = []
+        for i in range(CHAIN_LEN):
+            site = names[(c + i) % N_SITES]
+            chain.append((site, fed.site(site).create("node", weight=1 + i)))
+        for (up_site, up), (down_site, down) in zip(chain, chain[1:]):
+            fed.link(down_site, down, "inputs", up_site, up, "outputs")
+        chains.append(chain)
+    fed.sync_until_quiescent(max_passes=64)
+    return fed, chains
+
+
+def update_wave(fed, chains, value):
+    """Bump every chain head; returns (messages, sync passes, seconds)."""
+    before = fed.total_messages
+    for chain in chains:
+        site, iid = chain[0]
+        fed.site(site).set_attr(iid, "weight", value)
+    started = time.perf_counter()
+    passes = fed.sync_until_quiescent(max_passes=64)
+    elapsed = time.perf_counter() - started
+    return fed.total_messages - before, passes, elapsed
+
+
+def measure_variant(placement_on: bool):
+    fed, chains = build_scattered_chains()
+    moved = 0
+    if placement_on:
+        plan = Placement(fed).rebalance()
+        fed.sync_until_quiescent(max_passes=64)
+        chains = [
+            [plan.relocated.get(node, node) for node in chain]
+            for chain in chains
+        ]
+        moved = len(plan.executed)
+    messages, passes, elapsed = update_wave(fed, chains, value=77)
+    expected = 77 + sum(range(2, CHAIN_LEN + 1))
+    for chain in chains:
+        site, iid = chain[-1]
+        assert fed.site(site).get_attr(iid, "total") == expected
+    flat = fed.metrics().flatten()
+    return {
+        "wave_messages": messages,
+        "sync_passes": passes,
+        "wave_seconds": round(elapsed, 4),
+        "migrations": moved,
+        "links_remaining": flat["federation.links"],
+        "batches_shipped_total": flat["federation.batches_shipped"],
+    }
+
+
+def test_placement_lowers_cross_site_messages(benchmark):
+    def run():
+        return measure_variant(placement_on=True)
+
+    placed = benchmark.pedantic(run, rounds=3, iterations=1)
+    scattered = measure_variant(placement_on=False)
+    assert placed["wave_messages"] < scattered["wave_messages"], (
+        "placement did not reduce cross-site traffic"
+    )
+    report(
+        "distributed",
+        f"placement A/B ({N_SITES} sites, {N_CHAINS} chains of {CHAIN_LEN})",
+        ["variant", "wave messages", "sync passes", "migrations", "links left"],
+        [
+            [
+                "scattered",
+                scattered["wave_messages"],
+                scattered["sync_passes"],
+                0,
+                scattered["links_remaining"],
+            ],
+            [
+                "placed",
+                placed["wave_messages"],
+                placed["sync_passes"],
+                placed["migrations"],
+                placed["links_remaining"],
+            ],
+        ],
+    )
+    report_json(
+        "distributed",
+        "placement_ab",
+        {
+            "workload": {
+                "sites": N_SITES,
+                "chains": N_CHAINS,
+                "chain_len": CHAIN_LEN,
+            },
+            "scattered": scattered,
+            "placed": placed,
+            "message_reduction": round(
+                1 - placed["wave_messages"] / max(scattered["wave_messages"], 1),
+                3,
+            ),
+        },
     )

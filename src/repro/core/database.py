@@ -166,6 +166,10 @@ class Database:
         #: attached by :class:`repro.persistence.manager.PersistenceManager`
         #: when the database was opened durably (:meth:`Database.open`).
         self.persistence = None
+        #: callables invoked with the instance id after every completed
+        #: :meth:`delete` -- the federation layer uses this to drop
+        #: cross-site bookkeeping that names the deleted instance.
+        self._delete_listeners: list[Callable[[int], None]] = []
         #: online incremental reorganisation driver (see repro.storage.reorg).
         self.reorg = ReorgDriver(self)
         self._register_metrics()
@@ -277,6 +281,7 @@ class Database:
                 "recovery_replayed": 0,
                 "recovery_skipped": 0,
                 "reorg_records": 0,
+                "fed_records": 0,
             }
 
         def reorg_metrics() -> dict:
@@ -583,6 +588,18 @@ class Database:
             ]
             self.txn.log(DeleteRecord(snapshot=snapshot))
             self._do_delete(iid, peer_keys)
+        for listener in tuple(self._delete_listeners):
+            listener(iid)
+
+    def add_delete_listener(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(iid)`` after every completed :meth:`delete`.
+
+        Listeners run outside the primitive (after the delete's own wave
+        and autocommit), so they may issue further primitives.  They are
+        not invoked for deletes replayed during recovery -- a recovering
+        observer must rebuild from the recovered state instead.
+        """
+        self._delete_listeners.append(listener)
 
     def _do_delete(
         self, iid: int, peer_keys: list[tuple[int, str]] = ()

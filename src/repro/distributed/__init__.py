@@ -1,24 +1,37 @@
 """Distributed Cactis -- the future-work direction of Section 5.
 
 Sites are ordinary databases; :class:`Federation` shares transmitted
-values across them through mirror objects and explicit, change-only
-synchronisation.  See :mod:`repro.distributed.federation`.
+values across them through mirror objects and explicit, batched,
+sequence-numbered synchronisation with durable at-least-once delivery.
+:class:`Placement` runs the paper's greedy clusterer over the cross-site
+crossing graph and migrates instances so hot neighborhoods co-locate.
+See :mod:`repro.distributed.federation`,
+:mod:`repro.distributed.placement`, and docs/DISTRIBUTED.md.
 """
 
 from repro.distributed.federation import (
     CrossLink,
     Federation,
     FederationError,
+    FederationStats,
     SyncReport,
+    channel_key,
+    federated_schema,
     mirror_attr_name,
     mirror_class_name,
 )
+from repro.distributed.placement import Placement, PlacementPlan
 
 __all__ = [
     "CrossLink",
     "Federation",
     "FederationError",
+    "FederationStats",
+    "Placement",
+    "PlacementPlan",
     "SyncReport",
+    "channel_key",
+    "federated_schema",
     "mirror_attr_name",
     "mirror_class_name",
 ]

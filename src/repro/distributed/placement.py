@@ -1,0 +1,204 @@
+"""Cluster-driven placement: the paper's reorganiser, lifted to shards.
+
+Section 2.3's greedy clustering packs hot neighborhoods into disk blocks
+using observed access and crossing counts.  Darmont & Gruenwald's
+clustering-policy comparison (PAPERS.md) observes the same policies apply
+at any granularity -- so this module runs the *identical* algorithm
+(:func:`repro.storage.clustering.greedy_cluster`) over the **cross-site
+crossing graph**: nodes are ``(site, iid)`` pairs across every federation
+site, edges are local connections plus cross-links, and weights come from
+each site's own :class:`~repro.storage.usage.UsageStats` snapshot plus the
+federation's observed per-link delivery traffic.
+
+The resulting groups are whole neighborhoods; :func:`repro.storage.
+clustering.assign_groups_to_shards` bin-packs them onto sites (preferring
+each group's current majority site, so converged layouts cost zero moves),
+and :meth:`Placement.rebalance` executes the plan through
+:meth:`~repro.distributed.federation.Federation.migrate_instance` -- the
+reorg-style pattern: journal intent, move through ordinary logged
+primitives, reclaim orphaned mirrors afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.distributed.federation import MIRROR_PREFIX, FederationError
+from repro.storage.clustering import assign_groups_to_shards, greedy_cluster
+from repro.storage.usage import UsageStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.distributed.federation import Federation
+
+#: a global placement node: (site name, instance id on that site).
+Node = tuple[str, int]
+
+
+@dataclass
+class PlacementPlan:
+    """One computed (and possibly executed) shard assignment."""
+
+    #: clustered neighborhoods over the global crossing graph.
+    groups: list[list[Node]]
+    #: every node's assigned site.
+    assignment: dict[Node, str]
+    #: planned migrations as ``(from_site, iid, to_site)``.
+    moves: list[tuple[str, int, str]]
+    #: directed cross-site edge weight under the current layout.
+    cross_weight_before: float
+    #: the same quantity under the planned assignment.
+    cross_weight_after: float
+    #: executed migrations as ``(from_site, iid, to_site, new_iid)``.
+    executed: list[tuple[str, int, str, int]] = field(default_factory=list)
+    #: old node -> new node for every executed migration.
+    relocated: dict[Node, Node] = field(default_factory=dict)
+
+
+class Placement:
+    """Builds the cross-site crossing graph and migrates toward its cut."""
+
+    def __init__(
+        self, federation: "Federation", group_capacity: int | None = None
+    ) -> None:
+        self.federation = federation
+        #: max instances per clustered neighborhood; defaults to one
+        #: shard's fair share, so no single group can overload a site.
+        self.group_capacity = group_capacity
+
+    # -- the global crossing graph ---------------------------------------------
+
+    def crossing_graph(
+        self,
+    ) -> tuple[dict[Node, int], dict[Node, list[tuple[str, Node]]], UsageStats]:
+        """``(sizes, edges, usage)`` over every non-mirror instance.
+
+        Local connections contribute edges within a site; cross-links
+        contribute edges *through* their mirrors -- the mirror itself never
+        appears (it moves implicitly with its links).  Usage counters are
+        each site's own observed numbers keyed by global node, and every
+        cross-link edge carries at least weight 1 plus the federation's
+        observed per-link delivery traffic, so topology places cold data
+        and traffic places hot data.
+        """
+        fed = self.federation
+        sizes: dict[Node, int] = {}
+        for site, db in fed.sites.items():
+            for iid in db.instance_ids():
+                if db.instance(iid).class_name.startswith(MIRROR_PREFIX):
+                    continue
+                sizes[(site, iid)] = 1
+        edges: dict[Node, list[tuple[str, Node]]] = {}
+        usage = UsageStats()
+        for site, db in fed.sites.items():
+            for iid, count in db.usage.instance_accesses.items():
+                if (site, iid) in sizes:
+                    usage.instance_accesses[(site, iid)] += count
+            for (iid, port), count in db.usage.relationship_crossings.items():
+                if (site, iid) in sizes:
+                    usage.relationship_crossings[((site, iid), port)] += count
+            for node in [n for n in sizes if n[0] == site]:
+                for port, peer in db.neighbors(node[1]):
+                    if db.instance(peer).class_name.startswith(MIRROR_PREFIX):
+                        continue  # cross edges come from the links index
+                    edges.setdefault(node, []).append((port, (site, peer)))
+        for link in fed.links:
+            producer = (link.producer_site, link.producer_iid)
+            consumer = (link.consumer_site, link.consumer_iid)
+            if producer not in sizes or consumer not in sizes:
+                continue
+            edges.setdefault(consumer, []).append(
+                (link.consumer_port, producer)
+            )
+            edges.setdefault(producer, []).append(
+                (link.producer_port, consumer)
+            )
+            traffic = 1 + fed.link_traffic.get(link, 0)
+            usage.relationship_crossings[(consumer, link.consumer_port)] += (
+                traffic
+            )
+            usage.relationship_crossings[(producer, link.producer_port)] += (
+                traffic
+            )
+        return sizes, edges, usage
+
+    @staticmethod
+    def cross_weight(
+        edges: dict[Node, list[tuple[str, Node]]],
+        usage: UsageStats,
+        placement: dict[Node, str],
+    ) -> float:
+        """Directed crossing weight cut by site boundaries under ``placement``."""
+        total = 0.0
+        for node, peers in edges.items():
+            for port, peer in peers:
+                if placement.get(node) != placement.get(peer):
+                    total += max(usage.crossing_count(node, port), 1)
+        return total
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(self, slack: float = 1.25) -> PlacementPlan:
+        """Cluster the global graph and assign whole groups to sites."""
+        fed = self.federation
+        if not fed.sites:
+            raise FederationError("cannot place over an empty federation")
+        sizes, edges, usage = self.crossing_graph()
+        shards = sorted(fed.sites)
+        if not sizes:
+            return PlacementPlan([], {}, [], 0.0, 0.0)
+        capacity = self.group_capacity or max(
+            1, -(-len(sizes) // len(shards))
+        )
+        groups = greedy_cluster(
+            sizes, lambda node: edges.get(node, ()), usage, capacity
+        )
+        affinity = {
+            index: Counter(site for site, __ in group).most_common(1)[0][0]
+            for index, group in enumerate(groups)
+        }
+        shard_of_group = assign_groups_to_shards(
+            groups, sizes, shards, affinity=affinity, slack=slack
+        )
+        assignment: dict[Node, str] = {}
+        moves: list[tuple[str, int, str]] = []
+        for index, group in enumerate(groups):
+            shard = shard_of_group[index]
+            for node in group:
+                assignment[node] = shard
+                if node[0] != shard:
+                    moves.append((node[0], node[1], shard))
+        current = {node: node[0] for node in sizes}
+        return PlacementPlan(
+            groups=groups,
+            assignment=assignment,
+            moves=moves,
+            cross_weight_before=self.cross_weight(edges, usage, current),
+            cross_weight_after=self.cross_weight(edges, usage, assignment),
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def rebalance(
+        self, plan: PlacementPlan | None = None, slack: float = 1.25
+    ) -> PlacementPlan:
+        """Execute a plan's migrations; reclaims orphaned mirrors after.
+
+        Moves run one instance at a time through the federation's
+        journalled migration primitive.  Instances already migrated away
+        (e.g. by a concurrent rebalance) are skipped.  Returns the plan
+        with ``executed``/``relocated`` filled in; run a sync afterwards to
+        repopulate the rewired mirrors.
+        """
+        fed = self.federation
+        if plan is None:
+            plan = self.plan(slack=slack)
+        for from_site, iid, to_site in plan.moves:
+            if not fed.site(from_site).exists(iid):
+                continue
+            new_iid = fed.migrate_instance(from_site, iid, to_site)
+            plan.executed.append((from_site, iid, to_site, new_iid))
+            plan.relocated[(from_site, iid)] = (to_site, new_iid)
+        fed.gc_mirrors()
+        return plan

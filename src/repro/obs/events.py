@@ -247,6 +247,41 @@ class ReorgEpochEnd(Event):
     completed: bool = True
 
 
+@dataclass
+class FedBatchShipped(Event):
+    """A federation change batch entered the producer site's outbox."""
+
+    TYPE = "fed_batch_shipped"
+
+    channel: str = ""  # "producer>consumer" site pair
+    seq: int = 0  # per-channel batch sequence number
+    values: int = 0  # changed values carried by the batch
+
+
+@dataclass
+class FedBatchApplied(Event):
+    """A consumer site durably applied (or deduplicated) one batch."""
+
+    TYPE = "fed_batch_applied"
+
+    channel: str = ""
+    seq: int = 0
+    values: int = 0
+    deduped: bool = False  # redelivery dropped by the applied high-water mark
+
+
+@dataclass
+class FedMigration(Event):
+    """The placement layer moved one instance to another site."""
+
+    TYPE = "fed_migration"
+
+    iid: int = 0
+    from_site: str = ""
+    to_site: str = ""
+    links_rewired: int = 0
+
+
 #: event type name -> class; the doc cross-check and trace tooling key off it.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
@@ -269,6 +304,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         ReorgEpochStart,
         ReorgStep,
         ReorgEpochEnd,
+        FedBatchShipped,
+        FedBatchApplied,
+        FedMigration,
     )
 }
 

@@ -28,13 +28,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 CHECKPOINT_FORMAT = 1
 
 
-def write_checkpoint(db: "Database", path: str, wal_seq: int) -> None:
-    """Atomically install a checkpoint of ``db`` stamped with ``wal_seq``."""
+def write_checkpoint(
+    db: "Database", path: str, wal_seq: int, fed: dict | None = None
+) -> None:
+    """Atomically install a checkpoint of ``db`` stamped with ``wal_seq``.
+
+    ``fed`` optionally folds the site's federation delivery state (outbox /
+    applied / next_seq, see :class:`repro.persistence.manager.FedState`)
+    into the document, so truncating the WAL does not forget in-flight
+    cross-site batches.
+    """
     document = {
         "format": CHECKPOINT_FORMAT,
         "wal_seq": wal_seq,
         "image": dump_database(db),
     }
+    if fed is not None:
+        document["fed"] = fed
     tmp_path = path + ".tmp"
     with open(tmp_path, "w") as fh:
         json.dump(document, fh, separators=(",", ":"))

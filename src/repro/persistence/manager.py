@@ -36,6 +36,10 @@ from repro.persistence.recovery import RecoveryReport, recover_database
 from repro.persistence.wal import (
     WriteAheadLog,
     encode_commit_payload,
+    encode_fed_ack_payload,
+    encode_fed_migrate_payload,
+    encode_fed_recv_payload,
+    encode_fed_send_payload,
     encode_reorg_begin_payload,
     encode_reorg_end_payload,
     encode_reorg_step_payload,
@@ -61,8 +65,72 @@ class PersistenceStats:
     checkpoints_taken: int = 0
     #: reorg begin/step/end records appended for online epochs.
     reorg_records: int = 0
+    #: federation send/ack/recv/migrate records appended.
+    fed_records: int = 0
     #: what the opening recovery pass found.
     recovery: RecoveryReport | None = field(default=None, repr=False)
+
+
+@dataclass
+class FedState:
+    """Durable federation delivery state carried by one site's log.
+
+    Producer side of a channel: ``outbox`` (shipped-but-unacked change
+    batches keyed by per-channel sequence number) and ``next_seq`` (the
+    next sequence number to assign).  Consumer side: ``applied`` (highest
+    batch sequence durably applied).  Checkpoints fold the current state
+    into the image document; the WAL tail replays on top of it.
+    """
+
+    outbox: dict = field(default_factory=dict)  # channel -> {fed_seq: changes}
+    applied: dict = field(default_factory=dict)  # channel -> fed_seq
+    next_seq: dict = field(default_factory=dict)  # channel -> fed_seq
+
+    def record_send(self, channel: str, fed_seq: int, changes: list) -> None:
+        self.outbox.setdefault(channel, {})[fed_seq] = [
+            list(change) for change in changes
+        ]
+        if fed_seq >= self.next_seq.get(channel, 1):
+            self.next_seq[channel] = fed_seq + 1
+
+    def record_ack(self, channel: str, fed_seq: int) -> None:
+        pending = self.outbox.get(channel)
+        if pending is not None:
+            pending.pop(fed_seq, None)
+            if not pending:
+                del self.outbox[channel]
+
+    def record_recv(self, channel: str, fed_seq: int) -> None:
+        if fed_seq > self.applied.get(channel, 0):
+            self.applied[channel] = fed_seq
+
+    @property
+    def empty(self) -> bool:
+        return not (self.outbox or self.applied or self.next_seq)
+
+    def to_dict(self) -> dict:
+        return {
+            "outbox": {
+                channel: {str(seq): changes for seq, changes in pending.items()}
+                for channel, pending in self.outbox.items()
+            },
+            "applied": dict(self.applied),
+            "next_seq": dict(self.next_seq),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "FedState":
+        state = cls()
+        if not data:
+            return state
+        # JSON round-trips the inner sequence-number keys as strings.
+        state.outbox = {
+            channel: {int(seq): changes for seq, changes in pending.items()}
+            for channel, pending in data.get("outbox", {}).items()
+        }
+        state.applied = dict(data.get("applied", {}))
+        state.next_seq = dict(data.get("next_seq", {}))
+        return state
 
 
 class PersistenceManager:
@@ -80,6 +148,9 @@ class PersistenceManager:
         self.wal_path = os.path.join(directory, WAL_NAME)
         self.checkpoint_path = os.path.join(directory, CHECKPOINT_NAME)
         self.stats = PersistenceStats()
+        #: durable federation delivery state (outbox / applied / next_seq),
+        #: rebuilt by recovery and maintained by the ``log_fed_*`` methods.
+        self.fed = FedState()
         #: sequence number of the most recent durable record.
         self.seq = 0
         self.db: "Database | None" = None
@@ -110,6 +181,7 @@ class PersistenceManager:
         recovery_seconds = perf_counter() - started
         manager.seq = seq
         manager.stats.recovery = report
+        manager.fed = FedState.from_dict(report.fed_state)
         manager.attach(db)
         obs = getattr(db, "obs", None)
         if obs is not None:
@@ -156,6 +228,7 @@ class PersistenceManager:
             "recovery_replayed": report.replayed if report is not None else 0,
             "recovery_skipped": report.skipped if report is not None else 0,
             "reorg_records": self.stats.reorg_records,
+            "fed_records": self.stats.fed_records,
         }
 
     def _emit(self, event) -> None:
@@ -215,6 +288,53 @@ class PersistenceManager:
             encode_reorg_end_payload(self.seq, epoch, completed), "reorg_end"
         )
 
+    # -- federation delivery journalling --------------------------------------
+
+    def _log_fed(self, payload: dict, kind: str) -> None:
+        assert self._wal is not None
+        size = self._wal.append(payload)
+        self.stats.bytes_appended += size
+        self.stats.fed_records += 1
+        self._emit(WalAppend(seq=self.seq, kind=kind, bytes=size, synced=self.sync))
+
+    def log_fed_send(self, channel: str, fed_seq: int, changes: list) -> None:
+        """Journal one outgoing change batch *before* delivery is attempted.
+
+        The batch enters the durable outbox; it leaves only through
+        :meth:`log_fed_ack`, so a crash anywhere in between re-delivers it.
+        """
+        self.seq += 1
+        self._log_fed(
+            encode_fed_send_payload(self.seq, channel, fed_seq, changes),
+            "fed_send",
+        )
+        self.fed.record_send(channel, fed_seq, changes)
+
+    def log_fed_ack(self, channel: str, fed_seq: int) -> None:
+        """Journal a consumer acknowledgement; drops the batch from the outbox."""
+        self.seq += 1
+        self._log_fed(encode_fed_ack_payload(self.seq, channel, fed_seq), "fed_ack")
+        self.fed.record_ack(channel, fed_seq)
+
+    def log_fed_recv(self, channel: str, fed_seq: int) -> None:
+        """Journal a durably-applied batch on the consumer side (the dedup
+        high-water mark a redelivery is checked against)."""
+        self.seq += 1
+        self._log_fed(
+            encode_fed_recv_payload(self.seq, channel, fed_seq), "fed_recv"
+        )
+        self.fed.record_recv(channel, fed_seq)
+
+    def log_fed_migrate(
+        self, phase: str, iid: int, from_site: str, to_site: str
+    ) -> None:
+        """Journal one side of a cross-site migration intent bracket."""
+        self.seq += 1
+        self._log_fed(
+            encode_fed_migrate_payload(self.seq, phase, iid, from_site, to_site),
+            "fed_migrate",
+        )
+
     # -- checkpointing --------------------------------------------------------
 
     def checkpoint(self) -> int:
@@ -229,7 +349,12 @@ class PersistenceManager:
             raise TransactionError(
                 "cannot checkpoint while a transaction is active"
             )
-        write_checkpoint(self.db, self.checkpoint_path, self.seq)
+        write_checkpoint(
+            self.db,
+            self.checkpoint_path,
+            self.seq,
+            fed=None if self.fed.empty else self.fed.to_dict(),
+        )
         self._wal.reset()
         self.stats.checkpoints_taken += 1
         self._emit(Checkpoint(seq=self.seq))

@@ -59,6 +59,15 @@ class RecoveryReport:
     #: a reorg epoch was open (begun, never ended) when the log stopped; the
     #: layout is mixed-but-correct and the epoch is considered abandoned.
     reorg_abandoned: bool = False
+    #: federation send/ack/recv/migrate records replayed from the WAL tail.
+    fed_records_replayed: int = 0
+    #: rebuilt federation delivery state (checkpoint base + WAL tail), in
+    #: :meth:`repro.persistence.manager.FedState.to_dict` form; ``None``
+    #: when the site carries no federation state.
+    fed_state: dict | None = None
+    #: a cross-site migration intent was open (begun, never ended) when the
+    #: log stopped; the federation layer re-plans it on the next rebalance.
+    fed_migration_abandoned: bool = False
 
     @property
     def clean(self) -> bool:
@@ -93,16 +102,39 @@ def recover_database(
         repair_wal(wal_path, scan)
         truncated = size - scan.valid_bytes
 
+    from repro.persistence.manager import FedState
+
     seq = base_seq
     replayed = 0
     skipped = 0
     reorg_steps_replayed = 0
+    fed_records_replayed = 0
     open_reorg_epoch: int | None = None
+    open_fed_migration = False
+    fed = FedState.from_dict(checkpoint.get("fed") if checkpoint else None)
     max_iid = db._next_iid - 1
     for payload in scan.payloads:
         kind, record_seq, delta = decode_wal_payload(payload)
         if record_seq <= base_seq:
             skipped += 1
+            continue
+        if kind in ("fed_send", "fed_ack", "fed_recv", "fed_migrate"):
+            # Delivery-state records replay into the durable outbox /
+            # applied maps; the batch contents themselves never touch the
+            # database here -- application always goes through the
+            # consumer's own logged delivery transaction.
+            if kind == "fed_send":
+                fed.record_send(
+                    payload["channel"], payload["fed_seq"], payload["changes"]
+                )
+            elif kind == "fed_ack":
+                fed.record_ack(payload["channel"], payload["fed_seq"])
+            elif kind == "fed_recv":
+                fed.record_recv(payload["channel"], payload["fed_seq"])
+            else:
+                open_fed_migration = payload["phase"] == "begin"
+            fed_records_replayed += 1
+            seq = record_seq
             continue
         if kind in ("reorg_begin", "reorg_step", "reorg_end"):
             # Migration steps are replayed through the same deterministic
@@ -163,5 +195,8 @@ def recover_database(
         truncated_bytes=truncated,
         reorg_steps_replayed=reorg_steps_replayed,
         reorg_abandoned=open_reorg_epoch is not None,
+        fed_records_replayed=fed_records_replayed,
+        fed_state=None if fed.empty else fed.to_dict(),
+        fed_migration_abandoned=open_fed_migration,
     )
     return db, seq, report

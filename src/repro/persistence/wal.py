@@ -99,6 +99,65 @@ def encode_reorg_end_payload(seq: int, epoch: int, completed: bool) -> dict:
 REORG_PAYLOAD_TYPES = frozenset({"reorg_begin", "reorg_step", "reorg_end"})
 
 
+def encode_fed_send_payload(
+    seq: int, channel: str, fed_seq: int, changes: list
+) -> dict:
+    """One federation change batch entering the producer's outbox.
+
+    Written *before* the batch is offered for delivery (write-ahead): the
+    batch survives a producer crash and is re-delivered on the next sync,
+    which is the at-least-once half of the delivery contract.  ``channel``
+    is the ``"producer>consumer"`` site pair, ``fed_seq`` its per-channel
+    monotonic sequence number, ``changes`` a JSON-ready list of
+    ``[mirror_iid, attr, value]`` triples.
+    """
+    return {
+        "type": "fed_send",
+        "seq": seq,
+        "channel": channel,
+        "fed_seq": fed_seq,
+        "changes": [list(change) for change in changes],
+    }
+
+
+def encode_fed_ack_payload(seq: int, channel: str, fed_seq: int) -> dict:
+    """The consumer acknowledged a batch; the producer drops it from its
+    outbox.  A crash *before* the ack re-delivers the batch, which the
+    consumer's durable ``fed_recv`` high-water mark dedups."""
+    return {"type": "fed_ack", "seq": seq, "channel": channel, "fed_seq": fed_seq}
+
+
+def encode_fed_recv_payload(seq: int, channel: str, fed_seq: int) -> dict:
+    """The consumer durably applied a batch (its delivery transaction
+    committed).  Recovery rebuilds the per-channel applied high-water mark
+    from these, giving exactly-once *application* on top of at-least-once
+    shipping."""
+    return {"type": "fed_recv", "seq": seq, "channel": channel, "fed_seq": fed_seq}
+
+
+def encode_fed_migrate_payload(
+    seq: int, phase: str, iid: int, from_site: str, to_site: str
+) -> dict:
+    """Intent bracket around one cross-site instance migration.
+
+    The moves themselves are ordinary logged primitives on each site; the
+    bracket (``phase`` is ``"begin"`` or ``"end"``) lets recovery report a
+    migration that was in flight when the log stopped.
+    """
+    return {
+        "type": "fed_migrate",
+        "seq": seq,
+        "phase": phase,
+        "iid": iid,
+        "from_site": from_site,
+        "to_site": to_site,
+    }
+
+
+#: WAL payload types describing federation delivery state rather than deltas.
+FED_PAYLOAD_TYPES = frozenset({"fed_send", "fed_ack", "fed_recv", "fed_migrate"})
+
+
 def decode_wal_payload(payload: dict) -> tuple[str, int, Delta | None]:
     """Decode one scanned payload to ``(type, seq, delta-or-None)``."""
     kind = payload["type"]
@@ -107,7 +166,7 @@ def decode_wal_payload(payload: dict) -> tuple[str, int, Delta | None]:
         delta = Delta(txn_id=payload["txn_id"], label=payload["label"])
         delta.records.extend(decode_record(r) for r in payload["records"])
         return kind, seq, delta
-    if kind == "undo" or kind in REORG_PAYLOAD_TYPES:
+    if kind == "undo" or kind in REORG_PAYLOAD_TYPES or kind in FED_PAYLOAD_TYPES:
         return kind, seq, None
     raise StorageError(f"unknown WAL payload type {kind!r}")
 

@@ -139,6 +139,67 @@ def greedy_cluster(
     return layout
 
 
+def assign_groups_to_shards(
+    groups: list[list],
+    sizes: Mapping,
+    shards: list[str],
+    affinity: Mapping[int, str] | None = None,
+    slack: float = 1.25,
+) -> dict[int, str]:
+    """Bin-pack clustered groups onto shards, balanced within ``slack``.
+
+    The federation's placement layer runs :func:`greedy_cluster` over the
+    global cross-site graph to find hot neighborhoods, then calls this to
+    pick a home shard for each whole group: biggest groups first, each
+    placed on its ``affinity`` shard (typically where most of its members
+    already live, minimising migrations) unless that would push the shard
+    past ``slack`` times the fair share, in which case the least-loaded
+    shard takes it.
+
+    Parameters
+    ----------
+    groups:
+        Output of :func:`greedy_cluster` (any member id type).
+    sizes:
+        Size per member id (the same mapping the clusterer packed with).
+    shards:
+        Shard names, at least one.
+    affinity:
+        Optional preferred shard per group *index*.
+    slack:
+        Balance bound: no shard is loaded past ``slack * total / len(shards)``
+        by an affinity placement.
+
+    Returns
+    -------
+    dict mapping group index -> shard name.
+    """
+    if not shards:
+        raise StorageError("cannot assign groups to zero shards")
+    group_sizes = [
+        sum(sizes[member] for member in group) for group in groups
+    ]
+    fair = sum(group_sizes) / len(shards)
+    cap = slack * fair
+    load: dict[str, float] = {shard: 0.0 for shard in shards}
+    assignment: dict[int, str] = {}
+    # Biggest first: small groups fill balance gaps the big ones leave.
+    for index in sorted(
+        range(len(groups)), key=lambda i: (-group_sizes[i], i)
+    ):
+        preferred = affinity.get(index) if affinity else None
+        if (
+            preferred in load
+            and load[preferred] + group_sizes[index] <= cap
+        ):
+            shard = preferred
+        else:
+            shard = min(shards, key=lambda s: (load[s], shards.index(s)))
+        assignment[index] = shard
+        load[shard] += group_sizes[index]
+    return assignment
+
+
 def worst_case_estimates(
     instance_ids: Iterable[int],
     neighbors: NeighborFn,

@@ -1,0 +1,151 @@
+"""Crash matrix for durable federation delivery (``fed_send``/``fed_ack``).
+
+Two durable sites, one cross-site link.  After an initial synced epoch,
+the producer site is reopened with a fault injector and one update is
+driven through ``sync()``; the producer's WAL appends are then exactly
+
+1. the ``set_attr`` commit,
+2. the ``fed_send`` (batch enters the durable outbox),
+3. the ``fed_ack`` (consumer committed, batch leaves the outbox),
+
+so crashing around appends 2 and 3 hits every interesting window:
+
+* **before send** -- the update is durable but the shipment is not; a
+  rebuilt federation re-collects the diff.  No value is lost.
+* **after send** -- the outbox survives; the rebuilt federation
+  re-delivers the queued batch.  No value is lost.
+* **before ack** -- the consumer durably applied (its ``fed_recv``
+  high-water mark survives) but the producer still holds the batch; the
+  redelivery is deduplicated, not applied twice.
+
+In every case the recovered federation converges to the same state as a
+never-crashed run: exactly-once application per channel.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.distributed import Federation, federated_schema
+from repro.persistence.faults import CrashPoint, crash_after, crash_before
+from repro.workloads import sum_node_schema
+
+
+def open_site(path, injector=None):
+    return Database.open(
+        str(path),
+        federated_schema(sum_node_schema()),
+        sync=False,
+        injector=injector,
+    )
+
+
+def build_federation(a, b):
+    fed = Federation()
+    fed.add_site("A", a)
+    fed.add_site("B", b)
+    return fed
+
+
+def seed_epoch(tmp_path):
+    """Durable two-site federation, linked and synced once, then closed."""
+    a = open_site(tmp_path / "A")
+    b = open_site(tmp_path / "B")
+    fed = build_federation(a, b)
+    producer = a.create("node", weight=7)
+    consumer = b.create("node")
+    fed.link("B", consumer, "inputs", "A", producer, "outputs")
+    fed.sync()
+    assert b.get_attr(consumer, "total") == 7
+    a.close()
+    b.close()
+    return producer, consumer
+
+
+def crashed_update(tmp_path, producer, injector):
+    """Reopen with the injector on A, update, and sync into the crash."""
+    a = open_site(tmp_path / "A", injector=injector)
+    b = open_site(tmp_path / "B")
+    fed = build_federation(a, b)
+    a.set_attr(producer, "weight", 50)  # producer append #1
+    with pytest.raises(CrashPoint):
+        fed.sync()  # appends #2 (fed_send) and #3 (fed_ack)
+    # The process is "dead"; the federation object dies with it.
+    b.close()
+
+
+def recover(tmp_path):
+    a = open_site(tmp_path / "A")
+    b = open_site(tmp_path / "B")
+    return build_federation(a, b), a, b
+
+
+class TestDeliveryCrashMatrix:
+    def test_crash_before_send_loses_nothing(self, tmp_path):
+        producer, consumer = seed_epoch(tmp_path)
+        crashed_update(tmp_path, producer, crash_before(2))
+        fed, a, b = recover(tmp_path)
+        # The shipment never became durable: the rebuilt outbox is empty
+        # and the mirror still shows the old epoch.
+        assert fed.metrics().flatten()["federation.outbox_pending"] == 0
+        assert b.get_attr(consumer, "total") == 7
+        # But the update itself IS durable, so a fresh pass re-collects it.
+        report = fed.sync()
+        assert report.batches_shipped == 1
+        assert report.batches_deduped == 0
+        assert b.get_attr(consumer, "total") == 50
+
+    def test_crash_after_send_redelivers_the_batch(self, tmp_path):
+        producer, consumer = seed_epoch(tmp_path)
+        crashed_update(tmp_path, producer, crash_after(2))
+        fed, a, b = recover(tmp_path)
+        # The batch survived in the durable outbox, undelivered.
+        assert fed.metrics().flatten()["federation.outbox_pending"] == 1
+        assert b.get_attr(consumer, "total") == 7
+        report = fed.sync()
+        assert report.batches_applied == 1
+        assert report.batches_shipped == 0  # delivered from the outbox,
+        assert report.batches_deduped == 0  # not re-collected
+        assert b.get_attr(consumer, "total") == 50
+
+    def test_crash_before_ack_dedups_the_redelivery(self, tmp_path):
+        producer, consumer = seed_epoch(tmp_path)
+        crashed_update(tmp_path, producer, crash_before(3))
+        fed, a, b = recover(tmp_path)
+        # The consumer durably applied before the crash...
+        assert b.get_attr(consumer, "total") == 50
+        # ...but the producer never heard the ack, so the batch is still
+        # in its outbox.  The redelivery must be dropped, not re-applied.
+        assert fed.metrics().flatten()["federation.outbox_pending"] == 1
+        report = fed.sync()
+        assert report.batches_deduped == 1
+        assert report.batches_applied == 0
+        assert report.messages_sent == 0
+        assert b.get_attr(consumer, "total") == 50
+        assert fed.metrics().flatten()["federation.outbox_pending"] == 0
+
+    @pytest.mark.parametrize("injector", [crash_before(2), crash_after(2), crash_before(3)])
+    def test_every_window_converges_to_the_clean_outcome(self, tmp_path, injector):
+        producer, consumer = seed_epoch(tmp_path)
+        crashed_update(tmp_path, producer, injector)
+        fed, a, b = recover(tmp_path)
+        fed.sync_until_quiescent()
+        assert a.get_attr(producer, "weight") == 50
+        assert b.get_attr(consumer, "total") == 50
+        assert fed.metrics().flatten()["federation.outbox_pending"] == 0
+        # And the channel keeps working after the incident.
+        a.set_attr(producer, "weight", 60)
+        fed.sync_until_quiescent()
+        assert b.get_attr(consumer, "total") == 60
+
+    def test_recovered_state_survives_a_second_reopen(self, tmp_path):
+        """Post-recovery sync work is itself durable (acks are journalled)."""
+        producer, consumer = seed_epoch(tmp_path)
+        crashed_update(tmp_path, producer, crash_before(3))
+        fed, a, b = recover(tmp_path)
+        fed.sync_until_quiescent()
+        a.close()
+        b.close()
+        fed2, a2, b2 = recover(tmp_path)
+        assert fed2.metrics().flatten()["federation.outbox_pending"] == 0
+        assert b2.get_attr(consumer, "total") == 50
+        assert fed2.sync().quiescent

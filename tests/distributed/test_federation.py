@@ -64,7 +64,7 @@ class TestLinking:
         fed.unlink(cross)
         assert b.get_attr(consumer, "total") == 0
         a.set_attr(producer, "weight", 50)
-        fed.sync()  # mirror updates, but nobody consumes it
+        fed.sync()  # idle mirror: nothing ships (see test_sync_bugs.py)
         assert b.get_attr(consumer, "total") == 0
 
 

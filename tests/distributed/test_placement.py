@@ -1,0 +1,188 @@
+"""Placement layer: crossing graph, shard assignment, migration, rebalance."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.distributed import Federation, FederationError, Placement
+from repro.errors import StorageError
+from repro.storage.clustering import assign_groups_to_shards
+from repro.workloads import link, sum_node_schema
+
+
+def sites(*names):
+    fed = Federation()
+    dbs = {}
+    for name in names:
+        dbs[name] = Database(sum_node_schema(), pool_capacity=256)
+        fed.add_site(name, dbs[name])
+    return fed, dbs
+
+
+class TestAssignGroupsToShards:
+    def test_empty_shards_rejected(self):
+        with pytest.raises(StorageError):
+            assign_groups_to_shards([["x"]], {"x": 1}, [])
+
+    def test_affinity_preferred_under_cap(self):
+        groups = [["a"], ["b"]]
+        sizes = {"a": 1, "b": 1}
+        out = assign_groups_to_shards(
+            groups, sizes, ["S0", "S1"], affinity={0: "S1", 1: "S0"}
+        )
+        assert out == {0: "S1", 1: "S0"}
+
+    def test_overflow_spills_to_least_loaded(self):
+        # Both groups want S0, but together they exceed the slack cap, so
+        # the second lands on the emptier shard instead.
+        groups = [["a", "b"], ["c", "d"]]
+        sizes = {"a": 1, "b": 1, "c": 1, "d": 1}
+        out = assign_groups_to_shards(
+            groups, sizes, ["S0", "S1"], affinity={0: "S0", 1: "S0"}
+        )
+        assert sorted(out.values()) == ["S0", "S1"]
+
+    def test_biggest_groups_place_first(self):
+        groups = [["a"], ["b", "c", "d"]]
+        sizes = {"a": 1, "b": 1, "c": 1, "d": 1}
+        out = assign_groups_to_shards(groups, sizes, ["S0", "S1"])
+        assert out[1] == "S0"  # the big group took the first shard
+        assert out[0] == "S1"
+
+
+class TestCrossingGraph:
+    def test_mirrors_are_invisible(self):
+        fed, dbs = sites("A", "B")
+        p = dbs["A"].create("node", weight=1)
+        c = dbs["B"].create("node")
+        fed.link("B", c, "inputs", "A", p, "outputs")
+        sizes, edges, usage = Placement(fed).crossing_graph()
+        assert set(sizes) == {("A", p), ("B", c)}
+        # The cross edge is indexed from both ends, through the mirror.
+        assert ("A", p) in dict(edges[("B", c)]).values()
+        assert ("B", c) in dict(edges[("A", p)]).values()
+
+    def test_link_traffic_weights_the_edge(self):
+        fed, dbs = sites("A", "B")
+        p = dbs["A"].create("node", weight=1)
+        c = dbs["B"].create("node")
+        fed.link("B", c, "inputs", "A", p, "outputs")
+        fed.sync()
+        for value in (5, 6, 7):
+            dbs["A"].set_attr(p, "weight", value)
+            fed.sync()
+        __, edges, usage = Placement(fed).crossing_graph()
+        # 1 baseline + 4 delivered values.
+        assert usage.crossing_count(("B", c), "inputs") == 5
+
+    def test_cross_weight_zero_when_colocated(self):
+        fed, dbs = sites("A", "B")
+        x = dbs["A"].create("node", weight=1)
+        y = dbs["A"].create("node")
+        link(dbs["A"], x, y)
+        placement = Placement(fed)
+        sizes, edges, usage = placement.crossing_graph()
+        assert placement.cross_weight(edges, usage, {n: "A" for n in sizes}) == 0
+        split = {("A", x): "A", ("A", y): "B"}
+        assert placement.cross_weight(edges, usage, split) > 0
+
+
+class TestMigration:
+    def test_migrate_collapses_link_into_local_connection(self):
+        fed, dbs = sites("A", "B")
+        p = dbs["A"].create("node", weight=7)
+        c = dbs["B"].create("node")
+        fed.link("B", c, "inputs", "A", p, "outputs")
+        fed.sync()
+        new = fed.migrate_instance("A", p, "B")
+        assert not dbs["A"].exists(p)
+        assert fed.links == []  # cross edge became a plain connection
+        assert dbs["B"].get_attr(c, "total") == 7
+        assert fed.gc_mirrors() == 1  # the orphaned mirror is reclaimed
+        dbs["B"].set_attr(new, "weight", 9)
+        assert dbs["B"].get_attr(c, "total") == 9  # no sync needed anymore
+
+    def test_migrate_splits_local_connection_into_link(self):
+        fed, dbs = sites("A", "B")
+        up = dbs["A"].create("node", weight=3)
+        down = dbs["A"].create("node", weight=1)
+        link(dbs["A"], up, down)
+        assert dbs["A"].get_attr(down, "total") == 4
+        new = fed.migrate_instance("A", down, "B")
+        assert len(fed.links) == 1  # the left-behind edge went cross-site
+        fed.sync_until_quiescent()
+        assert dbs["B"].get_attr(new, "total") == 4
+        dbs["A"].set_attr(up, "weight", 10)
+        fed.sync_until_quiescent()
+        assert dbs["B"].get_attr(new, "total") == 11
+
+    def test_migrating_a_mirror_is_rejected(self):
+        fed, dbs = sites("A", "B")
+        p = dbs["A"].create("node", weight=1)
+        c = dbs["B"].create("node")
+        cross = fed.link("B", c, "inputs", "A", p, "outputs")
+        with pytest.raises(FederationError, match="not migrated"):
+            fed.migrate_instance("B", cross.mirror_iid, "A")
+
+    def test_migrate_preserves_intrinsics(self):
+        fed, dbs = sites("A", "B")
+        p = dbs["A"].create("node", weight=42)
+        new = fed.migrate_instance("A", p, "B")
+        assert dbs["B"].get_attr(new, "weight") == 42
+        assert fed.metrics().flatten()["federation.migrations"] == 1
+
+
+class TestRebalance:
+    def scattered_chain(self, fed, dbs, names, length=4):
+        chain = []
+        for i in range(length):
+            site = names[i % len(names)]
+            chain.append((site, dbs[site].create("node", weight=1 + i)))
+        for (up_site, up), (down_site, down) in zip(chain, chain[1:]):
+            fed.link(down_site, down, "inputs", up_site, up, "outputs")
+        return chain
+
+    def test_converged_layout_plans_no_moves(self):
+        fed, dbs = sites("A", "B")
+        for name in ("A", "B"):
+            ids = [dbs[name].create("node", weight=1) for __ in range(4)]
+            for up, down in zip(ids, ids[1:]):
+                link(dbs[name], up, down)
+        plan = Placement(fed).plan()
+        assert plan.moves == []
+        assert plan.cross_weight_before == plan.cross_weight_after == 0
+
+    def test_rebalance_reduces_cross_weight_and_keeps_values(self):
+        fed, dbs = sites("A", "B", "C")
+        names = ["A", "B", "C"]
+        chains = [self.scattered_chain(fed, dbs, names) for __ in range(3)]
+        fed.sync_until_quiescent(max_passes=32)
+        tails = []
+        for chain in chains:
+            site, iid = chain[-1]
+            tails.append(fed.site(site).get_attr(iid, "total"))
+        plan = Placement(fed).rebalance()
+        assert plan.executed  # something actually moved
+        assert plan.cross_weight_after < plan.cross_weight_before
+        fed.sync_until_quiescent(max_passes=32)
+        for chain, expected in zip(chains, tails):
+            site, iid = plan.relocated.get(chain[-1], chain[-1])
+            assert fed.site(site).get_attr(iid, "total") == expected
+
+    def test_rebalance_is_idempotent_once_a_neighborhood_fits(self):
+        # With a group capacity covering the whole chain, the first
+        # rebalance co-locates it entirely; the second finds nothing to do.
+        fed, dbs = sites("A", "B")
+        names = ["A", "B"]
+        self.scattered_chain(fed, dbs, names)
+        fed.sync_until_quiescent(max_passes=32)
+        placement = Placement(fed, group_capacity=4)
+        first = placement.rebalance()
+        assert first.cross_weight_after == 0
+        fed.sync_until_quiescent(max_passes=32)
+        again = placement.plan()
+        assert again.moves == []  # the second pass finds nothing to do
+        assert again.cross_weight_before == 0
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(FederationError, match="empty federation"):
+            Placement(Federation()).plan()
