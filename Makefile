@@ -1,6 +1,6 @@
 # Convenience targets for the Cactis reproduction.
 
-.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema lint-src analysis-check obs-check reorg-check compile-check server-check federation-check clean
+.PHONY: install test bench bench-recovery bench-server examples results ci lint-schema lint-src analysis-check obs-check reorg-check compile-check server-check federation-check query-check clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -61,6 +61,12 @@ federation-check: ## distributed suite + 4-site placement smoke + placement A/B 
 	PYTHONPATH=src python -m repro.distributed --smoke
 	PYTHONPATH=src python -m pytest benchmarks/bench_distributed.py --benchmark-only -q
 
+query-check: ## index/planner suites + docs cross-check + indexed-vs-scan A/B bench
+	PYTHONPATH=src python -m pytest tests/index tests/dsl/test_query.py \
+		tests/dsl/test_query_planner.py tests/dsl/test_query_docs.py \
+		tests/persistence/test_index_recovery.py -q
+	PYTHONPATH=src python -m pytest benchmarks/bench_query.py --benchmark-only -q
+
 bench-server: ## served txn/s + p99 under 16 clients -> benchmarks/results/BENCH_server.json
 	PYTHONPATH=src python -m pytest benchmarks/bench_server.py --benchmark-only -q
 
@@ -76,6 +82,7 @@ ci: ## what .github/workflows/ci.yml runs
 	$(MAKE) compile-check
 	$(MAKE) server-check
 	$(MAKE) federation-check
+	$(MAKE) query-check
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo ok; done

@@ -157,6 +157,12 @@ class Database:
         self.txn.auto_batch = auto_batch_transactions
         self.subtypes = SubtypeManager(self)
         self._catalog: dict[int, Instance] = {}
+        # Secondary indexes + predicate-subtype extents (repro.index):
+        # maintained from the _do_* primitives below so they roll back and
+        # recover with the rest of the database state.
+        from repro.index import IndexManager
+
+        self.indexes = IndexManager(self)
         self._next_iid = 1
         self._rulemaps: dict[tuple, dict[str, Rule]] = {}
         self._attrmaps: dict[tuple, dict[str, AttributeDef]] = {}
@@ -318,7 +324,11 @@ class Database:
                 ),
             }
 
+        def index_metrics() -> dict:
+            return self.indexes.metrics()
+
         self.obs.register("engine", engine_metrics)
+        self.obs.register("index", index_metrics)
         self.obs.register("compile", compile_metrics)
         self.obs.register("scheduler", scheduler_metrics)
         self.obs.register("cc", cc_metrics)
@@ -560,6 +570,7 @@ class Database:
             name = _rule_slot_name(rule)
             if is_constraint_attr(name):
                 self._unchecked_constraints.add((iid, name))
+        self.indexes.note_create(iid, instance)
 
     def delete(self, iid: int) -> None:
         """Delete an instance: break all relationships, then remove it.
@@ -613,6 +624,7 @@ class Database:
         self.usage.forget_instance(iid, peer_keys)
         if self.slot_plans is not None:
             self.slot_plans.invalidate_instance(iid)
+        self.indexes.note_delete(iid, instance)
         del self._catalog[iid]
 
     def _all_slots(self, instance: Instance) -> list[Slot]:
@@ -811,6 +823,8 @@ class Database:
         attrs[attr] = value
         if old is _MISSING or _value_width(old) != _value_width(value):
             self.storage.resize(iid, instance.record_size())
+        if attr in self.indexes.attr_names:
+            self.indexes.note_attr_written(iid, attr, value, instance.class_name)
         self.engine.propagate_intrinsic_change(attr_slot(iid, attr))
 
     def get_attr(self, iid: int, attr: str) -> Any:
@@ -1100,6 +1114,9 @@ class Database:
             if self.slot_plans is not None:
                 self.slot_plans.clear()
             self._reconcile_after_extension()
+            # The extension may add/drop index declarations, classes, or
+            # predicate subtypes: re-derive and rebuild from the catalog.
+            self.indexes.sync()
 
     def _reconcile_after_extension(self) -> None:
         """Wire new/changed rules into existing instances after an extension.
@@ -1298,6 +1315,14 @@ class Database:
         # (a full per-attribute size recomputation) is a provable no-op.
         if old is _MISSING or _value_width(old) != _value_width(value):
             self.storage.resize(iid, instance.record_size())
+        # Index maintenance for derived writes: one set lookup when no
+        # index or extent watches this slot name (cf. ``hub.active``).
+        indexes = self.indexes
+        if name in indexes.hot_names:
+            if name in indexes.attr_names:
+                indexes.note_attr_written(iid, name, value, instance.class_name)
+            else:
+                indexes.note_membership_written(iid, name)
 
     def has_slot_value(self, slot: Slot) -> bool:
         iid, name = slot

@@ -312,6 +312,10 @@ class Schema:
         #: :class:`~repro.analysis.facts.AnalysisFacts` from the last
         #: freeze, or None (analysis disabled or failed).
         self.analysis_facts: Any = None
+        #: class name -> attribute names with a maintained secondary index
+        #: (see :mod:`repro.index`); declared via :meth:`add_index` and
+        #: validated when the schema freezes.
+        self.indexes: dict[str, tuple[str, ...]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -345,6 +349,31 @@ class Schema:
         """Return an existing class for in-place extension (schema must be mutable)."""
         self._require_mutable()
         return self._raw_class(name)
+
+    def add_index(self, class_name: str, attr: str) -> None:
+        """Declare a maintained secondary index over ``class_name.attr``.
+
+        The attribute may be intrinsic or derived; the index covers the
+        class and all of its static subclasses.  Validated (class exists,
+        is not a predicate subtype, declares the attribute) at freeze,
+        alongside the rest of the schema.
+        """
+        self._require_mutable()
+        attrs = self.indexes.get(class_name, ())
+        if attr in attrs:
+            raise SchemaError(
+                f"class {class_name!r} already declares an index on {attr!r}"
+            )
+        self.indexes[class_name] = tuple(sorted((*attrs, attr)))
+
+    def drop_index(self, class_name: str, attr: str) -> None:
+        """Remove a previously declared index (schema must be mutable)."""
+        self._require_mutable()
+        attrs = tuple(a for a in self.indexes.get(class_name, ()) if a != attr)
+        if attrs:
+            self.indexes[class_name] = attrs
+        else:
+            self.indexes.pop(class_name, None)
 
     def unfreeze(self) -> None:
         """Re-open a frozen schema for extension."""
@@ -407,6 +436,7 @@ class Schema:
                 problems.append(str(exc))
         for resolved in self._resolved.values():
             problems.extend(self._validate_resolved(resolved))
+        problems.extend(self._validate_indexes())
         if problems:
             self._resolved = {}
             if len(problems) == 1:
@@ -507,6 +537,34 @@ class Schema:
             # replaces the inherited computation.
             index[key] = rule
         return index
+
+    def _validate_indexes(self) -> list[str]:
+        """All violations among the declared secondary indexes."""
+        problems: list[str] = []
+        for class_name, attrs in sorted(self.indexes.items()):
+            cls = self.classes.get(class_name)
+            if cls is None:
+                problems.append(
+                    f"index on unknown object class {class_name!r}"
+                )
+                continue
+            if cls.predicate is not None:
+                problems.append(
+                    f"class {class_name!r} is a predicate subtype; its extent "
+                    f"is maintained automatically -- declare attribute "
+                    f"indexes on the supertype instead"
+                )
+                continue
+            resolved = self._resolved.get(class_name)
+            if resolved is None:  # resolution already failed; reported above
+                continue
+            for attr in attrs:
+                if attr not in resolved.attributes:
+                    problems.append(
+                        f"index on {class_name!r}.{attr!r}: class has no "
+                        f"attribute {attr!r}"
+                    )
+        return problems
 
     def _validate_resolved(self, resolved: ResolvedClass) -> list[str]:
         """All violations in one resolved class, as message strings."""

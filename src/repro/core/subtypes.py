@@ -77,6 +77,7 @@ class SubtypeManager:
         if subtype in instance.active_subtypes:
             return
         instance.active_subtypes.add(subtype)
+        self.db.indexes.note_attach(iid, subtype)
         self.db.invalidate_rulemap(iid)
         base_class = instance.class_name
         sub_view: ResolvedClass = self.db.schema.resolved(subtype)
@@ -114,6 +115,7 @@ class SubtypeManager:
         if subtype not in instance.active_subtypes:
             return
         instance.active_subtypes.discard(subtype)
+        self.db.indexes.note_detach(iid, subtype)
         self.db.invalidate_rulemap(iid)
         base_class = instance.class_name
         overridden = self.overridden_slot_names(base_class, subtype)

@@ -185,7 +185,7 @@ class SchemaCompiler:
         for constraint_decl in decl.constraints:
             cls.add_constraint(self._compile_constraint(scope, constraint_decl))
         if decl.where is not None:
-            inputs, evaluator = self._compile_body(scope, decl.where, decl.line)
+            inputs, evaluator = self._compile_body(scope, decl.where, decl.line, decl.column)
             cls.predicate = SubtypePredicate(
                 subtype_name=decl.name,
                 inputs=inputs,
@@ -193,7 +193,7 @@ class SchemaCompiler:
             )
 
     def _compile_rule(self, scope: "_ClassScope", decl: ast.RuleDecl) -> Rule:
-        inputs, evaluator = self._compile_body(scope, decl.body, decl.line)
+        inputs, evaluator = self._compile_body(scope, decl.body, decl.line, decl.column)
         if decl.target_attr is not None:
             target: AttributeTarget | TransmitTarget = AttributeTarget(decl.target_attr)
             name = f"{scope.class_name}.{decl.target_attr}"
@@ -206,7 +206,7 @@ class SchemaCompiler:
     def _compile_constraint(
         self, scope: "_ClassScope", decl: ast.ConstraintDecl
     ) -> Constraint:
-        inputs, evaluator = self._compile_body(scope, decl.predicate, decl.line)
+        inputs, evaluator = self._compile_body(scope, decl.predicate, decl.line, decl.column)
         recovery = None
         if decl.recover is not None:
             recovery = self.functions.get(decl.recover)
@@ -225,14 +225,30 @@ class SchemaCompiler:
         )
 
     def _compile_body(
-        self, scope: "_ClassScope", body: ast.RuleBody, line: int
+        self, scope: "_ClassScope", body: ast.RuleBody, line: int, column: int = 0
     ):
+        """Compile one rule/constraint/where body to ``(inputs, evaluator)``.
+
+        ``line``/``column`` locate the construct that introduced the body
+        (the declaration, or a query's ``where`` token): any
+        :class:`DslCompileError` raised during analysis *without* its own
+        position -- AST-node errors already carry exact token spans -- is
+        re-raised with this fallback position so multi-line sources never
+        report an unlocated (or, historically, hardcoded ``line=1``) error.
+        """
         analysis = _DependencyAnalysis(self, scope)
-        if isinstance(body, ast.Block):
-            analysis.analyse_block(body)
-        else:
-            analysis.analyse_expr(body, local_vars=set(), loops={})
-        inputs = analysis.build_inputs()
+        try:
+            if isinstance(body, ast.Block):
+                analysis.analyse_block(body)
+            else:
+                analysis.analyse_expr(body, local_vars=set(), loops={})
+            inputs = analysis.build_inputs()
+        except DslCompileError as exc:
+            if exc.line is None and line:
+                raise DslCompileError(
+                    exc.args[0], line=line, column=column
+                ) from None
+            raise
         interpreter = _RuleInterpreter(self, scope, body, analysis)
         return inputs, interpreter
 

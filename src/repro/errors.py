@@ -178,3 +178,19 @@ class DslCompileError(DslError):
 
 class DslRuntimeError(DslError):
     """A compiled DSL rule failed while executing."""
+
+
+class QueryError(CactisError):
+    """A query failed while executing (as opposed to while compiling).
+
+    The canonical case is ``order by`` over an attribute whose values are
+    not totally ordered across the result set -- an unset/None value or a
+    mix of incomparable types.  The message names the offending instance
+    id and attribute so the caller can repair the data instead of chasing
+    a bare ``TypeError`` out of ``list.sort``.
+    """
+
+    def __init__(self, message, iid=None, attr=None):
+        self.iid = iid
+        self.attr = attr
+        super().__init__(message)

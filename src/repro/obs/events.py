@@ -282,6 +282,32 @@ class FedMigration(Event):
     links_rewired: int = 0
 
 
+@dataclass
+class QueryPlanned(Event):
+    """The query planner chose an access path for one execution."""
+
+    TYPE = "query_planned"
+
+    class_name: str = ""
+    access_path: str = ""  # "scan" | "extent" | "index_eq" | "index_range" | "index_order"
+    index_attr: str | None = None  # attribute of the chosen index, if any
+    cost: float = 0.0  # planner's estimate for the chosen path
+    scan_cost: float = 0.0  # what the naive scan was priced at
+    degraded: bool = False  # an indexed plan fell back to the scan at run time
+
+
+@dataclass
+class IndexSweep(Event):
+    """An index/extent refresh evaluated stale or pending derived slots."""
+
+    TYPE = "index_sweep"
+
+    kind: str = "attr"  # "attr" | "extent"
+    name: str = ""  # "class.attr" for attr indexes, subtype name for extents
+    stale: int = 0  # slots found in the engine's out-of-date set
+    pending: int = 0  # covered slots never evaluated before this sweep
+
+
 #: event type name -> class; the doc cross-check and trace tooling key off it.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
@@ -307,6 +333,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         FedBatchShipped,
         FedBatchApplied,
         FedMigration,
+        QueryPlanned,
+        IndexSweep,
     )
 }
 

@@ -5,7 +5,8 @@ import pytest
 from repro.core.database import Database
 from repro.dsl.query import compile_query, run_query
 from repro.env.milestones import MilestoneManager
-from repro.errors import DslCompileError, DslSyntaxError
+from repro.dsl import compile_schema
+from repro.errors import DslCompileError, DslSyntaxError, QueryError
 from repro.workloads import link, sum_node_schema
 
 
@@ -105,3 +106,110 @@ class TestErrors:
     def test_limit_requires_integer(self, db):
         with pytest.raises(DslSyntaxError, match="integer"):
             run_query(db, "select node limit many")
+
+
+class TestDuplicateClauses:
+    """Duplicate order/limit clauses must be rejected, not silently last-wins."""
+
+    def test_duplicate_order_by_rejected(self, db):
+        with pytest.raises(DslSyntaxError, match="duplicate 'order by'") as err:
+            run_query(db, "select node order by weight order by total")
+        assert err.value.line == 1
+        assert err.value.column == len("select node order by weight ") + 1
+
+    def test_duplicate_limit_rejected(self, db):
+        with pytest.raises(DslSyntaxError, match="duplicate 'limit'"):
+            run_query(db, "select node limit 2 limit 3")
+
+    def test_order_then_limit_then_order_rejected(self, db):
+        with pytest.raises(DslSyntaxError, match="duplicate 'order by'"):
+            run_query(db, "select node order by weight limit 2 order by weight")
+
+    def test_limit_either_side_of_order_is_still_one_limit(self, db):
+        # A single limit on either side of order by stays legal.
+        assert run_query(db, "select node limit 2 order by weight desc") == \
+            run_query(db, "select node order by weight desc limit 2")
+
+
+class TestErrorPositions:
+    """Compile errors must carry the offending token's position.
+
+    ``compile_query`` used to raise its own errors with no position and
+    hand ``_compile_body`` a hardcoded ``line=1``.
+    """
+
+    def test_unknown_class_is_positioned(self, db):
+        with pytest.raises(DslCompileError) as err:
+            run_query(db, "select widget")
+        assert err.value.line == 1
+        assert err.value.column == len("select ") + 1
+
+    def test_unknown_class_on_later_line(self, db):
+        with pytest.raises(DslCompileError) as err:
+            run_query(db, "\n\nselect widget")
+        assert err.value.line == 3
+
+    def test_unknown_order_attribute_is_positioned(self, db):
+        with pytest.raises(DslCompileError) as err:
+            run_query(db, "select node\norder by colour")
+        assert err.value.line == 2
+        assert err.value.column == len("order by ") + 1
+
+    def test_where_clause_error_positioned_on_its_own_line(self, db):
+        with pytest.raises(DslCompileError) as err:
+            run_query(db, "select node\nwhere weight > 1\n  and colour == 2")
+        assert err.value.line == 3
+        assert err.value.column == len("  and ") + 1
+
+
+class TestOrderingErrors:
+    """Unorderable sort keys surface as QueryError, not a raw TypeError."""
+
+    @pytest.fixture
+    def patchy_db(self):
+        source = """
+        object class patchy is
+          attributes
+            seed : integer;
+            val  : any;
+          rules
+            val = pick(seed);
+        end object;
+        """
+        values = {1: 10, 2: None, 3: "s", 4: 20}
+        schema = compile_schema(
+            source, functions={"pick": lambda s: values[s]}, freeze=False
+        )
+        schema.freeze()
+        db = Database(schema)
+        for seed in (1, 4):
+            db.create("patchy", seed=seed)
+        return db
+
+    def test_none_value_raises_query_error_naming_instance(self, patchy_db):
+        db = patchy_db
+        missing = db.create("patchy", seed=2)  # val -> None
+        query = compile_query(db.schema, "select patchy order by val")
+        for runner in (query.run, query.run_scan):
+            with pytest.raises(QueryError) as err:
+                runner(db)
+            assert err.value.iid == missing
+            assert err.value.attr == "val"
+            assert "None" in str(err.value)
+            assert str(missing) in str(err.value)
+
+    def test_mixed_types_raise_query_error_naming_instance(self, patchy_db):
+        db = patchy_db
+        odd = db.create("patchy", seed=3)  # val -> "s" amid integers
+        query = compile_query(db.schema, "select patchy order by val")
+        for runner in (query.run, query.run_scan):
+            with pytest.raises(QueryError) as err:
+                runner(db)
+            assert err.value.iid == odd
+            assert err.value.attr == "val"
+            assert "str" in str(err.value)
+
+    def test_uniform_keys_still_sort(self, patchy_db):
+        db = patchy_db
+        result = run_query(db, "select patchy order by val desc")
+        assert [db.get_attr(i, "val") for i in result] == [20, 10]
